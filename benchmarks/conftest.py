@@ -1,0 +1,98 @@
+"""Shared fixtures for the benchmark suites.
+
+The benchmarks regenerate the paper's tables and figures at a laptop scale
+(default 20k rows; set the environment variable ``COAX_BENCH_ROWS`` to scale
+up).  Datasets, workloads and the more expensive index builds are
+session-scoped so pytest-benchmark timing loops only measure query
+execution, not setup.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.airline import AirlineConfig, generate_airline_dataset
+from repro.data.osm import OSMConfig, generate_osm_dataset
+from repro.data.queries import (
+    WorkloadConfig,
+    generate_knn_queries,
+    generate_point_queries,
+)
+from repro.data.table import Table
+from repro.indexes.column_files import ColumnFilesIndex
+from repro.indexes.full_scan import FullScanIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.uniform_grid import UniformGridIndex
+
+#: Default benchmark scale; override with COAX_BENCH_ROWS.
+BENCH_ROWS = int(os.environ.get("COAX_BENCH_ROWS", "20000"))
+BENCH_QUERIES = int(os.environ.get("COAX_BENCH_QUERIES", "20"))
+
+
+@pytest.fixture(scope="session")
+def airline_table() -> Table:
+    table, _ = generate_airline_dataset(AirlineConfig(n_rows=BENCH_ROWS, seed=7))
+    return table
+
+
+@pytest.fixture(scope="session")
+def osm_table() -> Table:
+    table, _ = generate_osm_dataset(OSMConfig(n_rows=BENCH_ROWS, seed=11))
+    return table
+
+
+@pytest.fixture(scope="session")
+def airline_range_workload(airline_table):
+    return generate_knn_queries(
+        airline_table, WorkloadConfig(n_queries=BENCH_QUERIES, k_neighbours=200, seed=1)
+    )
+
+
+@pytest.fixture(scope="session")
+def airline_point_workload(airline_table):
+    return generate_point_queries(airline_table, WorkloadConfig(n_queries=BENCH_QUERIES, seed=2))
+
+
+@pytest.fixture(scope="session")
+def osm_range_workload(osm_table):
+    return generate_knn_queries(
+        osm_table, WorkloadConfig(n_queries=BENCH_QUERIES, k_neighbours=200, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def osm_point_workload(osm_table):
+    return generate_point_queries(osm_table, WorkloadConfig(n_queries=BENCH_QUERIES, seed=4))
+
+
+@pytest.fixture(scope="session")
+def indexes(airline_table, osm_table):
+    """Every competitor of Figure 6 built once per dataset."""
+    config = COAXConfig()
+    built = {}
+    for name, table in (("Airline", airline_table), ("OSM", osm_table)):
+        built[name] = {
+            "COAX": COAXIndex(table, config=config),
+            "R-Tree": RTreeIndex(table, node_capacity=10),
+            "Full Grid": UniformGridIndex(table, cells_per_dim=6),
+            "Column Files": ColumnFilesIndex(table, cells_per_dim=8),
+            "Full Scan": FullScanIndex(table),
+        }
+    return built
+
+
+@pytest.fixture(scope="session")
+def ground_truth(airline_table, osm_table, airline_range_workload, airline_point_workload,
+                 osm_range_workload, osm_point_workload):
+    """Exact result counts per dataset and workload, used to verify benchmarks."""
+    return {
+        ("Airline", "range"): sum(len(airline_table.select(q)) for q in airline_range_workload),
+        ("Airline", "point"): sum(len(airline_table.select(q)) for q in airline_point_workload),
+        ("OSM", "range"): sum(len(osm_table.select(q)) for q in osm_range_workload),
+        ("OSM", "point"): sum(len(osm_table.select(q)) for q in osm_point_workload),
+    }

@@ -1,0 +1,80 @@
+"""Ablation benchmarks for COAX's design choices (DESIGN.md section 5).
+
+Not paper artefacts; these quantify the impact of the choices the paper
+makes implicitly: margin estimation, outlier-index structure, bucketing
+parameters and the linear-vs-spline model extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import execute_workload
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.detection import DetectionConfig
+from repro.fd.model import SplineFDModel
+
+MARGIN_SETTINGS = {
+    "robust-3sigma": DetectionConfig(margin_method="robust", margin_sigmas=3.0),
+    "robust-2sigma": DetectionConfig(margin_method="robust", margin_sigmas=2.0),
+    "quantile-90": DetectionConfig(margin_method="quantile", target_coverage=0.9),
+}
+
+OUTLIER_KINDS = ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan")
+
+BUCKETING_SETTINGS = {
+    "sample-2k-chunks-16": BucketingConfig(sample_count=2_000, bucket_chunks=16),
+    "sample-10k-chunks-32": BucketingConfig(sample_count=10_000, bucket_chunks=32),
+    "sample-20k-chunks-64": BucketingConfig(sample_count=20_000, bucket_chunks=64),
+}
+
+
+@pytest.mark.parametrize("setting", sorted(MARGIN_SETTINGS))
+def test_ablation_margins(benchmark, setting, airline_table, airline_range_workload):
+    config = COAXConfig(detection=MARGIN_SETTINGS[setting])
+    index = COAXIndex(airline_table, config=config)
+    benchmark(execute_workload, index, airline_range_workload)
+    benchmark.extra_info["setting"] = setting
+    benchmark.extra_info["n_groups"] = len(index.groups)
+    benchmark.extra_info["primary_ratio"] = round(index.primary_ratio, 3)
+    # Every margin policy must still detect the airline dependencies.
+    assert len(index.groups) >= 1
+
+
+@pytest.mark.parametrize("kind", OUTLIER_KINDS)
+def test_ablation_outlier_index(benchmark, kind, airline_table, airline_range_workload):
+    index = COAXIndex(airline_table, config=COAXConfig(outlier_index=kind))
+    total = benchmark(execute_workload, index, airline_range_workload)
+    benchmark.extra_info["outlier_index"] = kind
+    benchmark.extra_info["outlier_dir_bytes"] = index.memory_breakdown()["outlier"]
+    assert total == sum(len(airline_table.select(q)) for q in airline_range_workload)
+
+
+@pytest.mark.parametrize("setting", sorted(BUCKETING_SETTINGS))
+def test_ablation_bucketing(benchmark, setting, airline_table):
+    detection = DetectionConfig(bucketing=BUCKETING_SETTINGS[setting], monte_carlo_rounds=4)
+
+    index = benchmark(lambda: COAXIndex(airline_table, config=COAXConfig(detection=detection)))
+    benchmark.extra_info["setting"] = setting
+    benchmark.extra_info["n_groups"] = len(index.groups)
+    benchmark.extra_info["primary_ratio"] = round(index.primary_ratio, 3)
+    # Even the cheapest bucketing configuration finds both airline groups.
+    assert len(index.groups) == 2
+
+
+@pytest.mark.parametrize("epsilon", (10.0, 30.0, 100.0))
+def test_ablation_spline_capacity(benchmark, epsilon):
+    """Spline extension: segment count follows the Theorem 7.4 trend."""
+    rng = np.random.default_rng(9)
+    x = np.sort(rng.uniform(0.0, 1000.0, size=20_000))
+    y = 0.002 * x**2 + 0.5 * x + rng.normal(0.0, 3.0, size=20_000)
+
+    spline = benchmark(SplineFDModel.fit, x, y, epsilon=epsilon)
+
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["n_segments"] = spline.n_segments
+    benchmark.extra_info["model_bytes"] = spline.memory_bytes()
+    assert float(np.mean(spline.within_margin(x, y))) > 0.95

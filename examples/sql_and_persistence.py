@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Production workflow: SQL-style queries, tuning, and index persistence.
+
+Shows the pieces a downstream application would use around the core index:
+
+1. load a table from CSV (written here for the demo; any numeric CSV works);
+2. tune the COAX configuration on a sample workload (the paper's Section
+   8.2.1 "best configuration per index" step);
+3. query with SQL-style WHERE clauses instead of hand-built rectangles;
+4. save the trained index to disk and load it back in a fresh process.
+
+Run with::
+
+    python examples/sql_and_persistence.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    COAXIndex,
+    load_csv,
+    load_index,
+    parse_where,
+    save_csv,
+    save_index,
+    Table,
+    WorkloadConfig,
+    generate_knn_queries,
+)
+from repro.bench.tuning import tune_coax
+from repro.indexes.memory import format_bytes
+
+
+def build_sensor_csv(path: Path, n_rows: int = 40_000, seed: int = 5) -> None:
+    """Write a demo CSV: reading_id, timestamp (correlated), temperature, station."""
+    rng = np.random.default_rng(seed)
+    reading_id = np.arange(1.0, n_rows + 1.0)
+    timestamp = 1.7e9 + reading_id * 15.0 + rng.normal(0.0, 8.0, size=n_rows)
+    late = rng.random(n_rows) < 0.07
+    timestamp[late] = 1.7e9 + rng.uniform(0, n_rows * 15.0, size=int(late.sum()))
+    temperature = rng.normal(20.0, 5.0, size=n_rows)
+    station = rng.integers(0, 24, size=n_rows).astype(float)
+    table = Table(
+        {
+            "reading_id": reading_id,
+            "timestamp": timestamp,
+            "temperature": temperature,
+            "station": station,
+        }
+    )
+    save_csv(table, path)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="coax_demo_"))
+    csv_path = workdir / "sensor_readings.csv"
+    build_sensor_csv(csv_path)
+
+    # ------------------------------------------------------------------
+    # 1. Load the CSV.
+    # ------------------------------------------------------------------
+    table, _ = load_csv(csv_path)
+    print(f"loaded {csv_path.name}: {table.n_rows} rows, columns {list(table.schema)}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Tune COAX on a small sample workload.
+    # ------------------------------------------------------------------
+    sample_workload = generate_knn_queries(
+        table, WorkloadConfig(n_queries=10, k_neighbours=200, seed=1)
+    )
+    best_config, tuning = tune_coax(table, sample_workload, cells_candidates=(2, 4, 8, 16))
+    print("tuning trials (primary cells per dimension)")
+    for trial in tuning.trials:
+        print(f"  cells={trial.params['cells_per_dim']:>2}  "
+              f"mean {trial.mean_query_ms:6.2f} ms  directory {format_bytes(trial.directory_bytes)}")
+    print(f"chosen configuration: primary_cells_per_dim={best_config.primary_cells_per_dim}\n")
+
+    index = COAXIndex(table, config=best_config)
+    print(index.build_report.describe())
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. SQL-style queries.
+    # ------------------------------------------------------------------
+    clauses = [
+        "timestamp BETWEEN 1700300000 AND 1700400000 AND temperature > 25",
+        "18 <= temperature AND temperature <= 22 AND station = 7",
+        "reading_id > 35000 AND temperature < 10",
+    ]
+    for clause in clauses:
+        query = parse_where(clause)
+        matches = index.range_query(query)
+        expected = table.select(query)
+        agreement = np.array_equal(np.sort(matches), expected)
+        print(f"WHERE {clause}")
+        print(f"  -> {len(matches)} rows (full scan agrees: {agreement})")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Persist the index and reload it.
+    # ------------------------------------------------------------------
+    index_path = save_index(index, workdir / "sensor.coax.npz")
+    print(f"index saved to {index_path} ({format_bytes(index_path.stat().st_size)} on disk)")
+    reloaded = load_index(index_path)
+    check = parse_where("temperature BETWEEN 19 AND 21")
+    same = np.array_equal(
+        np.sort(reloaded.range_query(check)), np.sort(index.range_query(check))
+    )
+    print(f"reloaded index answers queries identically: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""COAX: Correlation-Aware Indexing — reproduction library.
+
+A from-scratch Python implementation of COAX (Hadian, Ghaffari, Wang,
+Heinis): a multidimensional primary index that learns soft functional
+dependencies between attributes, indexes only one predictor attribute per
+correlated group, translates query constraints on the predicted attributes
+into constraints on the indexed ones, and keeps the records violating the
+learned dependency in a small conventional outlier index.
+
+Quickstart::
+
+    from repro import COAXIndex, Rectangle, Interval, generate_airline_dataset
+
+    table, _ = generate_airline_dataset()
+    index = COAXIndex(table)
+    query = Rectangle({"Distance": Interval(500, 800), "AirTime": Interval(60, 120)})
+    row_ids = index.range_query(query)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+from repro.data import (
+    Interval,
+    Rectangle,
+    Schema,
+    Table,
+    AirlineConfig,
+    OSMConfig,
+    generate_airline_dataset,
+    generate_osm_dataset,
+    generate_knn_queries,
+    generate_point_queries,
+    generate_selectivity_queries,
+    WorkloadConfig,
+)
+from repro.fd import (
+    BayesianLinearRegression,
+    DetectionConfig,
+    FDGroup,
+    LinearFDModel,
+    SplineFDModel,
+    detect_soft_fds,
+)
+from repro.indexes import (
+    ColumnFilesIndex,
+    FullScanIndex,
+    RTreeIndex,
+    SortedCellGridIndex,
+    UniformGridIndex,
+    available_indexes,
+    create_index,
+)
+from repro.core import COAXConfig, COAXIndex, QueryResult, translate_query
+from repro.data.sql import parse_where
+from repro.io import load_csv, load_index, load_npz, save_csv, save_index, save_npz
+from repro.stats.profile import TableProfile, profile_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Interval",
+    "Rectangle",
+    "Schema",
+    "Table",
+    "AirlineConfig",
+    "OSMConfig",
+    "generate_airline_dataset",
+    "generate_osm_dataset",
+    "generate_knn_queries",
+    "generate_point_queries",
+    "generate_selectivity_queries",
+    "WorkloadConfig",
+    "BayesianLinearRegression",
+    "DetectionConfig",
+    "FDGroup",
+    "LinearFDModel",
+    "SplineFDModel",
+    "detect_soft_fds",
+    "ColumnFilesIndex",
+    "FullScanIndex",
+    "RTreeIndex",
+    "SortedCellGridIndex",
+    "UniformGridIndex",
+    "available_indexes",
+    "create_index",
+    "COAXConfig",
+    "COAXIndex",
+    "QueryResult",
+    "translate_query",
+    "parse_where",
+    "save_index",
+    "load_index",
+    "load_csv",
+    "save_csv",
+    "load_npz",
+    "save_npz",
+    "TableProfile",
+    "profile_table",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Ablation studies of COAX's design choices (DESIGN.md section 5).
+
+These are not figures from the paper; they quantify the impact of the
+choices the paper makes implicitly, on the same synthetic Airline dataset:
+
+* margin selection — robust (MAD) margins vs quantile-coverage margins;
+* outlier index structure — grid file vs uniform grid vs R-Tree;
+* bucketing threshold and sample size — model quality vs training cost;
+* linear vs spline soft-FD models — segment count and inlier coverage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.experiments.datasets import airline_table, standard_workloads
+from repro.bench.harness import time_workload
+from repro.bench.reporting import ExperimentResult
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.detection import DetectionConfig
+from repro.fd.model import SplineFDModel
+
+__all__ = ["run", "margin_ablation", "outlier_index_ablation", "bucketing_ablation", "spline_ablation"]
+
+
+def margin_ablation(n_rows: int = 20_000, n_queries: int = 20) -> List[Dict[str, object]]:
+    """Robust vs quantile margin estimation."""
+    table = airline_table(n_rows)
+    workload = standard_workloads(table, n_queries=n_queries)["range"]
+    rows: List[Dict[str, object]] = []
+    settings = {
+        "robust (3 sigma)": DetectionConfig(margin_method="robust", margin_sigmas=3.0),
+        "robust (2 sigma)": DetectionConfig(margin_method="robust", margin_sigmas=2.0),
+        "quantile (90%)": DetectionConfig(margin_method="quantile", target_coverage=0.9),
+        "quantile (98%)": DetectionConfig(
+            margin_method="quantile", target_coverage=0.98, max_relative_band=0.6
+        ),
+    }
+    for label, detection in settings.items():
+        index = COAXIndex(table, config=COAXConfig(detection=detection))
+        timing = time_workload(index, workload)
+        rows.append(
+            {
+                "ablation": "margins",
+                "setting": label,
+                "n_groups": len(index.groups),
+                "primary_ratio": round(index.primary_ratio, 3),
+                "mean_ms": round(timing.mean_ms, 3),
+                "dir_bytes": index.directory_bytes(),
+            }
+        )
+    return rows
+
+
+def outlier_index_ablation(n_rows: int = 20_000, n_queries: int = 20) -> List[Dict[str, object]]:
+    """Which structure should hold the outliers?"""
+    table = airline_table(n_rows)
+    workload = standard_workloads(table, n_queries=n_queries)["range"]
+    rows: List[Dict[str, object]] = []
+    for kind in ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan"):
+        index = COAXIndex(table, config=COAXConfig(outlier_index=kind))
+        timing = time_workload(index, workload)
+        rows.append(
+            {
+                "ablation": "outlier index",
+                "setting": kind,
+                "mean_ms": round(timing.mean_ms, 3),
+                "outlier_dir_bytes": index.memory_breakdown()["outlier"],
+            }
+        )
+    return rows
+
+
+def bucketing_ablation(n_rows: int = 20_000) -> List[Dict[str, object]]:
+    """Sample size / cell threshold of Algorithm 1 vs detection quality."""
+    table = airline_table(n_rows)
+    rows: List[Dict[str, object]] = []
+    settings = {
+        "sample=2k, chunks=16": BucketingConfig(sample_count=2_000, bucket_chunks=16),
+        "sample=5k, chunks=32": BucketingConfig(sample_count=5_000, bucket_chunks=32),
+        "sample=20k, chunks=64": BucketingConfig(sample_count=20_000, bucket_chunks=64),
+        "sample=20k, chunks=64, threshold=10": BucketingConfig(
+            sample_count=20_000, bucket_chunks=64, cell_threshold=10
+        ),
+    }
+    for label, bucketing in settings.items():
+        config = COAXConfig(detection=DetectionConfig(bucketing=bucketing))
+        index = COAXIndex(table, config=config)
+        rows.append(
+            {
+                "ablation": "bucketing",
+                "setting": label,
+                "n_groups": len(index.groups),
+                "primary_ratio": round(index.primary_ratio, 3),
+            }
+        )
+    return rows
+
+
+def spline_ablation(n_rows: int = 20_000) -> List[Dict[str, object]]:
+    """Linear vs piecewise-linear soft-FD model on a non-linear dependency."""
+    rng = np.random.default_rng(9)
+    x = np.sort(rng.uniform(0.0, 1000.0, size=n_rows))
+    # A mildly non-linear dependency a single line cannot capture tightly.
+    y = 0.002 * x**2 + 0.5 * x + rng.normal(0.0, 3.0, size=n_rows)
+    rows: List[Dict[str, object]] = []
+    for epsilon in (10.0, 30.0, 100.0):
+        spline = SplineFDModel.fit(x, y, epsilon=epsilon)
+        inside = float(np.mean(spline.within_margin(x, y)))
+        rows.append(
+            {
+                "ablation": "spline model",
+                "setting": f"epsilon={epsilon}",
+                "n_segments": spline.n_segments,
+                "inlier_fraction": round(inside, 3),
+                "model_bytes": spline.memory_bytes(),
+            }
+        )
+    return rows
+
+
+def run(n_rows: int = 20_000, n_queries: int = 20, seed: int = 0) -> ExperimentResult:
+    """Run all ablations."""
+    rows: List[Dict[str, object]] = []
+    rows.extend(margin_ablation(n_rows, n_queries))
+    rows.extend(outlier_index_ablation(n_rows, n_queries))
+    rows.extend(bucketing_ablation(n_rows))
+    rows.extend(spline_ablation(n_rows))
+    return ExperimentResult(
+        experiment="ablations",
+        description="Design-choice ablations (margins, outlier index, bucketing, splines)",
+        rows=rows,
+    )

@@ -1,0 +1,52 @@
+"""Shared dataset/workload construction for the experiment drivers.
+
+The paper runs on 80M (Airline) and 105M (OSM) records; the drivers default
+to tens of thousands of records so an experiment finishes in seconds on a
+laptop, and every driver accepts ``n_rows`` to scale up.  All drivers use
+the same two datasets so their numbers are comparable with each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.data.airline import AirlineConfig, generate_airline_dataset
+from repro.data.osm import OSMConfig, generate_osm_dataset
+from repro.data.queries import (
+    QueryWorkload,
+    WorkloadConfig,
+    generate_knn_queries,
+    generate_point_queries,
+)
+from repro.data.table import Table
+
+__all__ = ["airline_table", "osm_table", "standard_workloads"]
+
+
+def airline_table(n_rows: int = 30_000, seed: int = 7) -> Table:
+    """The synthetic Airline dataset at benchmark scale."""
+    table, _ = generate_airline_dataset(AirlineConfig(n_rows=n_rows, seed=seed))
+    return table
+
+
+def osm_table(n_rows: int = 30_000, seed: int = 11) -> Table:
+    """The synthetic OSM dataset at benchmark scale."""
+    table, _ = generate_osm_dataset(OSMConfig(n_rows=n_rows, seed=seed))
+    return table
+
+
+def standard_workloads(
+    table: Table,
+    *,
+    n_queries: int = 40,
+    k_neighbours: int = 200,
+    seed: int = 1,
+) -> Dict[str, QueryWorkload]:
+    """The paper's two workloads: KNN-derived range queries and point queries."""
+    range_workload = generate_knn_queries(
+        table, WorkloadConfig(n_queries=n_queries, k_neighbours=k_neighbours, seed=seed)
+    )
+    point_workload = generate_point_queries(
+        table, WorkloadConfig(n_queries=n_queries, seed=seed + 1)
+    )
+    return {"range": range_workload, "point": point_workload}

@@ -1,0 +1,89 @@
+"""Figure 7 — range-query runtime versus selectivity (Airline, year 2008 subset).
+
+The paper sweeps the average query selectivity over {35K, 150K, 750K, 1.5M}
+matching points on a 7M-row subset and compares COAX (primary and outlier),
+the R-Tree and Column Files.  At benchmark scale we keep the same *relative*
+selectivities (0.5%, 2.1%, 10.7%, 21.4% of the dataset) so the crossover
+behaviour is preserved, and report the absolute selectivity actually
+measured next to each series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.experiments.datasets import airline_table
+from repro.bench.experiments.fig6 import coax_component_timing
+from repro.bench.harness import IndexSpec, default_index_specs, run_comparison
+from repro.bench.reporting import ExperimentResult
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.queries import WorkloadConfig, generate_selectivity_queries
+
+__all__ = ["run", "PAPER_SELECTIVITY_FRACTIONS"]
+
+#: Paper selectivities {35K, 150K, 750K, 1.5M} relative to the 7M-row subset.
+PAPER_SELECTIVITY_FRACTIONS: Sequence[float] = (0.005, 0.021, 0.107, 0.214)
+
+
+def run(
+    n_rows: int = 30_000,
+    n_queries: int = 15,
+    seed: int = 2,
+    selectivity_fractions: Sequence[float] = PAPER_SELECTIVITY_FRACTIONS,
+    coax_config: Optional[COAXConfig] = None,
+) -> ExperimentResult:
+    """Reproduce the Figure 7 selectivity sweep."""
+    table = airline_table(n_rows)
+    config = coax_config or COAXConfig()
+    # Figure 7 compares COAX, R-Tree and Column Files (no full grid / scan).
+    specs = [
+        spec
+        for spec in default_index_specs(coax_config=config, include_full_scan=False)
+        if spec.name in ("COAX", "R-Tree", "Column Files")
+    ]
+    rows: List[Dict[str, object]] = []
+    coax = COAXIndex(table, config=config)
+    for fraction in selectivity_fractions:
+        target = max(10, int(fraction * table.n_rows))
+        workload = generate_selectivity_queries(
+            table,
+            target,
+            WorkloadConfig(n_queries=n_queries, seed=seed),
+        )
+        measured_selectivity = workload.mean_selectivity(table)
+        comparison = run_comparison(
+            table,
+            {f"sel~{target}": workload},
+            specs,
+            dataset_name="Airline",
+            verify_against=table,
+        )
+        for row in comparison:
+            as_dict = row.as_dict()
+            as_dict["target_selectivity"] = target
+            as_dict["measured_selectivity"] = round(measured_selectivity, 1)
+            rows.append(as_dict)
+        split = coax_component_timing(coax, workload)
+        rows.append(
+            {
+                "index": "COAX (components)",
+                "dataset": "Airline",
+                "workload": f"sel~{target}",
+                "target_selectivity": target,
+                "measured_selectivity": round(measured_selectivity, 1),
+                "coax_primary_ms": round(split["coax_primary_ms"], 3),
+                "coax_outlier_ms": round(split["coax_outlier_ms"], 3),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig7",
+        description="Range-query runtime vs selectivity (paper Figure 7)",
+        rows=rows,
+        notes=[
+            "selectivity targets follow the paper's fractions of the dataset "
+            "(35K/150K/750K/1.5M of 7M rows)",
+            "paper shape: COAX stays flat-ish and below R-Tree across selectivities; "
+            "the outlier component grows with selectivity",
+        ],
+    )

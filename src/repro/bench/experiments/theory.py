@@ -1,0 +1,150 @@
+"""Section 7 — effectiveness and the CSM theorems, validated by simulation.
+
+Three validations:
+
+* **Equation 5 (effectiveness).**  On synthetic linear data with a known
+  margin, measure the ratio between the number of records actually matching
+  a Y-range query and the number of records the translated scan examines,
+  and compare it to ``q_y / (2 eps + q_y)``.
+* **Theorems 7.1 and 7.3.**  Simulate i.i.d. gap streams, run the greedy
+  segmentation of the transformed random walk, and compare the measured
+  mean / variance of keys-per-segment against ``eps^2/sigma^2`` and
+  ``2 eps^4 / (3 sigma^4)``.
+* **Theorem 7.4.**  Compare the measured number of segments needed to cover
+  a stream of length n against ``n sigma^2 / eps^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench.reporting import ExperimentResult
+from repro.stats.csm import segment_stream, simulate_gap_stream
+from repro.stats.theory import (
+    effectiveness_ratio,
+    expected_keys_per_segment,
+    expected_segment_count,
+    keys_per_segment_variance,
+)
+
+__all__ = ["run", "measure_effectiveness", "measure_segmentation"]
+
+
+def measure_effectiveness(
+    *,
+    n_rows: int = 50_000,
+    slope: float = 1.5,
+    epsilon: float = 4.0,
+    query_widths: Sequence[float] = (2.0, 8.0, 32.0, 128.0),
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Empirical counterpart of Equation 5 on synthetic in-margin data."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1000.0, size=n_rows)
+    noise = rng.uniform(-epsilon, epsilon, size=n_rows)
+    y = slope * x + noise
+    rows: List[Dict[str, object]] = []
+    for query_width in query_widths:
+        measured_ratios = []
+        for _ in range(30):
+            low = rng.uniform(y.min(), y.max() - query_width)
+            high = low + query_width
+            # Records the translated scan examines: x in [ (low-eps)/a, (high+eps)/a ].
+            x_low = (low - epsilon) / slope
+            x_high = (high + epsilon) / slope
+            scanned = np.sum((x >= x_low) & (x <= x_high))
+            matched = np.sum((y >= low) & (y <= high) & (x >= x_low) & (x <= x_high))
+            if scanned > 0:
+                measured_ratios.append(matched / scanned)
+        measured = float(np.mean(measured_ratios)) if measured_ratios else 0.0
+        predicted = effectiveness_ratio(query_width, epsilon)
+        rows.append(
+            {
+                "check": "effectiveness (Eq. 5)",
+                "query_width": query_width,
+                "epsilon": epsilon,
+                "predicted": round(predicted, 4),
+                "measured": round(measured, 4),
+                "relative_error": round(abs(measured - predicted) / max(predicted, 1e-12), 4),
+            }
+        )
+    return rows
+
+
+def measure_segmentation(
+    *,
+    stream_length: int = 200_000,
+    sigma: float = 1.0,
+    epsilons: Sequence[float] = (5.0, 10.0, 20.0),
+    seed: int = 1,
+) -> List[Dict[str, object]]:
+    """Empirical counterparts of Theorems 7.1, 7.3 and 7.4."""
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for epsilon in epsilons:
+        gaps = simulate_gap_stream(stream_length, mean=3.0, std=sigma, rng=rng)
+        lengths = np.array(segment_stream(gaps, epsilon, slope=3.0), dtype=np.float64)
+        # The final (possibly truncated) segment biases the moments; drop it.
+        complete = lengths[:-1] if len(lengths) > 1 else lengths
+        measured_mean = float(complete.mean()) if len(complete) else 0.0
+        measured_var = float(complete.var()) if len(complete) else 0.0
+        measured_segments = float(len(lengths))
+        rows.extend(
+            [
+                {
+                    "check": "keys per segment (Thm 7.1)",
+                    "epsilon": epsilon,
+                    "sigma": sigma,
+                    "predicted": round(expected_keys_per_segment(epsilon, sigma), 2),
+                    "measured": round(measured_mean, 2),
+                    "relative_error": _relative_error(
+                        measured_mean, expected_keys_per_segment(epsilon, sigma)
+                    ),
+                },
+                {
+                    "check": "variance of keys per segment (Thm 7.3)",
+                    "epsilon": epsilon,
+                    "sigma": sigma,
+                    "predicted": round(keys_per_segment_variance(epsilon, sigma), 2),
+                    "measured": round(measured_var, 2),
+                    "relative_error": _relative_error(
+                        measured_var, keys_per_segment_variance(epsilon, sigma)
+                    ),
+                },
+                {
+                    "check": "segments for stream (Thm 7.4)",
+                    "epsilon": epsilon,
+                    "sigma": sigma,
+                    "predicted": round(expected_segment_count(stream_length, epsilon, sigma), 2),
+                    "measured": round(measured_segments, 2),
+                    "relative_error": _relative_error(
+                        measured_segments, expected_segment_count(stream_length, epsilon, sigma)
+                    ),
+                },
+            ]
+        )
+    return rows
+
+
+def _relative_error(measured: float, predicted: float) -> float:
+    return round(abs(measured - predicted) / max(abs(predicted), 1e-12), 4)
+
+
+def run(
+    n_rows: int = 50_000,
+    stream_length: int = 200_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Validate the Section 7 analysis against simulation."""
+    rows = measure_effectiveness(n_rows=n_rows, seed=seed)
+    rows.extend(measure_segmentation(stream_length=stream_length, seed=seed + 1))
+    return ExperimentResult(
+        experiment="theory",
+        description="Effectiveness (Eq. 5) and CSM theorems 7.1/7.3/7.4 vs simulation",
+        rows=rows,
+        notes=[
+            "theorems assume sigma << eps; relative error shrinks as eps/sigma grows",
+        ],
+    )

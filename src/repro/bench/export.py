@@ -1,0 +1,61 @@
+"""Exporting experiment results to CSV and JSON.
+
+The experiment drivers return :class:`~repro.bench.reporting.ExperimentResult`
+objects whose rows are exactly the series a plot of the corresponding paper
+figure would show.  These helpers write them to disk so they can be plotted
+with any external tool (the library itself deliberately has no plotting
+dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.bench.reporting import ExperimentResult
+
+__all__ = ["export_csv", "export_json", "export_all"]
+
+PathLike = Union[str, Path]
+
+
+def export_csv(result: ExperimentResult, path: PathLike) -> Path:
+    """Write the result rows as a CSV file with a unified header."""
+    path = Path(path)
+    columns: List[str] = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+    return path
+
+
+def export_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write the full result (rows, notes, metadata) as JSON."""
+    path = Path(path)
+    payload = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def export_all(results: Iterable[ExperimentResult], directory: PathLike) -> List[Path]:
+    """Export every result to ``<directory>/<experiment>.csv`` and ``.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for result in results:
+        written.append(export_csv(result, directory / f"{result.experiment}.csv"))
+        written.append(export_json(result, directory / f"{result.experiment}.json"))
+    return written

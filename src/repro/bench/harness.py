@@ -1,0 +1,205 @@
+"""Timing and comparison infrastructure shared by every experiment driver."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.queries import QueryWorkload
+from repro.data.table import Table
+from repro.indexes.base import MultidimensionalIndex
+from repro.indexes.column_files import ColumnFilesIndex
+from repro.indexes.full_scan import FullScanIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.uniform_grid import UniformGridIndex
+
+__all__ = [
+    "TimingResult",
+    "IndexSpec",
+    "ComparisonRow",
+    "execute_workload",
+    "time_workload",
+    "run_comparison",
+    "default_index_specs",
+]
+
+
+def execute_workload(index: MultidimensionalIndex, workload: QueryWorkload) -> int:
+    """Run every query of ``workload`` against ``index``; return the total result count.
+
+    This is the unit of work the pytest-benchmark suites time; it is also
+    handy for warm-up runs in examples.
+    """
+    total = 0
+    for query in workload:
+        total += len(index.range_query(query))
+    return total
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Per-query latency statistics for one index over one workload."""
+
+    n_queries: int
+    total_seconds: float
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    total_results: int
+
+    @classmethod
+    def from_samples(cls, per_query_seconds: Sequence[float], total_results: int) -> "TimingResult":
+        """Aggregate raw per-query wall-clock samples."""
+        samples = np.asarray(per_query_seconds, dtype=np.float64)
+        if len(samples) == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0)
+        return cls(
+            n_queries=len(samples),
+            total_seconds=float(samples.sum()),
+            mean_ms=float(samples.mean() * 1e3),
+            median_ms=float(np.median(samples) * 1e3),
+            p95_ms=float(np.quantile(samples, 0.95) * 1e3),
+            total_results=int(total_results),
+        )
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A named index configuration: how to build it from a table."""
+
+    name: str
+    build: Callable[[Table], MultidimensionalIndex]
+
+
+@dataclass
+class ComparisonRow:
+    """One row of a comparison experiment: an index on one workload."""
+
+    index_name: str
+    dataset: str
+    workload: str
+    build_seconds: float
+    timing: TimingResult
+    directory_bytes: int
+    data_bytes: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict representation used by the text-table reporter."""
+        return {
+            "index": self.index_name,
+            "dataset": self.dataset,
+            "workload": self.workload,
+            "build_s": round(self.build_seconds, 3),
+            "mean_ms": round(self.timing.mean_ms, 3),
+            "median_ms": round(self.timing.median_ms, 3),
+            "p95_ms": round(self.timing.p95_ms, 3),
+            "results": self.timing.total_results,
+            "dir_bytes": self.directory_bytes,
+            **{key: round(value, 4) for key, value in self.extra.items()},
+        }
+
+
+def time_workload(index: MultidimensionalIndex, workload: QueryWorkload) -> TimingResult:
+    """Run every query of ``workload`` against ``index`` and time each one."""
+    samples: List[float] = []
+    total_results = 0
+    for query in workload:
+        start = time.perf_counter()
+        matches = index.range_query(query)
+        samples.append(time.perf_counter() - start)
+        total_results += len(matches)
+    return TimingResult.from_samples(samples, total_results)
+
+
+def run_comparison(
+    table: Table,
+    workloads: Dict[str, QueryWorkload],
+    specs: Sequence[IndexSpec],
+    *,
+    dataset_name: str = "dataset",
+    verify_against: Optional[Table] = None,
+) -> List[ComparisonRow]:
+    """Build every index once and time it on every workload.
+
+    With ``verify_against`` set (normally the same table), every index's
+    result count is checked against the ground-truth full scan so a
+    benchmark can never silently report fast-but-wrong numbers.
+    """
+    rows: List[ComparisonRow] = []
+    ground_truth: Dict[str, int] = {}
+    if verify_against is not None:
+        for workload_name, workload in workloads.items():
+            ground_truth[workload_name] = int(
+                sum(len(verify_against.select(query)) for query in workload)
+            )
+    for spec in specs:
+        start = time.perf_counter()
+        index = spec.build(table)
+        build_seconds = time.perf_counter() - start
+        for workload_name, workload in workloads.items():
+            index.stats.reset()
+            timing = time_workload(index, workload)
+            if verify_against is not None and timing.total_results != ground_truth[workload_name]:
+                raise AssertionError(
+                    f"{spec.name} returned {timing.total_results} results on "
+                    f"{workload_name}, expected {ground_truth[workload_name]}"
+                )
+            # Work counters are the substrate-independent comparison metric:
+            # wall-clock time in pure Python is dominated by interpreter
+            # overhead, while rows/cells examined track what the paper's C
+            # implementation would pay for.
+            n_queries = max(timing.n_queries, 1)
+            extra = {
+                "rows_examined_per_q": index.stats.rows_examined / n_queries,
+                "cells_visited_per_q": index.stats.cells_visited / n_queries,
+            }
+            rows.append(
+                ComparisonRow(
+                    index_name=spec.name,
+                    dataset=dataset_name,
+                    workload=workload_name,
+                    build_seconds=build_seconds,
+                    timing=timing,
+                    directory_bytes=index.directory_bytes(),
+                    data_bytes=index.data_bytes(),
+                    extra=extra,
+                )
+            )
+    return rows
+
+
+def default_index_specs(
+    *,
+    coax_config: Optional[COAXConfig] = None,
+    grid_cells_per_dim: int = 6,
+    rtree_capacity: int = 10,
+    column_files_cells: int = 8,
+    include_full_scan: bool = True,
+) -> List[IndexSpec]:
+    """The competitor set of Figure 6: COAX, R-Tree, Full Grid, Full Scan.
+
+    Column Files is included as well since Figures 7 and 8 need it; drivers
+    that do not want a competitor simply filter the returned list.
+    """
+    config = coax_config or COAXConfig()
+    specs = [
+        IndexSpec("COAX", lambda table, c=config: COAXIndex(table, config=c)),
+        IndexSpec("R-Tree", lambda table: RTreeIndex(table, node_capacity=rtree_capacity)),
+        IndexSpec(
+            "Full Grid",
+            lambda table: UniformGridIndex(table, cells_per_dim=grid_cells_per_dim),
+        ),
+        IndexSpec(
+            "Column Files",
+            lambda table: ColumnFilesIndex(table, cells_per_dim=column_files_cells),
+        ),
+    ]
+    if include_full_scan:
+        specs.append(IndexSpec("Full Scan", lambda table: FullScanIndex(table)))
+    return specs

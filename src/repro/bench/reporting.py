@@ -1,0 +1,70 @@
+"""Plain-text reporting of experiment results.
+
+Every experiment driver returns an :class:`ExperimentResult`: a list of
+uniform row dicts plus enough metadata to render the paper-style table on a
+terminal (the library has no plotting dependency; the rows are the series a
+plot would show).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], *, title: str = "") -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {col: len(col) for col in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [_render(row.get(col, "")) for col in columns]
+        rendered_rows.append(rendered)
+        for col, cell in zip(columns, rendered):
+            widths[col] = max(widths[col], len(cell))
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[col]) for col, cell in zip(columns, rendered))
+        for rendered in rendered_rows
+    )
+    parts = [title, header, separator, body] if title else [header, separator, body]
+    return "\n".join(part for part in parts if part)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment driver returns."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Paper-style text table of the rows."""
+        title = f"[{self.experiment}] {self.description}"
+        rendered = format_table(self.rows, title=title)
+        if self.notes:
+            rendered += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return rendered
+
+    def series(self, key: str) -> List[object]:
+        """Column ``key`` across all rows (missing values become ``None``)."""
+        return [row.get(key) for row in self.rows]

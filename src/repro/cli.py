@@ -1,0 +1,91 @@
+"""Command-line entry point for the benchmark experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli fig6 --rows 50000 --queries 40
+    python -m repro.cli all --rows 20000
+
+Every experiment prints the paper-style text table produced by its driver
+in :mod:`repro.bench.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser", "run_experiment"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="coax-bench",
+        description="Reproduce the COAX paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all' to run everything, or 'list'",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="dataset size (records)")
+    parser.add_argument("--queries", type=int, default=None, help="queries per workload")
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    return parser
+
+
+def run_experiment(
+    name: str,
+    *,
+    rows: Optional[int] = None,
+    queries: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """Run one experiment by id and return its formatted table."""
+    try:
+        runner, _ = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}") from exc
+    kwargs = {}
+    signature = inspect.signature(runner)
+    if rows is not None and "n_rows" in signature.parameters:
+        kwargs["n_rows"] = rows
+    if queries is not None and "n_queries" in signature.parameters:
+        kwargs["n_queries"] = queries
+    if seed is not None and "seed" in signature.parameters:
+        kwargs["seed"] = seed
+    result = runner(**kwargs)
+    return result.table()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, description) in sorted(EXPERIMENTS.items()):
+            print(f"{name:12s} {description}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        try:
+            output = run_experiment(
+                name, rows=args.rows, queries=args.queries, seed=args.seed
+            )
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

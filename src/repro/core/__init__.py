@@ -1,0 +1,29 @@
+"""COAX core: the paper's primary contribution.
+
+The :class:`~repro.core.coax.COAXIndex` ties together the soft-FD learning
+of :mod:`repro.fd`, the reduced-dimensionality primary index and the outlier
+index of :mod:`repro.indexes`, and the query translation of Section 4.  The
+submodules are usable on their own (e.g. the query translator operates on
+plain rectangles and FD groups) and are combined by the index class.
+"""
+
+from repro.core.config import COAXConfig
+from repro.core.query_translation import translate_query, translated_predictor_interval
+from repro.core.partitioner import PartitionResult, partition_rows
+from repro.core.planner import QueryPlan, plan_query
+from repro.core.results import QueryResult, merge_row_ids
+from repro.core.coax import COAXIndex, COAXBuildReport
+
+__all__ = [
+    "COAXConfig",
+    "translate_query",
+    "translated_predictor_interval",
+    "PartitionResult",
+    "partition_rows",
+    "QueryPlan",
+    "plan_query",
+    "QueryResult",
+    "merge_row_ids",
+    "COAXIndex",
+    "COAXBuildReport",
+]

@@ -1,0 +1,444 @@
+"""The COAX index (the paper's primary contribution).
+
+``COAXIndex`` combines every piece of the pipeline:
+
+1. soft-FD detection and grouping over the build data (Section 5);
+2. the inlier/outlier partition with respect to the learned models
+   (Algorithm 1);
+3. a *primary* index — a quantile grid file with an in-cell sorted
+   dimension — built only on the predictor attributes of the inlier
+   records (Section 6);
+4. an *outlier* index — a conventional multidimensional index over all
+   attributes — holding the records that violate some margin;
+5. query translation and planning (Section 4), with exact post-filtering so
+   results are always identical to a full scan.
+
+Updates (future work in the paper) are supported through a delta buffer:
+inserted records are routed by the learned models into a pending-primary or
+pending-outlier buffer which is scanned at query time and folded into the
+main structures by :meth:`COAXIndex.compact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import COAXConfig
+from repro.core.partitioner import PartitionResult, partition_rows
+from repro.core.planner import QueryPlan, bounding_box_of_rows, plan_query
+from repro.core.query_translation import dependent_attributes, translate_query
+from repro.core.results import QueryResult, merge_row_ids
+from repro.data.predicates import Rectangle
+from repro.data.table import Table
+from repro.fd.detection import DetectionConfig, FDCandidate, detect_soft_fds, evaluate_pair
+from repro.fd.groups import FDGroup, build_groups
+from repro.indexes.base import IndexBuildError, MultidimensionalIndex, register_index
+from repro.indexes.grid_file import SortedCellGridIndex
+from repro.indexes.rtree import RTreeIndex
+from repro.indexes.uniform_grid import UniformGridIndex
+from repro.indexes.full_scan import FullScanIndex
+
+__all__ = ["COAXIndex", "COAXBuildReport"]
+
+
+@dataclass
+class COAXBuildReport:
+    """Summary of one COAX build, used by benchmarks, the CLI and tests."""
+
+    n_rows: int
+    groups: List[FDGroup]
+    primary_ratio: float
+    per_model_inlier_fraction: Dict[str, float]
+    indexed_dimensions: Tuple[str, ...]
+    predicted_dimensions: Tuple[str, ...]
+    primary_sort_dimension: str
+    #: n - m - 1 in the paper's notation (grid dimensions of the primary index).
+    primary_grid_dimensions: Tuple[str, ...]
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of FD groups in use."""
+        return len(self.groups)
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"rows indexed            : {self.n_rows}",
+            f"FD groups               : {self.n_groups}",
+        ]
+        for group in self.groups:
+            lines.append(
+                f"  {group.predictor} -> {', '.join(group.dependents)}"
+            )
+        lines.extend(
+            [
+                f"indexed dimensions      : {', '.join(self.indexed_dimensions)}",
+                f"predicted dimensions    : {', '.join(self.predicted_dimensions) or '(none)'}",
+                f"primary sort dimension  : {self.primary_sort_dimension}",
+                f"primary grid dimensions : {', '.join(self.primary_grid_dimensions) or '(none)'}",
+                f"primary index ratio     : {self.primary_ratio:.1%}",
+            ]
+        )
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return "\n".join(lines)
+
+
+@register_index
+class COAXIndex(MultidimensionalIndex):
+    """Correlation-aware multidimensional primary index."""
+
+    name = "coax"
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        config: COAXConfig = COAXConfig(),
+        groups: Optional[Sequence[FDGroup]] = None,
+        row_ids: Optional[np.ndarray] = None,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(table, row_ids=row_ids, dimensions=dimensions)
+        self._config = config
+        warnings: List[str] = []
+
+        # ------------------------------------------------------------------
+        # 1. Learn (or accept) the soft-FD groups.
+        # ------------------------------------------------------------------
+        build_table = table if row_ids is None else table.take(self._row_ids)
+        if groups is None:
+            learned_groups = self._detect_groups(build_table, config.detection)
+        else:
+            learned_groups = list(groups)
+        if config.max_groups is not None:
+            learned_groups = learned_groups[: config.max_groups]
+        # Drop groups whose attributes are outside the indexed dimensions.
+        usable_groups = [
+            group
+            for group in learned_groups
+            if all(attr in self._dimensions for attr in group.attributes)
+        ]
+        if len(usable_groups) != len(learned_groups):
+            warnings.append("dropped FD groups referencing non-indexed attributes")
+        self._groups: List[FDGroup] = usable_groups
+
+        # ------------------------------------------------------------------
+        # 2. Partition rows into inliers and outliers.
+        # ------------------------------------------------------------------
+        partition = partition_rows(table, self._groups, row_ids=self._row_ids)
+        self._partition = partition
+        if partition.primary_ratio < config.min_primary_fraction:
+            warnings.append(
+                f"primary index retains only {partition.primary_ratio:.1%} of the data; "
+                "the soft FDs may be too weak for COAX to pay off"
+            )
+
+        # ------------------------------------------------------------------
+        # 3. Decide the reduced dimensionality of the primary index.
+        # ------------------------------------------------------------------
+        predicted = dependent_attributes(self._groups)
+        indexed_dims = tuple(dim for dim in self._dimensions if dim not in predicted)
+        sort_dim = config.primary_sort_dimension or self._default_sort_dimension(indexed_dims)
+        if sort_dim not in indexed_dims:
+            raise IndexBuildError(
+                f"primary sort dimension {sort_dim!r} must be one of the indexed dimensions "
+                f"{indexed_dims}"
+            )
+        self._indexed_dims = indexed_dims
+        self._predicted_dims = tuple(sorted(predicted))
+        self._sort_dim = sort_dim
+
+        # ------------------------------------------------------------------
+        # 4. Build the primary and the outlier index.
+        # ------------------------------------------------------------------
+        self._primary = SortedCellGridIndex(
+            table,
+            cells_per_dim=config.primary_cells_per_dim,
+            sort_dimension=sort_dim,
+            row_ids=partition.inlier_ids,
+            dimensions=indexed_dims,
+        )
+        self._outlier = self._build_outlier_index(table, partition.outlier_ids)
+        self._primary_box = bounding_box_of_rows(table, partition.inlier_ids)
+        self._outlier_box = bounding_box_of_rows(table, partition.outlier_ids)
+
+        # ------------------------------------------------------------------
+        # 5. Delta buffers for inserted records (future-work update support).
+        # ------------------------------------------------------------------
+        self._pending_primary: List[Dict[str, float]] = []
+        self._pending_outlier: List[Dict[str, float]] = []
+        self._next_row_id = int(table.n_rows)
+
+        self._report = COAXBuildReport(
+            n_rows=self.n_rows,
+            groups=list(self._groups),
+            primary_ratio=partition.primary_ratio,
+            per_model_inlier_fraction=dict(partition.per_model_inlier_fraction),
+            indexed_dimensions=indexed_dims,
+            predicted_dimensions=self._predicted_dims,
+            primary_sort_dimension=sort_dim,
+            primary_grid_dimensions=self._primary.grid_dimensions,
+            warnings=warnings,
+        )
+
+    # ------------------------------------------------------------------
+    # Build helpers
+    # ------------------------------------------------------------------
+    def _detect_groups(self, table: Table, detection: DetectionConfig) -> List[FDGroup]:
+        """Run soft-FD detection and grouping over the build table."""
+        candidates = detect_soft_fds(table, config=detection, columns=self._dimensions)
+
+        def fit_pair(predictor: str, dependent: str) -> Optional[FDCandidate]:
+            return evaluate_pair(
+                table.column(predictor),
+                table.column(dependent),
+                predictor=predictor,
+                dependent=dependent,
+                config=detection,
+            )
+
+        return build_groups(candidates, fit_pair)
+
+    def _default_sort_dimension(self, indexed_dims: Tuple[str, ...]) -> str:
+        """Pick the in-cell sorted attribute of the primary index.
+
+        The predictor of the largest FD group is preferred: queries on that
+        group (direct or translated) reduce to a binary search, which is
+        where COAX gains the most.  Without groups the first indexed
+        dimension is used.
+        """
+        if not indexed_dims:
+            raise IndexBuildError("COAX needs at least one indexed (non-predicted) dimension")
+        for group in sorted(self._groups, key=lambda g: -g.n_attributes):
+            if group.predictor in indexed_dims:
+                return group.predictor
+        return indexed_dims[0]
+
+    def _build_outlier_index(self, table: Table, outlier_ids: np.ndarray) -> MultidimensionalIndex:
+        """Instantiate the configured outlier index over all dimensions."""
+        kind = self._config.outlier_index
+        if kind == "sorted_cell_grid":
+            return SortedCellGridIndex(
+                table,
+                cells_per_dim=self._config.outlier_cells_per_dim,
+                sort_dimension=self._sort_dim if self._sort_dim in self._dimensions else None,
+                row_ids=outlier_ids,
+                dimensions=self._dimensions,
+            )
+        if kind == "uniform_grid":
+            return UniformGridIndex(
+                table,
+                cells_per_dim=self._config.outlier_cells_per_dim,
+                row_ids=outlier_ids,
+                dimensions=self._dimensions,
+            )
+        if kind == "rtree":
+            return RTreeIndex(
+                table,
+                node_capacity=self._config.outlier_node_capacity,
+                row_ids=outlier_ids,
+                dimensions=self._dimensions,
+            )
+        if kind == "full_scan":
+            return FullScanIndex(table, row_ids=outlier_ids, dimensions=self._dimensions)
+        raise IndexBuildError(f"unknown outlier index type {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> COAXConfig:
+        """The configuration the index was built with."""
+        return self._config
+
+    @property
+    def groups(self) -> Tuple[FDGroup, ...]:
+        """The FD groups in use."""
+        return tuple(self._groups)
+
+    @property
+    def primary_index(self) -> SortedCellGridIndex:
+        """The reduced-dimensionality primary index over the inliers."""
+        return self._primary
+
+    @property
+    def outlier_index(self) -> MultidimensionalIndex:
+        """The conventional index over the outliers."""
+        return self._outlier
+
+    @property
+    def partition(self) -> PartitionResult:
+        """The inlier/outlier partition of the build data."""
+        return self._partition
+
+    @property
+    def build_report(self) -> COAXBuildReport:
+        """Summary of the build (groups, ratios, layout, warnings)."""
+        return self._report
+
+    @property
+    def primary_ratio(self) -> float:
+        """Fraction of records held by the primary index."""
+        return self._partition.primary_ratio
+
+    @property
+    def n_pending(self) -> int:
+        """Number of inserted records still sitting in the delta buffers."""
+        return len(self._pending_primary) + len(self._pending_outlier)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def plan(self, query: Rectangle) -> QueryPlan:
+        """Planning decision for ``query`` (exposed for tests and benchmarks)."""
+        return plan_query(
+            query,
+            self._groups,
+            primary_box=self._primary_box,
+            outlier_box=self._outlier_box,
+        )
+
+    def query(self, query: Rectangle) -> QueryResult:
+        """Full query execution returning per-sub-index attribution."""
+        plan = self.plan(query)
+        rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        primary_ids = (
+            self._primary.range_query(plan.primary_query.intersect(query))
+            if plan.use_primary
+            else np.empty(0, dtype=np.int64)
+        )
+        outlier_ids = (
+            self._outlier.range_query(plan.outlier_query)
+            if plan.use_outlier
+            else np.empty(0, dtype=np.int64)
+        )
+        pending_ids = self._scan_pending(query)
+        merged = merge_row_ids([primary_ids, outlier_ids, pending_ids])
+        rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        self.stats.record(
+            rows_examined=rows_after - rows_before,
+            rows_matched=len(merged),
+            cells_visited=cells_after - cells_before,
+        )
+        return QueryResult(
+            row_ids=merged,
+            primary_row_ids=primary_ids,
+            outlier_row_ids=outlier_ids,
+            pending_row_ids=pending_ids,
+            indexes_used={"primary": plan.use_primary, "outlier": plan.use_outlier},
+        )
+
+    def range_query(self, query: Rectangle) -> np.ndarray:
+        """Original row ids of records matching ``query`` exactly."""
+        if query.is_empty:
+            return np.empty(0, dtype=np.int64)
+        return self.query(query).row_ids
+
+    def translated_query(self, query: Rectangle) -> Rectangle:
+        """The rewritten query the primary index receives (for inspection)."""
+        return translate_query(query, self._groups)
+
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        """Positional ids; only needed to satisfy the base-class contract."""
+        matches = self.range_query(query)
+        # Map original row ids back to positions within this index's subset.
+        order = np.argsort(self._row_ids, kind="stable")
+        sorted_ids = self._row_ids[order]
+        located = np.searchsorted(sorted_ids, matches)
+        located = np.clip(located, 0, len(sorted_ids) - 1)
+        valid = sorted_ids[located] == matches
+        return order[located[valid]]
+
+    def _scan_pending(self, query: Rectangle) -> np.ndarray:
+        """Brute-force scan of the delta buffers."""
+        if not self._pending_primary and not self._pending_outlier:
+            return np.empty(0, dtype=np.int64)
+        matches: List[int] = []
+        for row in self._pending_primary + self._pending_outlier:
+            if query.matches_row(row):
+                matches.append(int(row["__row_id__"]))
+        return np.asarray(sorted(matches), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Updates (paper future work)
+    # ------------------------------------------------------------------
+    def insert(self, record: Mapping[str, float]) -> int:
+        """Insert a new record, returning its assigned row id.
+
+        The record is routed by the learned models: if it satisfies every
+        margin it belongs (logically) to the primary index, otherwise to the
+        outlier index.  Either way it first lands in an in-memory delta
+        buffer that query execution scans; :meth:`compact` folds the buffers
+        into the main structures by rebuilding them.
+        """
+        missing = [name for name in self._table.schema if name not in record]
+        if missing:
+            raise ValueError(f"record is missing attributes: {missing}")
+        row = {name: float(record[name]) for name in self._table.schema}
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        row["__row_id__"] = float(row_id)
+        if self._record_is_inlier(row):
+            self._pending_primary.append(row)
+        else:
+            self._pending_outlier.append(row)
+        return row_id
+
+    def _record_is_inlier(self, row: Mapping[str, float]) -> bool:
+        """True when the record respects every group's margins."""
+        for group in self._groups:
+            predictor_value = np.array([row[group.predictor]])
+            for dependent in group.dependents:
+                model = group.model_for(dependent)
+                if not bool(model.within_margin(predictor_value, np.array([row[dependent]]))[0]):
+                    return False
+        return True
+
+    def compact(self) -> "COAXIndex":
+        """Fold the delta buffers into a freshly built COAX index.
+
+        Returns the new index (the current instance is left untouched), which
+        is the simplest correct realisation of the paper's "COAX can be
+        extended to support updates" direction: the learned models and the
+        grid of Algorithm 1 could be reused, but a rebuild keeps the
+        structure optimal and the code auditable.
+        """
+        pending = self._pending_primary + self._pending_outlier
+        if not pending:
+            return self
+        extra = Table(
+            {
+                name: np.array([row[name] for row in pending], dtype=np.float64)
+                for name in self._table.schema
+            }
+        )
+        combined = self._table.take(self._row_ids).concat(extra)
+        return COAXIndex(
+            combined,
+            config=self._config,
+            groups=self._groups,
+            dimensions=self._dimensions,
+        )
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def directory_bytes(self) -> int:
+        """Primary + outlier directories plus the FD model parameters."""
+        model_bytes = sum(group.memory_bytes() for group in self._groups)
+        return self._primary.directory_bytes() + self._outlier.directory_bytes() + model_bytes
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Directory bytes per component (primary, outlier, models)."""
+        return {
+            "primary": self._primary.directory_bytes(),
+            "outlier": self._outlier.directory_bytes(),
+            "models": sum(group.memory_bytes() for group in self._groups),
+        }

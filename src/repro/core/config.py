@@ -1,0 +1,58 @@
+"""Configuration of the COAX index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.fd.detection import DetectionConfig
+
+__all__ = ["COAXConfig"]
+
+#: Index types that may serve as the outlier index.
+OUTLIER_INDEX_CHOICES: Tuple[str, ...] = ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan")
+
+
+@dataclass(frozen=True)
+class COAXConfig:
+    """All tuning knobs of the COAX build and query pipeline.
+
+    The defaults follow the paper's described configuration: soft FDs are
+    detected automatically, the primary index is a quantile grid file with a
+    sorted dimension, and outliers go to a conventional multidimensional
+    index over all attributes.
+    """
+
+    #: Soft-FD detection configuration (sampling, bucketing, thresholds).
+    detection: DetectionConfig = field(default_factory=DetectionConfig)
+    #: Grid lines per dimension of the primary index.
+    primary_cells_per_dim: int = 8
+    #: Attribute sorted inside primary cells; ``None`` picks the predictor of
+    #: the largest FD group automatically (Section 6 layout).
+    primary_sort_dimension: Optional[str] = None
+    #: Which structure holds the outliers (all dimensions are indexed there).
+    outlier_index: str = "sorted_cell_grid"
+    #: Grid lines per dimension for grid-based outlier indexes.
+    outlier_cells_per_dim: int = 4
+    #: Node capacity when the outlier index is an R-Tree.
+    outlier_node_capacity: int = 10
+    #: Keep at most this many FD groups (the highest scoring ones); ``None``
+    #: keeps all detected groups.
+    max_groups: Optional[int] = None
+    #: Warn (via the build report) when the primary index would retain less
+    #: than this fraction of the data.
+    min_primary_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.primary_cells_per_dim < 1:
+            raise ValueError("primary_cells_per_dim must be at least 1")
+        if self.outlier_cells_per_dim < 1:
+            raise ValueError("outlier_cells_per_dim must be at least 1")
+        if self.outlier_index not in OUTLIER_INDEX_CHOICES:
+            raise ValueError(
+                f"outlier_index must be one of {OUTLIER_INDEX_CHOICES}, got {self.outlier_index!r}"
+            )
+        if self.max_groups is not None and self.max_groups < 0:
+            raise ValueError("max_groups must be non-negative")
+        if not 0.0 <= self.min_primary_fraction <= 1.0:
+            raise ValueError("min_primary_fraction must be in [0, 1]")

@@ -1,0 +1,80 @@
+"""Splitting data into the primary and the outlier set (Algorithm 1, final loop).
+
+A record belongs to the primary index only when it falls inside the margin
+band of *every* model of *every* FD group — otherwise a translated query
+could miss it.  Records violating any margin go to the outlier index, which
+indexes all attributes and therefore needs no dependency to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+
+__all__ = ["PartitionResult", "partition_rows"]
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of the inlier/outlier split."""
+
+    inlier_ids: np.ndarray
+    outlier_ids: np.ndarray
+    #: Per (predictor, dependent) pair: fraction of rows inside that model's margins.
+    per_model_inlier_fraction: Dict[str, float]
+
+    @property
+    def n_rows(self) -> int:
+        """Total number of partitioned rows."""
+        return len(self.inlier_ids) + len(self.outlier_ids)
+
+    @property
+    def primary_ratio(self) -> float:
+        """Fraction of rows retained by the primary index (Table 1's "Primary Index Ratio")."""
+        total = self.n_rows
+        return len(self.inlier_ids) / total if total else 0.0
+
+
+def partition_rows(
+    table: Table,
+    groups: Sequence[FDGroup],
+    *,
+    row_ids: np.ndarray | None = None,
+) -> PartitionResult:
+    """Split ``table`` rows into inliers and outliers with respect to ``groups``.
+
+    ``row_ids`` restricts the partition to a subset of the table (used by the
+    incremental insert path); by default all rows are partitioned.  With no
+    groups at all, every row is an inlier (COAX degenerates into its primary
+    index over the full data).
+    """
+    if row_ids is None:
+        row_ids = np.arange(table.n_rows, dtype=np.int64)
+    else:
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+    if len(row_ids) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return PartitionResult(empty, empty, {})
+
+    inlier_mask = np.ones(len(row_ids), dtype=bool)
+    per_model: Dict[str, float] = {}
+    for group in groups:
+        predictor_values = table.column(group.predictor)[row_ids]
+        for dependent in group.dependents:
+            model = group.model_for(dependent)
+            dependent_values = table.column(dependent)[row_ids]
+            within = model.within_margin(predictor_values, dependent_values)
+            per_model[f"{group.predictor}->{dependent}"] = float(np.mean(within))
+            inlier_mask &= within
+    inlier_ids = row_ids[inlier_mask]
+    outlier_ids = row_ids[~inlier_mask]
+    return PartitionResult(
+        inlier_ids=inlier_ids,
+        outlier_ids=outlier_ids,
+        per_model_inlier_fraction=per_model,
+    )

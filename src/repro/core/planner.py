@@ -1,0 +1,103 @@
+"""Query planning: which sub-indexes does a query need to touch?
+
+Section 8.2.3: "We can check whether the query intersects with the primary,
+the outlier, or both indexes; and run it against the appropriate indexes."
+The planner performs exactly that pruning:
+
+* the primary index can be skipped when the translated predictor constraint
+  of some FD group is empty (no inlier can match) or when the query
+  rectangle misses the bounding box of the inlier set;
+* the outlier index can be skipped when it is empty or the query misses the
+  bounding box of the outlier set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.predicates import Rectangle
+from repro.data.table import Table
+from repro.core.query_translation import translate_query, translated_predictor_interval
+from repro.fd.groups import FDGroup
+
+__all__ = ["QueryPlan", "plan_query", "bounding_box_of_rows"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """Planning decision for one query."""
+
+    #: Query to run against the primary index (already translated).
+    primary_query: Rectangle
+    #: Query to run against the outlier index (the original query).
+    outlier_query: Rectangle
+    use_primary: bool
+    use_outlier: bool
+    #: Why each sub-index was skipped (empty when it is used).
+    skip_reasons: Dict[str, str]
+
+
+def bounding_box_of_rows(
+    table: Table, row_ids: np.ndarray
+) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+    """(mins, maxs) per attribute over the given rows, or ``None`` if empty."""
+    if len(row_ids) == 0:
+        return None
+    lows: Dict[str, float] = {}
+    highs: Dict[str, float] = {}
+    for name in table.schema:
+        values = table.column(name)[row_ids]
+        lows[name] = float(values.min())
+        highs[name] = float(values.max())
+    return lows, highs
+
+
+def plan_query(
+    query: Rectangle,
+    groups: Sequence[FDGroup],
+    *,
+    primary_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+    outlier_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+) -> QueryPlan:
+    """Build the query plan for one rectangle.
+
+    ``primary_box`` and ``outlier_box`` are the bounding boxes of the two row
+    sets (``None`` means the corresponding set is empty).
+    """
+    skip_reasons: Dict[str, str] = {}
+
+    translated = translate_query(query, groups)
+    use_primary = True
+    if primary_box is None:
+        use_primary = False
+        skip_reasons["primary"] = "primary index is empty"
+    elif translated.is_empty or any(
+        translated_predictor_interval(query, group).is_empty for group in groups
+    ):
+        use_primary = False
+        skip_reasons["primary"] = "translated constraint is empty (no inlier can match)"
+    elif not translated.overlaps_box(primary_box[0], primary_box[1]):
+        use_primary = False
+        skip_reasons["primary"] = "query misses the primary bounding box"
+
+    use_outlier = True
+    if outlier_box is None:
+        use_outlier = False
+        skip_reasons["outlier"] = "outlier index is empty"
+    elif query.is_empty:
+        use_outlier = False
+        skip_reasons["outlier"] = "query is empty"
+    elif not query.overlaps_box(outlier_box[0], outlier_box[1]):
+        use_outlier = False
+        skip_reasons["outlier"] = "query misses the outlier bounding box"
+
+    return QueryPlan(
+        primary_query=translated,
+        outlier_query=query,
+        use_primary=use_primary,
+        use_outlier=use_outlier,
+        skip_reasons=skip_reasons,
+    )

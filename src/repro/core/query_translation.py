@@ -1,0 +1,65 @@
+"""Query translation (Section 4).
+
+A query constraint on a dependent attribute ``C_d`` cannot be answered by
+the primary index directly (the attribute is not indexed there), but for
+records *inside the margins* the constraint implies a constraint on the
+predictor attribute ``C_x``: all inliers satisfy
+``psi_hat(p_x) - eps_LB <= p_d <= psi_hat(p_x) + eps_UB`` (Equation 1), so a
+query range on ``C_d`` maps through the inverse of ``psi_hat`` (widened by
+the margins) into a range on ``C_x``.  The final constraint on ``C_x`` is
+the intersection of the directly-specified range and every translated range
+(Equation 2, Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.data.predicates import Interval, Rectangle
+from repro.fd.groups import FDGroup
+
+__all__ = ["translated_predictor_interval", "translate_query"]
+
+
+def translated_predictor_interval(query: Rectangle, group: FDGroup) -> Interval:
+    """The effective constraint on the group's predictor implied by ``query``.
+
+    Combines the direct constraint on the predictor (if any) with the
+    translation of every constrained dependent attribute of the group,
+    exactly the ``max``/``min`` intersection of Equation 2.  The result may
+    be empty, which means no *inlier* record can satisfy the query (outliers
+    may still match and are handled by the outlier index).
+    """
+    effective = query.interval(group.predictor)
+    for dependent in group.dependents:
+        if not query.constrains(dependent):
+            continue
+        model = group.model_for(dependent)
+        translated = model.predictor_interval(query.interval(dependent))
+        effective = effective.intersect(translated)
+    return effective
+
+
+def translate_query(query: Rectangle, groups: Sequence[FDGroup]) -> Rectangle:
+    """Rewrite ``query`` for the primary index.
+
+    For every FD group, constraints on dependent attributes are translated
+    into (tightened) constraints on the group predictor; constraints on
+    attributes outside any group are passed through unchanged.  Constraints
+    on the dependent attributes themselves are *kept* in the rewritten query:
+    the primary index uses them only in its exact post-filtering step, which
+    keeps results exact without requiring the dependents to be indexed.
+    """
+    rewritten = query
+    for group in groups:
+        effective = translated_predictor_interval(query, group)
+        rewritten = rewritten.with_interval(group.predictor, effective)
+    return rewritten
+
+
+def dependent_attributes(groups: Iterable[FDGroup]) -> set:
+    """Set of all attributes predicted (rather than indexed) by the groups."""
+    dependents: set = set()
+    for group in groups:
+        dependents.update(group.dependents)
+    return dependents

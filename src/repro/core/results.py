@@ -1,0 +1,48 @@
+"""Query results and result merging.
+
+COAX answers a query by running it (translated) against the primary index
+and (untranslated) against the outlier index, then merging the two result
+sets (Figure 1, "Merged output").  Because both sub-indexes report original
+row ids and cover disjoint row sets, the merge is a simple concatenation;
+:func:`merge_row_ids` still de-duplicates defensively so the invariant is
+enforced rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["QueryResult", "merge_row_ids"]
+
+
+def merge_row_ids(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Sorted union of several row-id arrays."""
+    non_empty = [np.asarray(part, dtype=np.int64) for part in parts if len(part)]
+    if not non_empty:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(non_empty))
+
+
+@dataclass
+class QueryResult:
+    """Merged result of one COAX query with per-sub-index attribution."""
+
+    row_ids: np.ndarray
+    primary_row_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    outlier_row_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    pending_row_ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Which sub-indexes the planner decided to touch.
+    indexes_used: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def n_results(self) -> int:
+        """Number of matching records."""
+        return int(len(self.row_ids))
+
+    @property
+    def primary_share(self) -> float:
+        """Fraction of results that came from the primary index."""
+        return len(self.primary_row_ids) / self.n_results if self.n_results else 0.0

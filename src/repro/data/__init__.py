@@ -1,0 +1,46 @@
+"""Data substrate for the COAX reproduction.
+
+This package provides the columnar table abstraction every index in the
+library is built on, the hyper-rectangle predicate model used to express
+range and point queries, synthetic dataset generators that mirror the two
+real-world datasets used in the paper (US Airlines and OpenStreetMap), and
+query-workload generators that follow the paper's methodology (Section
+8.1.2): queries are rectangles derived from the K nearest neighbours of a
+randomly drawn record.
+"""
+
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Schema, Table
+from repro.data.synthetic import (
+    CorrelatedGroupSpec,
+    SyntheticDatasetSpec,
+    generate_correlated_dataset,
+)
+from repro.data.airline import AirlineConfig, generate_airline_dataset
+from repro.data.osm import OSMConfig, generate_osm_dataset
+from repro.data.queries import (
+    QueryWorkload,
+    WorkloadConfig,
+    generate_knn_queries,
+    generate_point_queries,
+    generate_selectivity_queries,
+)
+
+__all__ = [
+    "Interval",
+    "Rectangle",
+    "Schema",
+    "Table",
+    "CorrelatedGroupSpec",
+    "SyntheticDatasetSpec",
+    "generate_correlated_dataset",
+    "AirlineConfig",
+    "generate_airline_dataset",
+    "OSMConfig",
+    "generate_osm_dataset",
+    "QueryWorkload",
+    "WorkloadConfig",
+    "generate_knn_queries",
+    "generate_point_queries",
+    "generate_selectivity_queries",
+]

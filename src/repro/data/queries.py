@@ -1,0 +1,196 @@
+"""Query workload generators.
+
+The paper's methodology (Section 8.1.2): "We generate the queries by picking
+a random record from the data.  Then, we find the K nearest records and take
+the minimum and maximum values corresponding to each dimension.  Our range
+queries are rectangles and target all attributes in the index."  Point
+queries are range queries where the lower and upper bound coincide
+(Section 8.2.1).  Figure 7 additionally sweeps the query selectivity
+(average number of matching points), which we reproduce with
+:func:`generate_selectivity_queries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+
+__all__ = [
+    "WorkloadConfig",
+    "QueryWorkload",
+    "generate_knn_queries",
+    "generate_point_queries",
+    "generate_selectivity_queries",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a query workload."""
+
+    n_queries: int = 100
+    #: K used for the KNN-derived rectangles (the paper's query generator).
+    k_neighbours: int = 100
+    #: Attributes the queries constrain; ``None`` means every attribute.
+    dimensions: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_queries <= 0:
+            raise ValueError("n_queries must be positive")
+        if self.k_neighbours <= 0:
+            raise ValueError("k_neighbours must be positive")
+
+
+@dataclass
+class QueryWorkload:
+    """A list of rectangle queries plus bookkeeping used by benchmarks."""
+
+    queries: List[Rectangle]
+    kind: str = "range"
+    #: Ground-truth cardinalities (filled lazily by :meth:`cardinalities`).
+    _cardinalities: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, item: int) -> Rectangle:
+        return self.queries[item]
+
+    def cardinalities(self, table: Table) -> np.ndarray:
+        """Exact result sizes of every query against ``table`` (cached)."""
+        if self._cardinalities is None or len(self._cardinalities) != len(self.queries):
+            self._cardinalities = np.array(
+                [len(table.select(query)) for query in self.queries], dtype=np.int64
+            )
+        return self._cardinalities
+
+    def mean_selectivity(self, table: Table) -> float:
+        """Average matching-row count across the workload."""
+        cards = self.cardinalities(table)
+        return float(cards.mean()) if len(cards) else 0.0
+
+
+def _standardised_matrix(table: Table, dims: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Column-standardised matrix over ``dims`` plus the per-column scales."""
+    matrix = table.to_matrix(dims)
+    scales = matrix.std(axis=0)
+    scales[scales == 0.0] = 1.0
+    return matrix / scales, scales
+
+
+def _knn_rectangle(
+    matrix: np.ndarray,
+    raw: np.ndarray,
+    dims: Sequence[str],
+    anchor: int,
+    k: int,
+) -> Rectangle:
+    """Rectangle spanning the K nearest neighbours of row ``anchor``.
+
+    Distances are computed in standardised space so no single wide-range
+    attribute dominates the neighbourhood, then bounds are reported in the
+    original attribute units.
+    """
+    deltas = matrix - matrix[anchor]
+    distances = np.einsum("ij,ij->i", deltas, deltas)
+    k = min(k, len(matrix))
+    neighbour_ids = np.argpartition(distances, k - 1)[:k]
+    block = raw[neighbour_ids]
+    lows = block.min(axis=0)
+    highs = block.max(axis=0)
+    return Rectangle(
+        {dim: Interval(float(lows[i]), float(highs[i])) for i, dim in enumerate(dims)}
+    )
+
+
+def generate_knn_queries(
+    table: Table,
+    config: WorkloadConfig = WorkloadConfig(),
+) -> QueryWorkload:
+    """Range queries built from K nearest neighbours of random records."""
+    rng = np.random.default_rng(config.seed)
+    dims = list(config.dimensions) if config.dimensions else list(table.schema)
+    matrix, _ = _standardised_matrix(table, dims)
+    raw = table.to_matrix(dims)
+    anchors = rng.integers(0, table.n_rows, size=config.n_queries)
+    queries = [
+        _knn_rectangle(matrix, raw, dims, int(anchor), config.k_neighbours)
+        for anchor in anchors
+    ]
+    return QueryWorkload(queries=queries, kind="range")
+
+
+def generate_point_queries(
+    table: Table,
+    config: WorkloadConfig = WorkloadConfig(),
+) -> QueryWorkload:
+    """Point queries: existing records with lower bound == upper bound."""
+    rng = np.random.default_rng(config.seed)
+    dims = list(config.dimensions) if config.dimensions else list(table.schema)
+    anchors = rng.integers(0, table.n_rows, size=config.n_queries)
+    queries = []
+    for anchor in anchors:
+        row = table.row(int(anchor))
+        queries.append(Rectangle.from_point({dim: row[dim] for dim in dims}))
+    return QueryWorkload(queries=queries, kind="point")
+
+
+def generate_selectivity_queries(
+    table: Table,
+    target_selectivity: int,
+    config: WorkloadConfig = WorkloadConfig(),
+    *,
+    tolerance: float = 0.5,
+    max_refinements: int = 12,
+) -> QueryWorkload:
+    """Range queries whose average result size approximates ``target_selectivity``.
+
+    Reproduces the Figure 7 workload: queries are still KNN-derived
+    rectangles, but K is searched so the measured cardinality lands within
+    ``tolerance`` (relative) of the requested selectivity.  The refinement is
+    a simple multiplicative search on K, which converges quickly because the
+    cardinality of a KNN rectangle grows monotonically with K.
+    """
+    if target_selectivity <= 0:
+        raise ValueError("target_selectivity must be positive")
+    target = min(int(target_selectivity), table.n_rows)
+    k = max(2, min(target, table.n_rows))
+    probe_config = WorkloadConfig(
+        n_queries=min(10, config.n_queries),
+        k_neighbours=k,
+        dimensions=config.dimensions,
+        seed=config.seed,
+    )
+    for _ in range(max_refinements):
+        probe = generate_knn_queries(table, probe_config)
+        measured = probe.mean_selectivity(table)
+        if measured <= 0:
+            break
+        ratio = target / measured
+        if abs(1.0 - ratio) <= tolerance:
+            break
+        k = int(np.clip(k * ratio, 2, table.n_rows))
+        probe_config = WorkloadConfig(
+            n_queries=probe_config.n_queries,
+            k_neighbours=k,
+            dimensions=config.dimensions,
+            seed=config.seed,
+        )
+    final_config = WorkloadConfig(
+        n_queries=config.n_queries,
+        k_neighbours=k,
+        dimensions=config.dimensions,
+        seed=config.seed,
+    )
+    workload = generate_knn_queries(table, final_config)
+    workload.kind = f"selectivity~{target}"
+    return workload

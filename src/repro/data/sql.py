@@ -1,0 +1,144 @@
+"""A small WHERE-clause parser producing rectangle predicates.
+
+The paper expresses queries as SQL range predicates::
+
+    SELECT * FROM tbl WHERE q1_low < C1 AND C1 < q1_high
+                        AND q2_low < C2 AND C2 < q2_high;
+
+This module parses exactly that conjunctive fragment into a
+:class:`~repro.data.predicates.Rectangle`, so examples, tests and downstream
+users can write queries the way the paper does instead of constructing
+interval dictionaries by hand.
+
+Supported syntax (case-insensitive keywords, ``AND``-combined terms):
+
+* comparisons: ``col < 5``, ``col <= 5``, ``col > 5``, ``col >= 5``,
+  ``col = 5`` (and the mirrored forms ``5 < col`` etc.);
+* chained comparisons: ``3 < col < 9``, ``3 <= col <= 9``;
+* ranges: ``col BETWEEN 3 AND 9`` (inclusive on both sides).
+
+Strict inequalities are widened to closed intervals by an epsilon of zero —
+i.e. they are treated as inclusive.  That matches the paper's scan
+semantics, where the separation between ``<`` and ``<=`` is immaterial for
+continuous attributes; callers needing genuinely open bounds can post-filter.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.data.predicates import Interval, Rectangle
+
+__all__ = ["parse_where", "WhereClauseError"]
+
+
+class WhereClauseError(ValueError):
+    """Raised when a WHERE clause cannot be parsed."""
+
+
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?|[-+]?inf"
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+
+_BETWEEN = re.compile(
+    rf"^\s*({_IDENT})\s+between\s+({_NUMBER})\s+and\s+({_NUMBER})\s*$", re.IGNORECASE
+)
+_CHAINED = re.compile(
+    rf"^\s*({_NUMBER})\s*(<=|<)\s*({_IDENT})\s*(<=|<)\s*({_NUMBER})\s*$", re.IGNORECASE
+)
+_COMPARE_COL_LEFT = re.compile(
+    rf"^\s*({_IDENT})\s*(<=|>=|=|==|<|>)\s*({_NUMBER})\s*$", re.IGNORECASE
+)
+_COMPARE_COL_RIGHT = re.compile(
+    rf"^\s*({_NUMBER})\s*(<=|>=|=|==|<|>)\s*({_IDENT})\s*$", re.IGNORECASE
+)
+_AND_SPLIT = re.compile(r"\s+and\s+", re.IGNORECASE)
+
+
+def _to_float(token: str) -> float:
+    token = token.strip().lower()
+    if token in ("inf", "+inf"):
+        return float("inf")
+    if token == "-inf":
+        return float("-inf")
+    return float(token)
+
+
+def _term_to_interval(term: str) -> Dict[str, Interval]:
+    """Parse one AND-term into a ``{column: interval}`` constraint."""
+    match = _BETWEEN.match(term)
+    if match:
+        column, low, high = match.group(1), _to_float(match.group(2)), _to_float(match.group(3))
+        return {column: Interval(low, high)}
+
+    match = _CHAINED.match(term)
+    if match:
+        low = _to_float(match.group(1))
+        column = match.group(3)
+        high = _to_float(match.group(5))
+        return {column: Interval(low, high)}
+
+    match = _COMPARE_COL_LEFT.match(term)
+    if match:
+        column, operator, value = match.group(1), match.group(2), _to_float(match.group(3))
+        return {column: _interval_for(operator, value, column_on_left=True)}
+
+    match = _COMPARE_COL_RIGHT.match(term)
+    if match:
+        value, operator, column = _to_float(match.group(1)), match.group(2), match.group(3)
+        return {column: _interval_for(operator, value, column_on_left=False)}
+
+    raise WhereClauseError(f"cannot parse WHERE term: {term!r}")
+
+
+def _interval_for(operator: str, value: float, *, column_on_left: bool) -> Interval:
+    """Interval for ``col OP value`` (or ``value OP col`` when mirrored)."""
+    if operator in ("=", "=="):
+        return Interval.point(value)
+    # Mirror "value < col" into "col > value" and so on.
+    if not column_on_left:
+        operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[operator]
+    if operator in ("<", "<="):
+        return Interval(float("-inf"), value)
+    return Interval(value, float("inf"))
+
+
+def parse_where(clause: str) -> Rectangle:
+    """Parse a conjunctive WHERE clause into a rectangle predicate.
+
+    >>> parse_where("500 < Distance AND Distance < 800 AND AirTime <= 120")
+    Rectangle(AirTime=[-inf, 120], Distance=[500, 800])
+    """
+    if clause is None or not clause.strip():
+        return Rectangle.unconstrained()
+    text = clause.strip()
+    if text.lower().startswith("where "):
+        text = text[6:]
+    constraints: Dict[str, Interval] = {}
+    terms: List[str] = _AND_SPLIT.split(text)
+    merged_terms = _merge_between_terms(terms)
+    for term in merged_terms:
+        for column, interval in _term_to_interval(term).items():
+            if column in constraints:
+                constraints[column] = constraints[column].intersect(interval)
+            else:
+                constraints[column] = interval
+    return Rectangle(constraints)
+
+
+def _merge_between_terms(terms: List[str]) -> List[str]:
+    """Re-join ``X BETWEEN a`` / ``b`` pairs that the AND-split separated."""
+    merged: List[str] = []
+    skip_next = False
+    for position, term in enumerate(terms):
+        if skip_next:
+            skip_next = False
+            continue
+        if re.search(r"\bbetween\b", term, re.IGNORECASE) and not _BETWEEN.match(term):
+            if position + 1 >= len(terms):
+                raise WhereClauseError(f"dangling BETWEEN in term {term!r}")
+            merged.append(f"{term} AND {terms[position + 1]}")
+            skip_next = True
+        else:
+            merged.append(term)
+    return merged

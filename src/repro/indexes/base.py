@@ -1,0 +1,220 @@
+"""Common interface of every multidimensional index in the library.
+
+Indexes are constructed over a table (optionally restricted to a subset of
+rows); query results are always arrays of *original* row ids so COAX can
+merge primary- and outlier-index results with a plain union (Figure 1).
+Every index also accounts for its *directory* memory (the structure on top
+of the data: boundaries, cell offsets, tree nodes, model parameters)
+separately from the data itself, which is what Figure 8 plots on its x axis.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.data.predicates import Rectangle
+from repro.data.table import Table
+
+__all__ = [
+    "IndexBuildError",
+    "QueryStats",
+    "MultidimensionalIndex",
+    "register_index",
+    "create_index",
+    "available_indexes",
+]
+
+
+class IndexBuildError(RuntimeError):
+    """Raised when an index cannot be built with the given parameters."""
+
+
+@dataclass
+class QueryStats:
+    """Work counters accumulated across queries (reset with :meth:`reset`)."""
+
+    queries: int = 0
+    rows_examined: int = 0
+    rows_matched: int = 0
+    cells_visited: int = 0
+    nodes_visited: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.queries = 0
+        self.rows_examined = 0
+        self.rows_matched = 0
+        self.cells_visited = 0
+        self.nodes_visited = 0
+
+    def record(
+        self,
+        *,
+        rows_examined: int = 0,
+        rows_matched: int = 0,
+        cells_visited: int = 0,
+        nodes_visited: int = 0,
+    ) -> None:
+        """Accumulate the work of one query."""
+        self.queries += 1
+        self.rows_examined += rows_examined
+        self.rows_matched += rows_matched
+        self.cells_visited += cells_visited
+        self.nodes_visited += nodes_visited
+
+    @property
+    def mean_rows_examined(self) -> float:
+        """Average rows examined per query."""
+        return self.rows_examined / self.queries if self.queries else 0.0
+
+
+class MultidimensionalIndex(ABC):
+    """Abstract base class of all index structures.
+
+    Subclasses index the rows given by ``row_ids`` (default: all rows of the
+    table) over the attributes given by ``dimensions`` (default: the full
+    schema).  Attributes outside ``dimensions`` are still checked when
+    filtering candidates, so results are always exact with respect to the
+    full query rectangle.
+    """
+
+    #: Short name used by the registry and benchmark reports.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        row_ids: Optional[np.ndarray] = None,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._table = table
+        if row_ids is None:
+            row_ids = np.arange(table.n_rows, dtype=np.int64)
+        else:
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+        self._row_ids = row_ids
+        self._dimensions = tuple(dimensions) if dimensions else tuple(table.schema)
+        for dim in self._dimensions:
+            if dim not in table.schema:
+                raise IndexBuildError(f"dimension {dim!r} is not in the table schema")
+        # Local copies of the indexed subset: queries work on positional ids
+        # 0..len(row_ids)-1 and map back to original ids at the end.
+        self._columns: Dict[str, np.ndarray] = {
+            name: table.column(name)[row_ids] for name in table.schema
+        }
+        self.stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> Table:
+        """The table the index was built over."""
+        return self._table
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Original row ids covered by this index."""
+        return self._row_ids
+
+    @property
+    def n_rows(self) -> int:
+        """Number of indexed records."""
+        return len(self._row_ids)
+
+    @property
+    def dimensions(self) -> tuple:
+        """Attributes the directory structure is built on."""
+        return self._dimensions
+
+    def column(self, name: str) -> np.ndarray:
+        """Local (subset) copy of a column, aligned with positional ids."""
+        return self._columns[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rectangle) -> np.ndarray:
+        """Original row ids of records matching ``query`` exactly."""
+        if query.is_empty or self.n_rows == 0:
+            self.stats.record()
+            return np.empty(0, dtype=np.int64)
+        positions = self._range_query_positions(query)
+        return self._row_ids[positions]
+
+    def point_query(self, point: Mapping[str, float]) -> np.ndarray:
+        """Original row ids of records equal to ``point`` on every given attribute."""
+        return self.range_query(Rectangle.from_point(point))
+
+    def count(self, query: Rectangle) -> int:
+        """Number of matching records (convenience wrapper)."""
+        return int(len(self.range_query(query)))
+
+    @abstractmethod
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        """Positional ids (into the local subset) of exactly matching records."""
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def directory_bytes(self) -> int:
+        """Bytes of index structure on top of the data (Figure 8 x-axis)."""
+
+    def data_bytes(self) -> int:
+        """Bytes of the record data covered by this index."""
+        return int(sum(array.nbytes for array in self._columns.values()))
+
+    def total_bytes(self) -> int:
+        """Directory plus data bytes."""
+        return self.directory_bytes() + self.data_bytes()
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def _filter_candidates(self, candidates: np.ndarray, query: Rectangle) -> np.ndarray:
+        """Exact post-filter of candidate positional ids against the query."""
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if len(candidates) == 0:
+            return candidates
+        mask = np.ones(len(candidates), dtype=bool)
+        for name, interval in query.items():
+            values = self._columns[name][candidates]
+            mask &= (values >= interval.low) & (values <= interval.high)
+        return candidates[mask]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_rows={self.n_rows}, dims={list(self._dimensions)})"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[MultidimensionalIndex]] = {}
+
+
+def register_index(cls: Type[MultidimensionalIndex]) -> Type[MultidimensionalIndex]:
+    """Class decorator adding an index type to the global registry."""
+    if not cls.name or cls.name == "abstract":
+        raise ValueError("registered indexes must define a unique name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_index(name: str, table: Table, **kwargs) -> MultidimensionalIndex:
+    """Instantiate a registered index by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown index {name!r}; available: {sorted(_REGISTRY)}") from exc
+    return cls(table, **kwargs)
+
+
+def available_indexes() -> List[str]:
+    """Names of all registered index types."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,35 @@
+"""Full-scan baseline.
+
+"Full scan: Every item in the dataset is checked against queries"
+(Section 8.1.3).  It has zero directory overhead and serves as the
+worst-case runtime reference in Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.predicates import Rectangle
+from repro.indexes.base import MultidimensionalIndex, register_index
+
+__all__ = ["FullScanIndex"]
+
+
+@register_index
+class FullScanIndex(MultidimensionalIndex):
+    """Scan every record for every query."""
+
+    name = "full_scan"
+
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        mask = np.ones(self.n_rows, dtype=bool)
+        for name, interval in query.items():
+            values = self._columns[name]
+            mask &= (values >= interval.low) & (values <= interval.high)
+        matches = np.flatnonzero(mask).astype(np.int64)
+        self.stats.record(rows_examined=self.n_rows, rows_matched=len(matches))
+        return matches
+
+    def directory_bytes(self) -> int:
+        """A full scan keeps no structure at all."""
+        return 0

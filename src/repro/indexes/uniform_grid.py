@@ -1,0 +1,156 @@
+"""Uniform ("full") grid baseline.
+
+Section 8.1.3: "Uniform grid: or equivalently the full grid, is a hash
+structure that breaks down each attribute into uniformly sized grid cells
+between their minimum and maximum values.  The address for each cell is
+stored independently and no adjacent cells are shared/merged explicitly.
+In memory, addresses for all cells are sorted using the original ordering
+of attributes in the dataset.  Furthermore, each cell stores points in a
+contiguous block of virtual memory in a row store format."
+
+The implementation clusters the rows by cell (CSR layout: a permutation of
+row positions plus per-cell offsets).  The permutation models the physical
+clustering of records into cells and is therefore *not* counted as directory
+overhead; the directory is the per-cell address table plus the axis
+boundaries, which is what grows exponentially with the number of dimensions
+and limits how many cells the full grid can afford (Section 8.2.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.predicates import Rectangle
+from repro.data.table import Table
+from repro.indexes.base import IndexBuildError, MultidimensionalIndex, register_index
+from repro.stats.quantiles import uniform_boundaries
+
+__all__ = ["UniformGridIndex"]
+
+#: Hard cap on the total number of cells so a mis-tuned configuration cannot
+#: exhaust memory; the paper applies the same kind of cap by refusing grids
+#: whose directory exceeds the data size.
+MAX_TOTAL_CELLS = 4_000_000
+
+
+def _capped_cells_per_dim(requested: int, n_dims: int, budget_cells: int) -> int:
+    """Largest per-dimension cell count not exceeding the total cell budget."""
+    if n_dims <= 0:
+        return max(1, int(requested))
+    capped = int(requested)
+    while capped > 1 and capped**n_dims > budget_cells:
+        capped -= 1
+    return max(1, capped)
+
+
+@register_index
+class UniformGridIndex(MultidimensionalIndex):
+    """Equi-width grid over every indexed dimension."""
+
+    name = "uniform_grid"
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        cells_per_dim: int = 8,
+        max_cells: Optional[int] = None,
+        row_ids: Optional[np.ndarray] = None,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(table, row_ids=row_ids, dimensions=dimensions)
+        if cells_per_dim < 1:
+            raise IndexBuildError("cells_per_dim must be at least 1")
+        n_dims = len(self._dimensions)
+        # The paper limits every index to a directory no larger than the data
+        # it covers (Section 8.2.1); by default the cell budget is therefore
+        # one cell per indexed record, which caps the per-dimension cell
+        # count for high-dimensional tables.
+        budget = max_cells if max_cells is not None else max(16, self.n_rows)
+        budget = min(budget, MAX_TOTAL_CELLS)
+        self._cells_per_dim = _capped_cells_per_dim(cells_per_dim, n_dims, budget)
+        self._shape: Tuple[int, ...] = tuple([self._cells_per_dim] * n_dims)
+        self._boundaries: List[np.ndarray] = [
+            uniform_boundaries(self._columns[dim], self._cells_per_dim)
+            for dim in self._dimensions
+        ]
+        self._build_cells()
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def _build_cells(self) -> None:
+        n_cells = int(np.prod(self._shape)) if self._shape else 1
+        if self.n_rows == 0:
+            self._row_order = np.empty(0, dtype=np.int64)
+            self._offsets = np.zeros(n_cells + 1, dtype=np.int64)
+            return
+        cell_coordinates = [
+            self._cell_of(self._columns[dim], axis) for axis, dim in enumerate(self._dimensions)
+        ]
+        flat = np.ravel_multi_index(cell_coordinates, self._shape) if self._shape else np.zeros(
+            self.n_rows, dtype=np.int64
+        )
+        order = np.argsort(flat, kind="stable").astype(np.int64)
+        counts = np.bincount(flat, minlength=n_cells)
+        self._row_order = order
+        self._offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+
+    def _cell_of(self, values: np.ndarray, axis: int) -> np.ndarray:
+        boundaries = self._boundaries[axis]
+        return np.clip(
+            np.searchsorted(boundaries, values, side="right") - 1, 0, self._cells_per_dim - 1
+        )
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def _cell_range(self, axis: int, low: float, high: float) -> Tuple[int, int]:
+        """Inclusive range of cell indices along ``axis`` overlapping [low, high]."""
+        boundaries = self._boundaries[axis]
+        lo_cell = int(np.clip(np.searchsorted(boundaries, low, side="right") - 1, 0, self._cells_per_dim - 1))
+        hi_cell = int(np.clip(np.searchsorted(boundaries, high, side="right") - 1, 0, self._cells_per_dim - 1))
+        return lo_cell, hi_cell
+
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        axis_ranges: List[np.ndarray] = []
+        for axis, dim in enumerate(self._dimensions):
+            interval = query.interval(dim)
+            lo_cell, hi_cell = self._cell_range(axis, interval.low, interval.high)
+            axis_ranges.append(np.arange(lo_cell, hi_cell + 1))
+        cells_visited = 0
+        chunks: List[np.ndarray] = []
+        for combo in itertools.product(*axis_ranges):
+            flat = int(np.ravel_multi_index(combo, self._shape)) if self._shape else 0
+            start, stop = self._offsets[flat], self._offsets[flat + 1]
+            cells_visited += 1
+            if stop > start:
+                chunks.append(self._row_order[start:stop])
+        candidates = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        matches = self._filter_candidates(candidates, query)
+        self.stats.record(
+            rows_examined=len(candidates),
+            rows_matched=len(matches),
+            cells_visited=cells_visited,
+        )
+        return matches
+
+    # ------------------------------------------------------------------
+    # Memory and layout introspection
+    # ------------------------------------------------------------------
+    def directory_bytes(self) -> int:
+        """Cell address table plus axis boundaries (the exponential part)."""
+        boundary_bytes = int(sum(b.nbytes for b in self._boundaries))
+        return int(self._offsets.nbytes) + boundary_bytes
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells."""
+        return int(np.prod(self._shape)) if self._shape else 1
+
+    def cell_sizes(self) -> np.ndarray:
+        """Number of records per cell (the "page length" histogram of Figure 4a)."""
+        return np.diff(self._offsets)

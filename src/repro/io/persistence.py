@@ -1,0 +1,171 @@
+"""Saving and loading COAX indexes.
+
+A COAX index is cheap to rebuild from its learned state: the FD groups (a
+handful of model parameters per group), the configuration, and the data
+itself.  Persistence therefore stores exactly that — the table columns, the
+group definitions and the configuration — in a single ``.npz`` archive plus
+an embedded JSON header, and reconstruction replays the build with the
+stored groups (no re-detection), which is deterministic and fast.
+
+The format is deliberately simple and versioned so it can be inspected with
+nothing but NumPy:
+
+* ``__meta__`` — JSON string: format version, configuration, group
+  definitions (predictor, dependents, per-dependent model parameters), and
+  the schema order;
+* one array per table column, stored under ``column::<name>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.table import Table
+from repro.fd.detection import DetectionConfig
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
+
+__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def _model_to_dict(model) -> Dict:
+    """Serialisable representation of a soft-FD model."""
+    if isinstance(model, LinearFDModel):
+        return {
+            "kind": "linear",
+            "slope": model.slope,
+            "intercept": model.intercept,
+            "eps_lb": model.eps_lb,
+            "eps_ub": model.eps_ub,
+        }
+    if isinstance(model, SplineFDModel):
+        return {
+            "kind": "spline",
+            "eps_lb": model.eps_lb,
+            "eps_ub": model.eps_ub,
+            "segments": [
+                {
+                    "x_low": segment.x_low,
+                    "x_high": segment.x_high,
+                    "slope": segment.slope,
+                    "intercept": segment.intercept,
+                }
+                for segment in model.segments
+            ],
+        }
+    raise TypeError(f"cannot serialise model of type {type(model).__name__}")
+
+
+def _model_from_dict(payload: Dict):
+    """Inverse of :func:`_model_to_dict`."""
+    kind = payload.get("kind")
+    if kind == "linear":
+        return LinearFDModel(
+            slope=float(payload["slope"]),
+            intercept=float(payload["intercept"]),
+            eps_lb=float(payload["eps_lb"]),
+            eps_ub=float(payload["eps_ub"]),
+        )
+    if kind == "spline":
+        segments = [
+            SplineSegment(
+                x_low=float(item["x_low"]),
+                x_high=float(item["x_high"]),
+                slope=float(item["slope"]),
+                intercept=float(item["intercept"]),
+            )
+            for item in payload["segments"]
+        ]
+        return SplineFDModel(segments, eps_lb=float(payload["eps_lb"]), eps_ub=float(payload["eps_ub"]))
+    raise ValueError(f"unknown model kind {kind!r}")
+
+
+def _group_to_dict(group: FDGroup) -> Dict:
+    return {
+        "predictor": group.predictor,
+        "dependents": list(group.dependents),
+        "models": {name: _model_to_dict(model) for name, model in group.models.items()},
+    }
+
+
+def _group_from_dict(payload: Dict) -> FDGroup:
+    return FDGroup(
+        predictor=payload["predictor"],
+        dependents=tuple(payload["dependents"]),
+        models={name: _model_from_dict(model) for name, model in payload["models"].items()},
+    )
+
+
+def _config_to_dict(config: COAXConfig) -> Dict:
+    """Nested-dataclass serialisation of the configuration."""
+    payload = asdict(config)
+    return payload
+
+
+def _config_from_dict(payload: Dict) -> COAXConfig:
+    detection_payload = dict(payload.get("detection", {}))
+    bucketing_payload = dict(detection_payload.pop("bucketing", {}))
+    detection = DetectionConfig(bucketing=BucketingConfig(**bucketing_payload), **detection_payload)
+    remaining = {key: value for key, value in payload.items() if key != "detection"}
+    return COAXConfig(detection=detection, **remaining)
+
+
+def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
+    """Persist a COAX index (data + learned state) to ``path`` (.npz).
+
+    Pending (inserted but not compacted) records are folded in via
+    :meth:`COAXIndex.compact` before saving so nothing is lost.
+    Returns the path written.
+    """
+    path = Path(path)
+    if index.n_pending:
+        index = index.compact()
+    table = index.table.take(index.row_ids)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "schema": list(table.schema),
+        "dimensions": list(index.dimensions),
+        "config": _config_to_dict(index.config),
+        "groups": [_group_to_dict(group) for group in index.groups],
+        "n_rows": table.n_rows,
+    }
+    arrays = {f"column::{name}": table.column(name) for name in table.schema}
+    arrays["__meta__"] = np.array(json.dumps(meta))
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def load_index(path: Union[str, Path]) -> COAXIndex:
+    """Load a COAX index previously written by :func:`save_index`.
+
+    The table is restored from the stored columns and the index is rebuilt
+    with the stored groups and configuration (no re-detection), so the
+    loaded index partitions and answers queries exactly like the saved one.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise ValueError(f"{path} is not a COAX index archive (missing __meta__)")
+        meta = json.loads(str(archive["__meta__"]))
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported format version {version!r} (this build reads {FORMAT_VERSION})"
+            )
+        columns = {name: archive[f"column::{name}"] for name in meta["schema"]}
+    table = Table(columns)
+    groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
+    config = _config_from_dict(meta["config"])
+    return COAXIndex(table, config=config, groups=groups, dimensions=meta["dimensions"])

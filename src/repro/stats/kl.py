@@ -1,0 +1,55 @@
+"""Kullback-Leibler divergence from the uniform distribution.
+
+Appendix B.3 of the paper uses the KL divergence between the empirical
+distribution of the predictor attribute and a uniform distribution as a
+prerequisite test for the CSM analysis: the closer the divergence is to
+zero, the better the stochastic model (and hence the soft-FD index)
+performs.  We expose both the raw divergence and a normalised score in
+[0, 1] that the FD detector can use as a sanity check.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kl_divergence_from_uniform", "uniformity_score"]
+
+
+def kl_divergence_from_uniform(values: np.ndarray, *, n_bins: int = 64) -> float:
+    """KL divergence D(P || Uniform) of the histogram of ``values``.
+
+    Follows Equation 7 of the paper with the continuous attribute discretised
+    into ``n_bins`` equi-width bins (the unique-value formulation in the
+    paper is impractical for continuous float attributes).  Returns 0.0 for
+    degenerate inputs (empty or constant arrays map to a single bin, which by
+    convention is maximally non-uniform, handled below).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return 0.0
+    low = float(values.min())
+    high = float(values.max())
+    if high <= low:
+        # A constant column is as far from uniform as a histogram can get.
+        return math.log(n_bins)
+    counts, _ = np.histogram(values, bins=n_bins, range=(low, high))
+    total = counts.sum()
+    probabilities = counts[counts > 0] / total
+    uniform = 1.0 / n_bins
+    return float(np.sum(probabilities * np.log(probabilities / uniform)))
+
+
+def uniformity_score(values: np.ndarray, *, n_bins: int = 64) -> float:
+    """Score in [0, 1]: 1 for perfectly uniform data, 0 for maximally skewed.
+
+    The KL divergence from uniform over ``n_bins`` bins is bounded by
+    ``log(n_bins)`` (all mass in one bin), so the score is simply
+    ``1 - KL / log(n_bins)``.
+    """
+    divergence = kl_divergence_from_uniform(values, n_bins=n_bins)
+    upper = math.log(n_bins)
+    if upper <= 0.0:
+        return 1.0
+    return float(np.clip(1.0 - divergence / upper, 0.0, 1.0))

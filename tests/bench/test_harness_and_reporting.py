@@ -1,0 +1,126 @@
+"""Tests for the benchmark harness and the text reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    IndexSpec,
+    TimingResult,
+    default_index_specs,
+    run_comparison,
+    time_workload,
+)
+from repro.bench.reporting import ExperimentResult, format_table
+from repro.data.queries import QueryWorkload, WorkloadConfig, generate_knn_queries
+from repro.data.table import Table
+from repro.indexes.full_scan import FullScanIndex
+from repro.indexes.uniform_grid import UniformGridIndex
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(30)
+    return Table(
+        {
+            "a": rng.uniform(0.0, 100.0, size=2_000),
+            "b": rng.uniform(0.0, 100.0, size=2_000),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(table) -> QueryWorkload:
+    return generate_knn_queries(table, WorkloadConfig(n_queries=8, k_neighbours=40, seed=1))
+
+
+class TestTimingResult:
+    def test_from_samples(self):
+        timing = TimingResult.from_samples([0.001, 0.002, 0.003], total_results=42)
+        assert timing.n_queries == 3
+        assert timing.mean_ms == pytest.approx(2.0)
+        assert timing.median_ms == pytest.approx(2.0)
+        assert timing.total_results == 42
+
+    def test_empty(self):
+        timing = TimingResult.from_samples([], total_results=0)
+        assert timing.n_queries == 0
+        assert timing.mean_ms == 0.0
+
+
+class TestTimeWorkload:
+    def test_counts_all_results(self, table, workload):
+        index = FullScanIndex(table)
+        timing = time_workload(index, workload)
+        expected = sum(len(table.select(query)) for query in workload)
+        assert timing.total_results == expected
+        assert timing.n_queries == len(workload)
+        assert timing.total_seconds > 0
+
+
+class TestRunComparison:
+    def test_rows_and_verification(self, table, workload):
+        specs = [
+            IndexSpec("scan", lambda t: FullScanIndex(t)),
+            IndexSpec("grid", lambda t: UniformGridIndex(t, cells_per_dim=6)),
+        ]
+        rows = run_comparison(
+            table, {"range": workload}, specs, dataset_name="unit", verify_against=table
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.dataset == "unit"
+            assert row.timing.total_results == rows[0].timing.total_results
+            as_dict = row.as_dict()
+            assert "mean_ms" in as_dict and "dir_bytes" in as_dict
+            assert "rows_examined_per_q" in as_dict
+
+    def test_verification_catches_wrong_results(self, table, workload):
+        class BrokenIndex(FullScanIndex):
+            def _range_query_positions(self, query):
+                return np.empty(0, dtype=np.int64)
+
+        specs = [IndexSpec("broken", lambda t: BrokenIndex(t))]
+        with pytest.raises(AssertionError):
+            run_comparison(table, {"range": workload}, specs, verify_against=table)
+
+    def test_default_specs_cover_paper_competitors(self):
+        names = {spec.name for spec in default_index_specs()}
+        assert names == {"COAX", "R-Tree", "Full Grid", "Column Files", "Full Scan"}
+        without_scan = {spec.name for spec in default_index_specs(include_full_scan=False)}
+        assert "Full Scan" not in without_scan
+
+
+class TestReporting:
+    def test_format_table_alignment_and_missing_keys(self):
+        rows = [
+            {"index": "COAX", "mean_ms": 1.234},
+            {"index": "R-Tree", "mean_ms": 10.5, "extra": 3},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "index" in lines[1] and "extra" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_scientific_notation_for_extremes(self):
+        text = format_table([{"v": 1.23e-7}, {"v": 4.56e9}])
+        assert "e-07" in text or "e-7" in text
+        assert "e+09" in text or "e+9" in text
+
+    def test_experiment_result_table_and_series(self):
+        result = ExperimentResult(
+            experiment="unit",
+            description="demo",
+            rows=[{"a": 1, "b": 2}, {"a": 3}],
+            notes=["a note"],
+        )
+        text = result.table()
+        assert "[unit] demo" in text
+        assert "note: a note" in text
+        assert result.series("a") == [1, 3]
+        assert result.series("b") == [2, None]

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build small datasets once per session so the several hundred tests
+stay fast; tests that need different parameters construct their own data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.airline import AirlineConfig, generate_airline_dataset
+from repro.data.osm import OSMConfig, generate_osm_dataset
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.detection import DetectionConfig
+from repro.fd.bucketing import BucketingConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_linear_table() -> Table:
+    """A 2-column table with a clean linear soft FD y ~= 2x + 5."""
+    generator = np.random.default_rng(0)
+    x = generator.uniform(0.0, 100.0, size=3_000)
+    y = 2.0 * x + 5.0 + generator.normal(0.0, 1.0, size=3_000)
+    return Table({"x": x, "y": y})
+
+
+@pytest.fixture(scope="session")
+def outlier_linear_table() -> Table:
+    """Linear soft FD with ~20% outliers drawn uniformly over the y range."""
+    generator = np.random.default_rng(1)
+    n = 4_000
+    x = generator.uniform(0.0, 100.0, size=n)
+    y = 2.0 * x + 5.0 + generator.normal(0.0, 1.0, size=n)
+    outliers = generator.random(n) < 0.2
+    y[outliers] = generator.uniform(y.min(), y.max(), size=int(outliers.sum()))
+    return Table({"x": x, "y": y})
+
+
+@pytest.fixture(scope="session")
+def airline_small() -> Table:
+    """Synthetic airline dataset at test scale."""
+    table, _ = generate_airline_dataset(AirlineConfig(n_rows=6_000, seed=7))
+    return table
+
+
+@pytest.fixture(scope="session")
+def osm_small() -> Table:
+    """Synthetic OSM dataset at test scale."""
+    table, _ = generate_osm_dataset(OSMConfig(n_rows=6_000, seed=11))
+    return table
+
+
+@pytest.fixture(scope="session")
+def fast_detection_config() -> DetectionConfig:
+    """Detection configuration tuned for small test datasets."""
+    return DetectionConfig(
+        bucketing=BucketingConfig(sample_count=3_000, bucket_chunks=32),
+        monte_carlo_rounds=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_coax_config(fast_detection_config: DetectionConfig) -> COAXConfig:
+    """COAX configuration tuned for small test datasets."""
+    return COAXConfig(detection=fast_detection_config, primary_cells_per_dim=4)
+
+
+@pytest.fixture(scope="session")
+def airline_coax(airline_small: Table, fast_coax_config: COAXConfig) -> COAXIndex:
+    """A COAX index built once over the small airline dataset."""
+    return COAXIndex(airline_small, config=fast_coax_config)
+
+
+@pytest.fixture(scope="session")
+def osm_coax(osm_small: Table, fast_coax_config: COAXConfig) -> COAXIndex:
+    """A COAX index built once over the small OSM dataset."""
+    return COAXIndex(osm_small, config=fast_coax_config)
+
+
+def make_query(**bounds: tuple) -> Rectangle:
+    """Helper used across tests: ``make_query(x=(0, 10), y=(5, 7))``."""
+    return Rectangle({name: Interval(low, high) for name, (low, high) in bounds.items()})

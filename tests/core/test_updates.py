@@ -1,0 +1,118 @@
+"""Tests for COAX's insert/compact update path (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
+
+
+@pytest.fixture()
+def updatable_index() -> COAXIndex:
+    rng = np.random.default_rng(21)
+    n = 2_000
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = 2.0 * x + rng.uniform(-1.0, 1.0, size=n)
+    table = Table({"x": x, "y": y})
+    groups = [
+        FDGroup(
+            predictor="x",
+            dependents=("y",),
+            models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+        )
+    ]
+    return COAXIndex(table, groups=groups)
+
+
+class TestInsert:
+    def test_inlier_insert_routes_to_primary_buffer(self, updatable_index):
+        row_id = updatable_index.insert({"x": 10.0, "y": 20.5})
+        assert row_id == updatable_index.table.n_rows
+        assert updatable_index.n_pending == 1
+        assert len(updatable_index._pending_primary) == 1
+
+    def test_outlier_insert_routes_to_outlier_buffer(self, updatable_index):
+        updatable_index.insert({"x": 10.0, "y": 500.0})
+        assert len(updatable_index._pending_outlier) == 1
+
+    def test_missing_attribute_rejected(self, updatable_index):
+        with pytest.raises(ValueError):
+            updatable_index.insert({"x": 1.0})
+
+    def test_inserted_records_are_queryable(self, updatable_index):
+        row_id = updatable_index.insert({"x": 10.0, "y": 20.0})
+        result = updatable_index.range_query(
+            Rectangle({"x": Interval(9.9, 10.1), "y": Interval(19.9, 20.1)})
+        )
+        assert row_id in result
+
+    def test_inserted_outliers_are_queryable(self, updatable_index):
+        row_id = updatable_index.insert({"x": 10.0, "y": 900.0})
+        result = updatable_index.range_query(Rectangle({"y": Interval(899.0, 901.0)}))
+        assert result.tolist() == [row_id]
+
+    def test_row_ids_are_sequential(self, updatable_index):
+        first = updatable_index.insert({"x": 1.0, "y": 2.0})
+        second = updatable_index.insert({"x": 2.0, "y": 4.0})
+        assert second == first + 1
+
+    def test_pending_counts(self, updatable_index):
+        assert updatable_index.n_pending == 0
+        updatable_index.insert({"x": 1.0, "y": 2.0})
+        updatable_index.insert({"x": 1.0, "y": 400.0})
+        assert updatable_index.n_pending == 2
+
+
+class TestCompact:
+    def test_compact_without_pending_returns_self(self, updatable_index):
+        assert updatable_index.compact() is updatable_index
+
+    def test_compact_folds_pending_into_main_structures(self, updatable_index):
+        inlier_id = updatable_index.insert({"x": 50.0, "y": 100.2})
+        outlier_id = updatable_index.insert({"x": 50.0, "y": 700.0})
+        compacted = updatable_index.compact()
+        assert compacted is not updatable_index
+        assert compacted.n_pending == 0
+        assert compacted.n_rows == updatable_index.n_rows + 2
+        # Both records are now answered by the main structures.
+        inlier_hits = compacted.range_query(
+            Rectangle({"x": Interval(49.9, 50.1), "y": Interval(100.0, 100.4)})
+        )
+        outlier_hits = compacted.range_query(Rectangle({"y": Interval(699.0, 701.0)}))
+        # The pending records were appended after the original 2000 rows.
+        assert inlier_id in inlier_hits or 2_000 in inlier_hits
+        assert 2_001 in outlier_hits or outlier_id in outlier_hits
+
+    def test_compact_preserves_exactness(self, updatable_index):
+        rng = np.random.default_rng(22)
+        for _ in range(50):
+            x = float(rng.uniform(0.0, 100.0))
+            noise = float(rng.uniform(-1.0, 1.0))
+            updatable_index.insert({"x": x, "y": 2.0 * x + noise})
+        compacted = updatable_index.compact()
+        combined = Table(
+            {
+                "x": np.concatenate(
+                    [updatable_index.table.column("x"),
+                     compacted.table.column("x")[-50:]]
+                ),
+                "y": np.concatenate(
+                    [updatable_index.table.column("y"),
+                     compacted.table.column("y")[-50:]]
+                ),
+            }
+        )
+        query = Rectangle({"x": Interval(20.0, 60.0), "y": Interval(40.0, 121.5)})
+        assert len(compacted.range_query(query)) == len(combined.select(query))
+
+    def test_compact_keeps_learned_groups(self, updatable_index):
+        updatable_index.insert({"x": 1.0, "y": 2.0})
+        compacted = updatable_index.compact()
+        assert len(compacted.groups) == len(updatable_index.groups)
+        assert compacted.groups[0].predictor == "x"

@@ -1,0 +1,193 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.airline import AIRLINE_COLUMNS, AirlineConfig, generate_airline_dataset
+from repro.data.osm import OSM_COLUMNS, OSMConfig, generate_osm_dataset
+from repro.data.synthetic import (
+    CorrelatedGroupSpec,
+    SyntheticDatasetSpec,
+    clustered_coordinates,
+    generate_correlated_dataset,
+)
+from repro.stats.correlation import pearson_correlation
+
+
+class TestCorrelatedGroupSpec:
+    def test_defaults_fill_slopes_and_intercepts(self):
+        spec = CorrelatedGroupSpec(attributes=("x", "y", "z"))
+        assert spec.slopes == (1.0, 1.0)
+        assert spec.intercepts == (0.0, 0.0)
+        assert spec.base_attribute == "x"
+        assert spec.dependent_attributes == ("y", "z")
+
+    def test_mismatched_slopes_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelatedGroupSpec(attributes=("x", "y"), slopes=(1.0, 2.0))
+
+    def test_invalid_outlier_fraction(self):
+        with pytest.raises(ValueError):
+            CorrelatedGroupSpec(attributes=("x", "y"), outlier_fraction=1.5)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            CorrelatedGroupSpec(attributes=("x",), base_low=5.0, base_high=1.0)
+
+
+class TestSyntheticGenerator:
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetSpec(
+                n_rows=10,
+                groups=(CorrelatedGroupSpec(attributes=("x", "y")),),
+                independent_attributes=(("x", 0.0, 1.0),),
+            )
+
+    def test_generated_shape_and_determinism(self):
+        spec = SyntheticDatasetSpec(
+            n_rows=500,
+            groups=(CorrelatedGroupSpec(attributes=("x", "y"), slopes=(2.0,), noise_scale=0.5),),
+            independent_attributes=(("u", 0.0, 10.0),),
+            seed=3,
+        )
+        table_a, meta_a = generate_correlated_dataset(spec)
+        table_b, _ = generate_correlated_dataset(spec)
+        assert table_a.n_rows == 500
+        assert set(table_a.schema) == {"x", "y", "u"}
+        assert np.array_equal(table_a.column("y"), table_b.column("y"))
+        assert meta_a["x"].shape == (500,)
+
+    def test_inliers_follow_linear_model(self):
+        spec = SyntheticDatasetSpec(
+            n_rows=2_000,
+            groups=(
+                CorrelatedGroupSpec(
+                    attributes=("x", "y"), slopes=(3.0,), intercepts=(1.0,),
+                    noise_scale=0.1, outlier_fraction=0.1,
+                ),
+            ),
+            seed=5,
+        )
+        table, meta = generate_correlated_dataset(spec)
+        inliers = ~meta["x"]
+        x = table.column("x")[inliers]
+        y = table.column("y")[inliers]
+        residuals = y - (3.0 * x + 1.0)
+        assert np.abs(residuals).max() < 1.0
+
+    def test_outlier_fraction_respected(self):
+        spec = SyntheticDatasetSpec(
+            n_rows=5_000,
+            groups=(CorrelatedGroupSpec(attributes=("x", "y"), outlier_fraction=0.3),),
+            seed=6,
+        )
+        _, meta = generate_correlated_dataset(spec)
+        assert abs(meta["x"].mean() - 0.3) < 0.05
+
+    @pytest.mark.parametrize("distribution", ["uniform", "lognormal", "clustered"])
+    def test_base_distributions(self, distribution):
+        spec = SyntheticDatasetSpec(
+            n_rows=300,
+            groups=(
+                CorrelatedGroupSpec(attributes=("x", "y"), base_distribution=distribution),
+            ),
+            seed=1,
+        )
+        table, _ = generate_correlated_dataset(spec)
+        base = table.column("x")
+        assert base.min() >= 0.0
+        assert base.max() <= 1000.0
+
+    def test_unknown_distribution_rejected(self):
+        spec = SyntheticDatasetSpec(
+            n_rows=10,
+            groups=(CorrelatedGroupSpec(attributes=("x", "y"), base_distribution="bogus"),),
+        )
+        with pytest.raises(ValueError):
+            generate_correlated_dataset(spec)
+
+
+class TestAirlineDataset:
+    def test_schema_and_size(self):
+        table, meta = generate_airline_dataset(AirlineConfig(n_rows=2_000))
+        assert tuple(table.schema) == AIRLINE_COLUMNS
+        assert table.n_rows == 2_000
+        assert meta["outliers"].shape == (2_000,)
+
+    def test_correlated_groups_present(self):
+        table, meta = generate_airline_dataset(AirlineConfig(n_rows=5_000, seed=2))
+        inliers = ~meta["outliers"]
+        distance = table.column("Distance")[inliers]
+        air_time = table.column("AirTime")[inliers]
+        dep = table.column("DepTime")[inliers]
+        arr = table.column("ArrTime")[inliers]
+        assert pearson_correlation(distance, air_time) > 0.95
+        assert pearson_correlation(dep, arr) > 0.8
+
+    def test_outlier_fraction_configurable(self):
+        _, meta = generate_airline_dataset(AirlineConfig(n_rows=5_000, outlier_fraction=0.25))
+        assert abs(meta["outliers"].mean() - 0.25) < 0.04
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AirlineConfig(n_rows=0)
+        with pytest.raises(ValueError):
+            AirlineConfig(outlier_fraction=1.2)
+
+    def test_value_ranges_are_plausible(self):
+        table, _ = generate_airline_dataset(AirlineConfig(n_rows=2_000))
+        assert table.min("Distance") >= 80.0
+        assert table.max("DepTime") <= 24.0 * 60.0
+        assert table.min("DayOfWeek") >= 1.0
+        assert table.max("DayOfWeek") <= 7.0
+
+
+class TestOSMDataset:
+    def test_schema_and_size(self):
+        table, meta = generate_osm_dataset(OSMConfig(n_rows=2_000))
+        assert tuple(table.schema) == OSM_COLUMNS
+        assert table.n_rows == 2_000
+        assert meta["outliers"].shape == (2_000,)
+
+    def test_ids_strictly_increasing(self):
+        table, _ = generate_osm_dataset(OSMConfig(n_rows=2_000))
+        ids = table.column("Id")
+        assert np.all(np.diff(ids) > 0)
+
+    def test_id_timestamp_correlation_on_inliers(self):
+        table, meta = generate_osm_dataset(OSMConfig(n_rows=5_000, seed=3))
+        inliers = ~meta["outliers"]
+        correlation = pearson_correlation(
+            table.column("Id")[inliers], table.column("Timestamp")[inliers]
+        )
+        assert correlation > 0.99
+
+    def test_coordinates_within_region(self):
+        table, _ = generate_osm_dataset(OSMConfig(n_rows=2_000))
+        assert table.min("Latitude") >= 40.0
+        assert table.max("Latitude") <= 47.5
+        assert table.min("Longitude") >= -80.0
+        assert table.max("Longitude") <= -66.9
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            OSMConfig(n_rows=-1)
+
+
+class TestClusteredCoordinates:
+    def test_shapes_and_ranges(self):
+        rng = np.random.default_rng(0)
+        lat, lon = clustered_coordinates(1_000, rng, n_clusters=5)
+        assert lat.shape == lon.shape == (1_000,)
+        assert lat.min() >= 40.0 and lat.max() <= 47.5
+
+    def test_clustering_is_denser_than_uniform(self):
+        rng = np.random.default_rng(1)
+        lat, _ = clustered_coordinates(5_000, rng, n_clusters=4, background_fraction=0.0)
+        counts, _ = np.histogram(lat, bins=30)
+        uniform_expectation = len(lat) / 30
+        # Clustered data concentrates: the biggest bin far exceeds uniform.
+        assert counts.max() > 3 * uniform_expectation

@@ -1,0 +1,127 @@
+"""Tests for the WHERE-clause parser."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.predicates import Interval, Rectangle
+from repro.data.sql import WhereClauseError, parse_where
+from repro.data.table import Table
+
+
+class TestBasicComparisons:
+    def test_less_than(self):
+        rect = parse_where("Distance < 800")
+        assert rect.interval("Distance") == Interval(-math.inf, 800.0)
+
+    def test_greater_equal(self):
+        rect = parse_where("Distance >= 100")
+        assert rect.interval("Distance") == Interval(100.0, math.inf)
+
+    def test_equality(self):
+        rect = parse_where("DayOfWeek = 3")
+        assert rect.interval("DayOfWeek").is_point
+
+    def test_mirrored_comparison(self):
+        rect = parse_where("500 < Distance")
+        assert rect.interval("Distance") == Interval(500.0, math.inf)
+        rect = parse_where("120 >= AirTime")
+        assert rect.interval("AirTime") == Interval(-math.inf, 120.0)
+
+    def test_scientific_and_negative_numbers(self):
+        rect = parse_where("x > -1.5e3")
+        assert rect.interval("x").low == pytest.approx(-1500.0)
+
+    def test_infinity_literals(self):
+        rect = parse_where("x < inf AND x > -inf")
+        assert not rect.constrains("x")
+
+
+class TestCompoundClauses:
+    def test_and_combination(self):
+        rect = parse_where("500 < Distance AND Distance < 800 AND AirTime <= 120")
+        assert rect.interval("Distance") == Interval(500.0, 800.0)
+        assert rect.interval("AirTime") == Interval(-math.inf, 120.0)
+
+    def test_chained_comparison(self):
+        rect = parse_where("3 < DayOfWeek < 6")
+        assert rect.interval("DayOfWeek") == Interval(3.0, 6.0)
+
+    def test_between(self):
+        rect = parse_where("Distance BETWEEN 100 AND 900")
+        assert rect.interval("Distance") == Interval(100.0, 900.0)
+
+    def test_between_combined_with_and(self):
+        rect = parse_where("Distance BETWEEN 100 AND 900 AND AirTime < 60")
+        assert rect.interval("Distance") == Interval(100.0, 900.0)
+        assert rect.interval("AirTime").high == 60.0
+
+    def test_where_prefix_and_case_insensitivity(self):
+        rect = parse_where("WHERE distance between 1 and 2 and airtime > 5")
+        assert rect.interval("distance") == Interval(1.0, 2.0)
+        assert rect.interval("airtime").low == 5.0
+
+    def test_repeated_column_constraints_intersect(self):
+        rect = parse_where("x > 2 AND x > 5 AND x < 10")
+        assert rect.interval("x") == Interval(5.0, 10.0)
+
+    def test_contradictory_constraints_yield_empty(self):
+        rect = parse_where("x < 1 AND x > 5")
+        assert rect.is_empty
+
+
+class TestEdgeCases:
+    def test_empty_clause(self):
+        assert parse_where("") == Rectangle.unconstrained()
+        assert parse_where("   ") == Rectangle.unconstrained()
+
+    def test_unparseable_term(self):
+        with pytest.raises(WhereClauseError):
+            parse_where("Distance LIKE 'abc'")
+
+    def test_dangling_between(self):
+        with pytest.raises(WhereClauseError):
+            parse_where("x BETWEEN 1")
+
+    def test_or_is_not_supported(self):
+        with pytest.raises(WhereClauseError):
+            parse_where("x < 1 OR x > 5")
+
+
+class TestAgainstTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        rng = np.random.default_rng(0)
+        return Table(
+            {
+                "Distance": rng.uniform(0.0, 1000.0, size=2_000),
+                "AirTime": rng.uniform(0.0, 300.0, size=2_000),
+            }
+        )
+
+    def test_parser_matches_manual_rectangle(self, table):
+        parsed = parse_where("200 <= Distance AND Distance <= 700 AND AirTime < 100")
+        manual = Rectangle(
+            {"Distance": Interval(200.0, 700.0), "AirTime": Interval(-math.inf, 100.0)}
+        )
+        assert np.array_equal(table.select(parsed), table.select(manual))
+
+    @given(
+        low=st.floats(0.0, 900.0),
+        width=st.floats(0.0, 500.0),
+        airtime_cap=st.floats(0.0, 300.0),
+    )
+    def test_random_clauses_match_manual(self, table, low, width, airtime_cap):
+        clause = f"{low} <= Distance AND Distance <= {low + width} AND AirTime <= {airtime_cap}"
+        parsed = parse_where(clause)
+        manual = Rectangle(
+            {
+                "Distance": Interval(low, low + width),
+                "AirTime": Interval(-math.inf, airtime_cap),
+            }
+        )
+        assert np.array_equal(table.select(parsed), table.select(manual))

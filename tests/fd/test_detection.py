@@ -1,0 +1,145 @@
+"""Tests for soft-FD detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.detection import DetectionConfig, detect_soft_fds, evaluate_pair
+
+
+FAST = DetectionConfig(
+    bucketing=BucketingConfig(sample_count=4_000, bucket_chunks=32),
+    monte_carlo_rounds=4,
+)
+
+
+class TestDetectionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfig(margin_method="bogus")
+        with pytest.raises(ValueError):
+            DetectionConfig(margin_sigmas=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(target_coverage=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(min_inlier_fraction=1.5)
+        with pytest.raises(ValueError):
+            DetectionConfig(monte_carlo_rounds=0)
+
+
+class TestEvaluatePair:
+    def test_accepts_clean_linear_dependency(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.0, 100.0, size=10_000)
+        y = 2.5 * x + 10.0 + rng.normal(scale=1.0, size=10_000)
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST)
+        assert candidate.accepted
+        assert candidate.model.slope == pytest.approx(2.5, rel=0.05)
+        assert candidate.inlier_fraction > 0.9
+        assert 0.0 <= candidate.score <= 1.0
+
+    def test_accepts_dependency_with_many_outliers(self):
+        rng = np.random.default_rng(1)
+        n = 10_000
+        x = rng.uniform(0.0, 100.0, size=n)
+        y = 2.0 * x + rng.normal(scale=0.5, size=n)
+        outliers = rng.random(n) < 0.25
+        y[outliers] = rng.uniform(y.min(), y.max(), size=int(outliers.sum()))
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST)
+        assert candidate.accepted
+        # Roughly the non-outlier fraction should sit inside the margins.
+        assert 0.6 < candidate.inlier_fraction < 0.9
+
+    def test_rejects_independent_attributes(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.0, 100.0, size=10_000)
+        y = rng.uniform(0.0, 100.0, size=10_000)
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST)
+        assert not candidate.accepted
+
+    def test_rejects_constant_predictor(self):
+        rng = np.random.default_rng(3)
+        x = np.full(5_000, 3.0)
+        y = rng.uniform(0.0, 100.0, size=5_000)
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST)
+        assert not candidate.accepted
+
+    def test_quantile_margin_method(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.0, 100.0, size=8_000)
+        y = 1.5 * x + rng.normal(scale=1.0, size=8_000)
+        config = DetectionConfig(
+            bucketing=FAST.bucketing, margin_method="quantile", target_coverage=0.9,
+            monte_carlo_rounds=4,
+        )
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=config)
+        assert candidate.accepted
+        assert candidate.inlier_fraction == pytest.approx(0.9, abs=0.05)
+
+    def test_metrics_are_recorded_even_when_rejected(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=2_000)
+        y = rng.uniform(size=2_000)
+        candidate = evaluate_pair(x, y, predictor="a", dependent="b", config=FAST)
+        assert candidate.predictor == "a"
+        assert candidate.dependent == "b"
+        assert candidate.relative_band >= 0.0
+        assert candidate.slope_variation >= 0.0
+
+
+class TestDetectSoftFDs:
+    def test_finds_the_generating_dependency(self, small_linear_table):
+        candidates = detect_soft_fds(small_linear_table, config=FAST)
+        assert len(candidates) == 1
+        pair = {candidates[0].predictor, candidates[0].dependent}
+        assert pair == {"x", "y"}
+
+    def test_detects_dependency_with_outliers(self, outlier_linear_table):
+        candidates = detect_soft_fds(outlier_linear_table, config=FAST)
+        assert len(candidates) == 1
+
+    def test_no_false_positives_on_independent_data(self):
+        rng = np.random.default_rng(6)
+        table = Table(
+            {
+                "a": rng.uniform(size=5_000),
+                "b": rng.normal(size=5_000),
+                "c": rng.exponential(size=5_000),
+            }
+        )
+        assert detect_soft_fds(table, config=FAST) == []
+
+    def test_airline_groups_match_table1(self, airline_small):
+        candidates = detect_soft_fds(airline_small, config=FAST)
+        detected_pairs = {frozenset((c.predictor, c.dependent)) for c in candidates}
+        # The distance/time group must be found.
+        assert frozenset(("Distance", "AirTime")) in detected_pairs
+        assert frozenset(("Distance", "TimeElapsed")) in detected_pairs
+        # The departure/arrival group must be found.
+        assert frozenset(("DepTime", "ArrTime")) in detected_pairs or frozenset(
+            ("ArrTime", "ScheduledArrTime")
+        ) in detected_pairs
+        # Independent attributes must not show up.
+        for candidate in candidates:
+            assert "DayOfWeek" not in (candidate.predictor, candidate.dependent)
+            assert "Carrier" not in (candidate.predictor, candidate.dependent)
+
+    def test_osm_id_timestamp_detected(self, osm_small):
+        candidates = detect_soft_fds(osm_small, config=FAST)
+        detected_pairs = {frozenset((c.predictor, c.dependent)) for c in candidates}
+        assert frozenset(("Id", "Timestamp")) in detected_pairs
+        assert frozenset(("Latitude", "Longitude")) not in detected_pairs
+
+    def test_columns_argument_restricts_search(self, airline_small):
+        candidates = detect_soft_fds(
+            airline_small, config=FAST, columns=("Distance", "DayOfWeek")
+        )
+        assert candidates == []
+
+    def test_results_sorted_by_score(self, airline_small):
+        candidates = detect_soft_fds(airline_small, config=FAST)
+        scores = [candidate.score for candidate in candidates]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,163 @@
+"""Tests for FD-group construction and predictor selection."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import pytest
+
+from repro.fd.detection import FDCandidate
+from repro.fd.groups import FDGroup, UnionFind, build_groups
+from repro.fd.model import LinearFDModel
+
+
+def make_candidate(
+    predictor: str,
+    dependent: str,
+    *,
+    accepted: bool = True,
+    inlier_fraction: float = 0.9,
+    relative_band: float = 0.05,
+) -> FDCandidate:
+    return FDCandidate(
+        predictor=predictor,
+        dependent=dependent,
+        model=LinearFDModel(1.0, 0.0, 1.0, 1.0),
+        inlier_fraction=inlier_fraction,
+        relative_band=relative_band,
+        slope_variation=0.01,
+        accepted=accepted,
+    )
+
+
+def fit_any(predictor: str, dependent: str) -> Optional[FDCandidate]:
+    """Pair fitter that always succeeds (used where chains must be completed)."""
+    return make_candidate(predictor, dependent)
+
+
+def fit_none(predictor: str, dependent: str) -> Optional[FDCandidate]:
+    """Pair fitter that always fails."""
+    return None
+
+
+class TestUnionFind:
+    def test_components(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        uf.union("b", "c")
+        uf.add("e")
+        components = {tuple(sorted(c)) for c in uf.components()}
+        assert components == {("a", "b", "c", "d"), ("e",)}
+
+    def test_find_is_idempotent(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert uf.find("x") == uf.find("y")
+        assert uf.find("x") == uf.find("x")
+
+
+class TestFDGroup:
+    def test_requires_models_for_all_dependents(self):
+        with pytest.raises(ValueError):
+            FDGroup(predictor="a", dependents=("b",), models={})
+
+    def test_predictor_cannot_be_dependent(self):
+        with pytest.raises(ValueError):
+            FDGroup(
+                predictor="a",
+                dependents=("a",),
+                models={"a": LinearFDModel(1.0, 0.0, 0.0, 0.0)},
+            )
+
+    def test_attributes_and_model_lookup(self):
+        model = LinearFDModel(1.0, 0.0, 0.0, 0.0)
+        group = FDGroup(predictor="a", dependents=("b",), models={"b": model})
+        assert group.attributes == ("a", "b")
+        assert group.n_attributes == 2
+        assert group.model_for("b") is model
+        with pytest.raises(KeyError):
+            group.model_for("zzz")
+
+    def test_memory_bytes(self):
+        group = FDGroup(
+            predictor="a",
+            dependents=("b", "c"),
+            models={
+                "b": LinearFDModel(1.0, 0.0, 0.0, 0.0),
+                "c": LinearFDModel(1.0, 0.0, 0.0, 0.0),
+            },
+        )
+        assert group.memory_bytes() == 64
+
+
+class TestBuildGroups:
+    def test_single_pair(self):
+        groups = build_groups([make_candidate("x", "y")], fit_none)
+        assert len(groups) == 1
+        assert groups[0].predictor == "x"
+        assert groups[0].dependents == ("y",)
+
+    def test_rejected_candidates_are_ignored(self):
+        groups = build_groups([make_candidate("x", "y", accepted=False)], fit_any)
+        assert groups == []
+
+    def test_star_from_shared_predictor(self):
+        candidates = [make_candidate("x", "y"), make_candidate("x", "z")]
+        groups = build_groups(candidates, fit_none)
+        assert len(groups) == 1
+        assert groups[0].predictor == "x"
+        assert set(groups[0].dependents) == {"y", "z"}
+
+    def test_chain_is_completed_via_fit_pair(self):
+        # a -> b and b -> c merge into one component; whichever predictor is
+        # chosen, the missing model is requested from fit_pair.
+        candidates = [make_candidate("a", "b"), make_candidate("b", "c")]
+        groups = build_groups(candidates, fit_any)
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.n_attributes == 3
+        assert set(group.attributes) == {"a", "b", "c"}
+
+    def test_chain_without_refit_degrades_gracefully(self):
+        # When the transitive model cannot be fitted, the group keeps only the
+        # dependents reachable directly from the chosen predictor.
+        candidates = [make_candidate("a", "b"), make_candidate("b", "c")]
+        groups = build_groups(candidates, fit_none)
+        assert len(groups) == 1
+        group = groups[0]
+        # Only directly-modelled dependents survive; the group never claims an
+        # attribute it cannot actually predict.
+        assert group.n_attributes == 2
+        assert (group.predictor, group.dependents) in (("a", ("b",)), ("b", ("c",)))
+
+    def test_two_independent_groups(self):
+        candidates = [make_candidate("a", "b"), make_candidate("c", "d")]
+        groups = build_groups(candidates, fit_none)
+        assert len(groups) == 2
+        predictors = {group.predictor for group in groups}
+        assert predictors == {"a", "c"}
+
+    def test_predictor_preference_for_coverage(self):
+        # "hub" predicts two attributes directly; "b" predicts only one.
+        candidates = [
+            make_candidate("hub", "b", inlier_fraction=0.8),
+            make_candidate("hub", "c", inlier_fraction=0.8),
+            make_candidate("b", "c", inlier_fraction=0.99),
+        ]
+        groups = build_groups(candidates, fit_none)
+        assert len(groups) == 1
+        assert groups[0].predictor == "hub"
+
+    def test_empty_input(self):
+        assert build_groups([], fit_any) == []
+
+    def test_groups_sorted_by_size(self):
+        candidates = [
+            make_candidate("a", "b"),
+            make_candidate("c", "d"),
+            make_candidate("c", "e"),
+        ]
+        groups = build_groups(candidates, fit_none)
+        assert [group.n_attributes for group in groups] == [3, 2]

@@ -1,0 +1,229 @@
+"""Tests for the linear and spline soft-FD models, including query translation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.predicates import Interval
+from repro.fd.model import FDModel, LinearFDModel, SplineFDModel, SplineSegment
+
+reasonable_floats = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestLinearFDModelBasics:
+    def test_prediction(self):
+        model = LinearFDModel(slope=2.0, intercept=1.0, eps_lb=0.5, eps_ub=0.5)
+        assert np.allclose(model.predict(np.array([0.0, 1.0, 2.0])), [1.0, 3.0, 5.0])
+
+    def test_residuals_and_margin(self):
+        model = LinearFDModel(slope=1.0, intercept=0.0, eps_lb=1.0, eps_ub=2.0)
+        x = np.array([0.0, 0.0, 0.0, 0.0])
+        y = np.array([-1.0, 2.0, -1.01, 2.01])
+        assert model.within_margin(x, y).tolist() == [True, True, False, False]
+
+    def test_negative_margins_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFDModel(1.0, 0.0, -1.0, 0.0)
+
+    def test_nan_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFDModel(float("nan"), 0.0, 0.0, 0.0)
+
+    def test_with_margins(self):
+        model = LinearFDModel(1.0, 0.0, 0.0, 0.0).with_margins(2.0, 3.0)
+        assert model.eps_lb == 2.0 and model.eps_ub == 3.0
+
+    def test_memory_bytes(self):
+        assert LinearFDModel(1.0, 0.0, 0.0, 0.0).memory_bytes() == 32
+
+    def test_satisfies_protocol(self):
+        assert isinstance(LinearFDModel(1.0, 0.0, 0.0, 0.0), FDModel)
+
+
+class TestLinearTranslation:
+    """Query translation must never exclude a record that satisfies the margins."""
+
+    def test_dependent_interval_positive_slope(self):
+        model = LinearFDModel(slope=2.0, intercept=0.0, eps_lb=1.0, eps_ub=1.0)
+        band = model.dependent_interval(Interval(0.0, 10.0))
+        assert band.low == pytest.approx(-1.0)
+        assert band.high == pytest.approx(21.0)
+
+    def test_predictor_interval_positive_slope(self):
+        model = LinearFDModel(slope=2.0, intercept=0.0, eps_lb=1.0, eps_ub=1.0)
+        translated = model.predictor_interval(Interval(10.0, 20.0))
+        # Inliers with y in [10, 20] must have 2x in [9, 21] -> x in [4.5, 10.5].
+        assert translated.low == pytest.approx(4.5)
+        assert translated.high == pytest.approx(10.5)
+
+    def test_predictor_interval_negative_slope_swaps_bounds(self):
+        model = LinearFDModel(slope=-1.0, intercept=0.0, eps_lb=0.0, eps_ub=0.0)
+        translated = model.predictor_interval(Interval(1.0, 2.0))
+        assert translated.low == pytest.approx(-2.0)
+        assert translated.high == pytest.approx(-1.0)
+
+    def test_zero_slope_gives_unbounded_predictor_interval(self):
+        model = LinearFDModel(slope=0.0, intercept=5.0, eps_lb=1.0, eps_ub=1.0)
+        assert model.predictor_interval(Interval(0.0, 1.0)).is_unbounded
+
+    def test_unbounded_query_side_stays_unbounded(self):
+        model = LinearFDModel(slope=2.0, intercept=0.0, eps_lb=1.0, eps_ub=1.0)
+        translated = model.predictor_interval(Interval(5.0, math.inf))
+        assert translated.high == math.inf
+        assert translated.low == pytest.approx((5.0 - 1.0) / 2.0)
+
+    def test_empty_query_interval_translates_to_empty(self):
+        model = LinearFDModel(slope=1.0, intercept=0.0, eps_lb=0.0, eps_ub=0.0)
+        assert model.predictor_interval(Interval.empty()).is_empty
+        assert model.dependent_interval(Interval.empty()).is_empty
+
+    @given(
+        slope=st.floats(0.1, 50.0) | st.floats(-50.0, -0.1),
+        intercept=reasonable_floats,
+        eps_lb=st.floats(0.0, 100.0),
+        eps_ub=st.floats(0.0, 100.0),
+        x=reasonable_floats,
+        noise=st.floats(-1.0, 1.0),
+        y_low=reasonable_floats,
+        y_width=st.floats(0.0, 1e3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_translation_never_loses_inliers(
+        self, slope, intercept, eps_lb, eps_ub, x, noise, y_low, y_width
+    ):
+        """Any in-margin record whose y matches the query also matches the
+        translated x constraint (the soundness property behind Equation 2)."""
+        model = LinearFDModel(slope, intercept, eps_lb, eps_ub)
+        # Construct a record inside the margin band.
+        residual = noise * (eps_ub if noise >= 0 else eps_lb)
+        y = slope * x + intercept + residual
+        query = Interval(y_low, y_low + y_width)
+        if not query.contains_value(y):
+            return
+        translated = model.predictor_interval(query)
+        assert translated.contains_value(x)
+
+    @given(
+        slope=st.floats(0.1, 50.0) | st.floats(-50.0, -0.1),
+        intercept=reasonable_floats,
+        eps=st.floats(0.0, 100.0),
+        x_low=reasonable_floats,
+        x_width=st.floats(0.0, 1e3),
+        position=st.floats(0.0, 1.0),
+        noise=st.floats(-1.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_dependent_interval_covers_inliers(
+        self, slope, intercept, eps, x_low, x_width, position, noise
+    ):
+        model = LinearFDModel(slope, intercept, eps, eps)
+        x = x_low + position * x_width
+        y = slope * x + intercept + noise * eps
+        band = model.dependent_interval(Interval(x_low, x_low + x_width))
+        assert band.low - 1e-6 <= y <= band.high + 1e-6
+
+
+class TestSplineSegments:
+    def test_overlapping_segments_rejected(self):
+        segments = [
+            SplineSegment(0.0, 10.0, 1.0, 0.0),
+            SplineSegment(5.0, 15.0, 1.0, 0.0),
+        ]
+        with pytest.raises(ValueError):
+            SplineFDModel(segments, 1.0, 1.0)
+
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ValueError):
+            SplineFDModel([], 1.0, 1.0)
+
+    def test_negative_margins_rejected(self):
+        with pytest.raises(ValueError):
+            SplineFDModel([SplineSegment(0, 1, 1, 0)], -1.0, 0.0)
+
+
+class TestSplineFit:
+    def test_single_segment_for_linear_data(self):
+        x = np.linspace(0.0, 100.0, 2_000)
+        y = 2.0 * x + 3.0
+        spline = SplineFDModel.fit(x, y, epsilon=1.0)
+        assert spline.n_segments == 1
+        assert np.abs(spline.residuals(x, y)).max() < 1.0
+
+    def test_piecewise_data_needs_multiple_segments(self):
+        x = np.linspace(0.0, 100.0, 4_000)
+        y = np.where(x < 50.0, 2.0 * x, 200.0 - 2.0 * (x - 50.0))
+        spline = SplineFDModel.fit(x, y, epsilon=2.0)
+        assert spline.n_segments >= 2
+        assert float(np.mean(spline.within_margin(x, y))) > 0.95
+
+    def test_smaller_epsilon_means_more_segments(self):
+        rng = np.random.default_rng(0)
+        x = np.sort(rng.uniform(0.0, 100.0, size=3_000))
+        y = 0.05 * x**2 + rng.normal(scale=0.5, size=3_000)
+        coarse = SplineFDModel.fit(x, y, epsilon=50.0)
+        fine = SplineFDModel.fit(x, y, epsilon=5.0)
+        assert fine.n_segments >= coarse.n_segments
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SplineFDModel.fit(np.array([]), np.array([]), epsilon=1.0)
+        with pytest.raises(ValueError):
+            SplineFDModel.fit(np.arange(4.0), np.arange(4.0), epsilon=0.0)
+        with pytest.raises(ValueError):
+            SplineFDModel.fit(np.arange(4.0), np.arange(5.0), epsilon=1.0)
+
+    def test_memory_grows_with_segments(self):
+        x = np.linspace(0.0, 100.0, 2_000)
+        y_linear = x.copy()
+        y_bumpy = np.sin(x / 3.0) * 50.0
+        linear = SplineFDModel.fit(x, y_linear, epsilon=1.0)
+        bumpy = SplineFDModel.fit(x, y_bumpy, epsilon=1.0)
+        assert bumpy.memory_bytes() > linear.memory_bytes()
+
+
+class TestSplineTranslation:
+    @pytest.fixture()
+    def vshape(self):
+        x = np.linspace(0.0, 100.0, 4_000)
+        y = np.where(x < 50.0, x, 100.0 - x) * 2.0
+        return x, y, SplineFDModel.fit(x, y, epsilon=1.0)
+
+    def test_within_margin_consistent_with_residuals(self, vshape):
+        x, y, spline = vshape
+        mask = spline.within_margin(x, y)
+        residuals = spline.residuals(x, y)
+        expected = (residuals >= -spline.eps_lb) & (residuals <= spline.eps_ub)
+        assert np.array_equal(mask, expected)
+
+    def test_predictor_interval_covers_matching_inliers(self, vshape):
+        x, y, spline = vshape
+        query = Interval(40.0, 60.0)
+        translated = spline.predictor_interval(query)
+        inliers = spline.within_margin(x, y)
+        matching = inliers & (y >= query.low) & (y <= query.high)
+        assert np.all(translated.contains(x[matching]))
+
+    def test_dependent_interval_covers_inliers(self, vshape):
+        x, y, spline = vshape
+        x_query = Interval(20.0, 80.0)
+        band = spline.dependent_interval(x_query)
+        selected = (x >= x_query.low) & (x <= x_query.high) & spline.within_margin(x, y)
+        assert np.all(band.contains(y[selected]))
+
+    def test_extrapolation_outside_trained_span(self, vshape):
+        _, _, spline = vshape
+        band = spline.dependent_interval(Interval(150.0, 200.0))
+        assert not band.is_empty
+
+    def test_empty_intervals(self, vshape):
+        _, _, spline = vshape
+        assert spline.dependent_interval(Interval.empty()).is_empty
+        assert spline.predictor_interval(Interval.empty()).is_empty
+
+    def test_satisfies_protocol(self, vshape):
+        _, _, spline = vshape
+        assert isinstance(spline, FDModel)

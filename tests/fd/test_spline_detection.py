@@ -1,0 +1,103 @@
+"""Tests for the non-linear (spline) soft-FD detection extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.detection import DetectionConfig, evaluate_pair
+from repro.fd.model import LinearFDModel, SplineFDModel
+
+
+def nonlinear_pair(n: int = 8_000, seed: int = 0, noise: float = 2.0):
+    """A V-shaped dependency no single line can model within a small margin."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = np.abs(x - 50.0) * 4.0 + rng.normal(0.0, noise, size=n)
+    return x, y
+
+
+FAST_SPLINE = DetectionConfig(
+    bucketing=BucketingConfig(sample_count=4_000, bucket_chunks=32),
+    monte_carlo_rounds=4,
+    allow_spline=True,
+)
+FAST_LINEAR_ONLY = DetectionConfig(
+    bucketing=BucketingConfig(sample_count=4_000, bucket_chunks=32),
+    monte_carlo_rounds=4,
+    allow_spline=False,
+)
+
+
+class TestSplineDetection:
+    def test_linear_only_rejects_v_shape(self):
+        x, y = nonlinear_pair()
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST_LINEAR_ONLY)
+        assert not candidate.accepted
+
+    def test_spline_accepts_v_shape(self):
+        x, y = nonlinear_pair()
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST_SPLINE)
+        assert candidate.accepted
+        assert isinstance(candidate.model, SplineFDModel)
+        assert candidate.model.n_segments >= 2
+        assert candidate.inlier_fraction > 0.8
+        assert candidate.relative_band < 0.35
+
+    def test_linear_dependency_still_prefers_linear_model(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0.0, 100.0, size=6_000)
+        y = 3.0 * x + rng.normal(0.0, 1.0, size=6_000)
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST_SPLINE)
+        assert candidate.accepted
+        assert isinstance(candidate.model, LinearFDModel)
+
+    def test_independent_attributes_still_rejected(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(size=5_000)
+        y = rng.uniform(size=5_000)
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=FAST_SPLINE)
+        assert not candidate.accepted
+
+    def test_segment_cap_rejects_irregular_dependencies(self):
+        x, y = nonlinear_pair(noise=0.5)
+        config = DetectionConfig(
+            bucketing=FAST_SPLINE.bucketing,
+            monte_carlo_rounds=4,
+            allow_spline=True,
+            max_spline_segments=1,
+        )
+        candidate = evaluate_pair(x, y, predictor="x", dependent="y", config=config)
+        assert not isinstance(candidate.model, SplineFDModel) or not candidate.accepted
+
+
+class TestCOAXWithSplineGroups:
+    def test_end_to_end_exactness_on_nonlinear_fd(self):
+        x, y = nonlinear_pair(n=5_000, seed=3)
+        rng = np.random.default_rng(4)
+        z = rng.uniform(0.0, 10.0, size=5_000)
+        table = Table({"x": x, "y": y, "z": z})
+        config = COAXConfig(detection=FAST_SPLINE)
+        index = COAXIndex(table, config=config)
+        assert len(index.groups) == 1
+        assert isinstance(index.groups[0].model_for("y"), SplineFDModel)
+        # y is predicted, so only x and z are indexed.
+        assert set(index.build_report.indexed_dimensions) == {"x", "z"}
+        queries = [
+            Rectangle({"y": Interval(0.0, 50.0)}),
+            Rectangle({"x": Interval(20.0, 80.0), "y": Interval(20.0, 120.0)}),
+            Rectangle({"y": Interval(100.0, 160.0), "z": Interval(2.0, 8.0)}),
+        ]
+        for query in queries:
+            assert np.array_equal(np.sort(index.range_query(query)), table.select(query))
+
+    def test_spline_group_keeps_most_rows_in_primary(self):
+        x, y = nonlinear_pair(n=5_000, seed=5)
+        table = Table({"x": x, "y": y})
+        index = COAXIndex(table, config=COAXConfig(detection=FAST_SPLINE))
+        assert index.primary_ratio > 0.8

@@ -1,0 +1,118 @@
+"""Tests for the index base class contract, registry and the full-scan baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.indexes.base import (
+    IndexBuildError,
+    MultidimensionalIndex,
+    QueryStats,
+    available_indexes,
+    create_index,
+    register_index,
+)
+from repro.indexes.full_scan import FullScanIndex
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(0)
+    return Table(
+        {
+            "a": rng.uniform(0.0, 100.0, size=2_000),
+            "b": rng.uniform(0.0, 100.0, size=2_000),
+        }
+    )
+
+
+class TestQueryStats:
+    def test_record_and_reset(self):
+        stats = QueryStats()
+        stats.record(rows_examined=10, rows_matched=3, cells_visited=2)
+        stats.record(rows_examined=20, rows_matched=5)
+        assert stats.queries == 2
+        assert stats.rows_examined == 30
+        assert stats.mean_rows_examined == 15.0
+        stats.reset()
+        assert stats.queries == 0
+        assert stats.mean_rows_examined == 0.0
+
+
+class TestRegistry:
+    def test_known_indexes_registered(self):
+        names = available_indexes()
+        for expected in ("full_scan", "sorted_column", "uniform_grid",
+                         "sorted_cell_grid", "column_files", "rtree", "coax"):
+            assert expected in names
+
+    def test_create_index_by_name(self, table):
+        index = create_index("full_scan", table)
+        assert isinstance(index, FullScanIndex)
+
+    def test_unknown_name(self, table):
+        with pytest.raises(KeyError):
+            create_index("nope", table)
+
+    def test_register_requires_name(self):
+        class Nameless(FullScanIndex):
+            name = "abstract"
+
+        with pytest.raises(ValueError):
+            register_index(Nameless)
+
+
+class TestBaseContract:
+    def test_unknown_dimension_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            FullScanIndex(table, dimensions=("nope",))
+
+    def test_row_ids_subset(self, table):
+        row_ids = np.arange(0, 100, dtype=np.int64)
+        index = FullScanIndex(table, row_ids=row_ids)
+        assert index.n_rows == 100
+        result = index.range_query(Rectangle.unconstrained())
+        assert np.array_equal(np.sort(result), row_ids)
+
+    def test_results_are_original_row_ids(self, table):
+        row_ids = np.array([5, 10, 20], dtype=np.int64)
+        index = FullScanIndex(table, row_ids=row_ids)
+        point = table.row(10)
+        result = index.point_query(point)
+        assert 10 in result
+
+    def test_empty_query_returns_nothing(self, table):
+        index = FullScanIndex(table)
+        assert len(index.range_query(Rectangle({"a": Interval(5.0, 1.0)}))) == 0
+
+    def test_empty_index(self, table):
+        index = FullScanIndex(table, row_ids=np.empty(0, dtype=np.int64))
+        assert index.count(Rectangle.unconstrained()) == 0
+
+    def test_data_and_total_bytes(self, table):
+        index = FullScanIndex(table)
+        assert index.data_bytes() == table.nbytes()
+        assert index.total_bytes() == index.data_bytes() + index.directory_bytes()
+
+
+class TestFullScan:
+    def test_matches_table_select(self, table):
+        index = FullScanIndex(table)
+        query = Rectangle({"a": Interval(10.0, 50.0), "b": Interval(0.0, 30.0)})
+        assert np.array_equal(np.sort(index.range_query(query)), table.select(query))
+
+    def test_zero_directory_overhead(self, table):
+        assert FullScanIndex(table).directory_bytes() == 0
+
+    def test_stats_count_every_row(self, table):
+        index = FullScanIndex(table)
+        index.range_query(Rectangle({"a": Interval(0.0, 1.0)}))
+        assert index.stats.rows_examined == table.n_rows
+
+    def test_count_helper(self, table):
+        index = FullScanIndex(table)
+        query = Rectangle({"a": Interval(0.0, 50.0)})
+        assert index.count(query) == len(table.select(query))

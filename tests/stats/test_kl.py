@@ -1,0 +1,57 @@
+"""Tests for the KL-divergence uniformity measure (Appendix B.3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.stats.kl import kl_divergence_from_uniform, uniformity_score
+
+
+class TestKLDivergence:
+    def test_uniform_data_has_small_divergence(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 1.0, size=50_000)
+        assert kl_divergence_from_uniform(values, n_bins=32) < 0.01
+
+    def test_skewed_data_has_larger_divergence(self):
+        rng = np.random.default_rng(1)
+        uniform = rng.uniform(0.0, 1.0, size=20_000)
+        skewed = rng.exponential(scale=0.05, size=20_000)
+        assert kl_divergence_from_uniform(skewed) > kl_divergence_from_uniform(uniform)
+
+    def test_constant_data_is_maximally_divergent(self):
+        values = np.full(100, 3.0)
+        assert kl_divergence_from_uniform(values, n_bins=16) == math.log(16)
+
+    def test_empty_input(self):
+        assert kl_divergence_from_uniform(np.array([])) == 0.0
+
+    def test_divergence_is_non_negative(self):
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            values = rng.normal(size=1_000)
+            assert kl_divergence_from_uniform(values) >= 0.0
+
+
+class TestUniformityScore:
+    def test_score_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        for scale in (0.01, 0.1, 1.0):
+            values = rng.exponential(scale=scale, size=5_000)
+            assert 0.0 <= uniformity_score(values) <= 1.0
+
+    def test_uniform_scores_near_one(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(size=50_000)
+        assert uniformity_score(values) > 0.99
+
+    def test_constant_scores_zero(self):
+        assert uniformity_score(np.full(50, 1.0)) == 0.0
+
+    def test_ordering_matches_skew(self):
+        rng = np.random.default_rng(5)
+        mild = rng.normal(0.0, 1.0, size=20_000)
+        extreme = rng.lognormal(0.0, 2.0, size=20_000)
+        assert uniformity_score(mild) > uniformity_score(extreme)

@@ -1,0 +1,49 @@
+"""Tests for the benchmark CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.rows is None
+
+    def test_options(self):
+        args = build_parser().parse_args(["fig6", "--rows", "1000", "--queries", "5", "--seed", "2"])
+        assert args.rows == 1000
+        assert args.queries == 5
+        assert args.seed == 2
+
+
+class TestRunExperiment:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_table1_text(self):
+        text = run_experiment("table1", rows=3_000)
+        assert "Airline" in text and "OSM" in text
+        assert "primary_ratio" in text
+
+    def test_queries_parameter_forwarded(self):
+        text = run_experiment("fig4", rows=3_000)
+        assert "page_length_low" in text
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output and "fig8" in output
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1", "--rows", "3000"]) == 0
+        assert "Airline" in capsys.readouterr().out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["bogus"]) == 2

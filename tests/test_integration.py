@@ -1,0 +1,110 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the public API exactly the way the examples and benchmarks
+do: generate a dataset, build COAX and the baselines, run a mixed workload,
+and check exactness, the dimensionality reduction, and the memory story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    COAXConfig,
+    COAXIndex,
+    FullScanIndex,
+    Interval,
+    Rectangle,
+    RTreeIndex,
+    UniformGridIndex,
+    WorkloadConfig,
+    generate_airline_dataset,
+    generate_knn_queries,
+    generate_osm_dataset,
+    generate_point_queries,
+)
+from repro.data.airline import AirlineConfig
+from repro.data.osm import OSMConfig
+
+
+class TestPublicAPIEndToEnd:
+    def test_airline_pipeline(self, fast_coax_config):
+        table, _ = generate_airline_dataset(AirlineConfig(n_rows=8_000, seed=17))
+        coax = COAXIndex(table, config=fast_coax_config)
+        baselines = [
+            FullScanIndex(table),
+            UniformGridIndex(table, cells_per_dim=4),
+            RTreeIndex(table, node_capacity=10),
+        ]
+        range_queries = generate_knn_queries(
+            table, WorkloadConfig(n_queries=12, k_neighbours=150, seed=2)
+        )
+        point_queries = generate_point_queries(table, WorkloadConfig(n_queries=12, seed=3))
+        for query in list(range_queries) + list(point_queries):
+            expected = table.select(query)
+            assert np.array_equal(np.sort(coax.range_query(query)), expected)
+            for baseline in baselines:
+                assert np.array_equal(np.sort(baseline.range_query(query)), expected)
+        # The dimensionality-reduction and memory claims hold end to end.
+        assert len(coax.build_report.indexed_dimensions) < table.n_dims
+        assert coax.directory_bytes() < RTreeIndex(table, node_capacity=10).directory_bytes()
+
+    def test_osm_pipeline(self, fast_coax_config):
+        table, _ = generate_osm_dataset(OSMConfig(n_rows=8_000, seed=19))
+        coax = COAXIndex(table, config=fast_coax_config)
+        assert any(set(group.attributes) == {"Id", "Timestamp"} for group in coax.groups)
+        queries = generate_knn_queries(table, WorkloadConfig(n_queries=12, k_neighbours=150, seed=4))
+        for query in queries:
+            assert np.array_equal(np.sort(coax.range_query(query)), table.select(query))
+
+    def test_mixed_query_shapes(self, airline_coax, airline_small):
+        """Partial constraints, one-sided ranges and predicted-only queries."""
+        queries = [
+            Rectangle({"Distance": Interval(1_000.0, float("inf"))}),
+            Rectangle({"AirTime": Interval(float("-inf"), 90.0)}),
+            Rectangle({"TimeElapsed": Interval(100.0, 200.0), "DayOfWeek": Interval(2.0, 4.0)}),
+            Rectangle({"ArrTime": Interval(600.0, 660.0), "Distance": Interval(200.0, 900.0)}),
+            Rectangle.unconstrained(),
+        ]
+        for query in queries:
+            assert np.array_equal(
+                np.sort(airline_coax.range_query(query)), airline_small.select(query)
+            )
+
+    def test_insert_then_compact_end_to_end(self, fast_coax_config):
+        table, _ = generate_airline_dataset(AirlineConfig(n_rows=4_000, seed=23))
+        index = COAXIndex(table, config=fast_coax_config)
+        new_flight = {name: float(table.column(name)[0]) for name in table.schema}
+        new_flight["Distance"] = 750.0
+        new_flight["AirTime"] = 120.0
+        row_id = index.insert(new_flight)
+        hits = index.range_query(
+            Rectangle({"Distance": Interval(749.0, 751.0), "AirTime": Interval(119.0, 121.0)})
+        )
+        assert row_id in hits
+        compacted = index.compact()
+        hits_after = compacted.range_query(
+            Rectangle({"Distance": Interval(749.0, 751.0), "AirTime": Interval(119.0, 121.0)})
+        )
+        assert len(hits_after) >= 1
+
+
+class TestCrossIndexAgreementOnWorkloads:
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_all_structures_agree(self, seed, fast_coax_config):
+        table, _ = generate_osm_dataset(OSMConfig(n_rows=5_000, seed=seed))
+        indexes = {
+            "coax": COAXIndex(table, config=fast_coax_config),
+            "grid": UniformGridIndex(table, cells_per_dim=6),
+            "rtree": RTreeIndex(table, node_capacity=12),
+            "scan": FullScanIndex(table),
+        }
+        workload = generate_knn_queries(table, WorkloadConfig(n_queries=10, k_neighbours=80, seed=seed))
+        for query in workload:
+            results = {
+                name: np.sort(index.range_query(query)) for name, index in indexes.items()
+            }
+            reference = results.pop("scan")
+            for name, result in results.items():
+                assert np.array_equal(result, reference), name

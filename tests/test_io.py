@@ -1,0 +1,167 @@
+"""Tests for persistence and table import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.predicates import Interval, Rectangle
+from repro.data.queries import WorkloadConfig, generate_knn_queries
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
+from repro.io.datasets import encode_categories, load_csv, load_npz, save_csv, save_npz
+from repro.io.persistence import FORMAT_VERSION, load_index, save_index
+
+
+class TestIndexPersistence:
+    def test_round_trip_preserves_results(self, airline_coax, airline_small, tmp_path):
+        path = save_index(airline_coax, tmp_path / "airline.coax.npz")
+        loaded = load_index(path)
+        assert loaded.n_rows == airline_coax.n_rows
+        assert len(loaded.groups) == len(airline_coax.groups)
+        assert loaded.primary_ratio == pytest.approx(airline_coax.primary_ratio)
+        workload = generate_knn_queries(
+            airline_small, WorkloadConfig(n_queries=8, k_neighbours=100, seed=9)
+        )
+        for query in workload:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)), np.sort(airline_coax.range_query(query))
+            )
+
+    def test_round_trip_preserves_model_parameters(self, airline_coax, tmp_path):
+        path = save_index(airline_coax, tmp_path / "m.npz")
+        loaded = load_index(path)
+        original = {
+            (g.predictor, d): g.model_for(d) for g in airline_coax.groups for d in g.dependents
+        }
+        restored = {
+            (g.predictor, d): g.model_for(d) for g in loaded.groups for d in g.dependents
+        }
+        assert set(original) == set(restored)
+        for key, model in original.items():
+            assert restored[key].slope == pytest.approx(model.slope)
+            assert restored[key].eps_ub == pytest.approx(model.eps_ub)
+
+    def test_pending_records_are_folded_in_before_save(self, tmp_path):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.0, 100.0, size=1_000)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=1_000)})
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
+        ]
+        index = COAXIndex(table, groups=groups)
+        index.insert({"x": 50.0, "y": 100.0})
+        path = save_index(index, tmp_path / "pending.npz")
+        loaded = load_index(path)
+        assert loaded.n_rows == 1_001
+        assert loaded.n_pending == 0
+
+    def test_spline_models_survive_round_trip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        x = np.sort(rng.uniform(0.0, 100.0, size=2_000))
+        y = np.where(x < 50.0, x, 100.0 - x) * 2.0 + rng.normal(0, 0.2, size=2_000)
+        table = Table({"x": x, "y": y})
+        spline = SplineFDModel.fit(x, y, epsilon=2.0)
+        groups = [FDGroup(predictor="x", dependents=("y",), models={"y": spline})]
+        index = COAXIndex(table, groups=groups)
+        loaded = load_index(save_index(index, tmp_path / "spline.npz"))
+        restored = loaded.groups[0].model_for("y")
+        assert isinstance(restored, SplineFDModel)
+        assert restored.n_segments == spline.n_segments
+        query = Rectangle({"y": Interval(40.0, 60.0)})
+        assert np.array_equal(np.sort(loaded.range_query(query)), table.select(query))
+
+    def test_rejects_non_index_archives(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, data=np.arange(5))
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_format_version_is_checked(self, airline_coax, tmp_path, monkeypatch):
+        path = save_index(airline_coax, tmp_path / "v.npz")
+        monkeypatch.setattr("repro.io.persistence.FORMAT_VERSION", FORMAT_VERSION + 1)
+        with pytest.raises(ValueError):
+            load_index(path)
+
+    def test_unserialisable_model_rejected(self):
+        from repro.io.persistence import _model_from_dict, _model_to_dict
+
+        class WeirdModel:
+            """Satisfies nothing the serialiser knows about."""
+
+        with pytest.raises(TypeError):
+            _model_to_dict(WeirdModel())
+        with pytest.raises(ValueError):
+            _model_from_dict({"kind": "mystery"})
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        table = Table({"a": np.array([1.5, 2.5]), "b": np.array([-1.0, 4.0])})
+        path = save_csv(table, tmp_path / "t.csv")
+        loaded, encodings = load_csv(path)
+        assert list(loaded.schema) == ["a", "b"]
+        assert np.allclose(loaded.column("a"), table.column("a"))
+        assert encodings == {"a": {}, "b": {}}
+
+    def test_column_subset_and_max_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c\n1,2,3\n4,5,6\n7,8,9\n")
+        loaded, _ = load_csv(path, columns=["c", "a"], max_rows=2)
+        assert list(loaded.schema) == ["c", "a"]
+        assert loaded.n_rows == 2
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(KeyError):
+            load_csv(path, columns=["zzz"])
+
+    def test_string_columns_skipped_by_default(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("num,label\n1.0,apple\n2.0,pear\n")
+        loaded, _ = load_csv(path)
+        assert list(loaded.schema) == ["num"]
+
+    def test_string_columns_encoded_on_request(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("num,label\n1.0,apple\n2.0,pear\n3.0,apple\n")
+        loaded, encodings = load_csv(path, encode_strings=True)
+        assert "label" in loaded.schema
+        assert encodings["label"] == {"apple": 0.0, "pear": 1.0}
+        assert loaded.column("label").tolist() == [0.0, 1.0, 0.0]
+
+    def test_missing_values_imputed(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1.0\n\n3.0\nNA\n")
+        loaded, _ = load_csv(path)
+        assert loaded.n_rows == 3  # the fully empty line is skipped
+        assert not np.any(np.isnan(loaded.column("a")))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_all_string_file_rejected_without_encoding(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("label\nx\ny\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_encode_categories_is_stable(self):
+        assert encode_categories(["b", "a", "b"]) == {"a": 0.0, "b": 1.0}
+
+
+class TestNPZ:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        table = Table({"x": rng.uniform(size=50), "y": rng.normal(size=50)})
+        path = save_npz(table, tmp_path / "t.npz")
+        loaded = load_npz(path)
+        assert set(loaded.schema) == {"x", "y"}
+        assert np.allclose(loaded.column("x"), table.column("x"))
