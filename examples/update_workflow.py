@@ -1,17 +1,18 @@
 #!/usr/bin/env python
-"""Update workflow: inserting new records into a live COAX index.
+"""Update workflow: batch-inserting new records into a live COAX index.
 
 The paper leaves updates as future work but sketches the mechanism: the
 learned grid and the Bayesian regression can absorb new data incrementally.
-This example demonstrates the update support implemented in this library:
+This example demonstrates the columnar delta-store update subsystem:
 
-1. build COAX over an initial batch of sensor-style records;
-2. stream new records in — each is routed by the learned soft-FD models to
-   the pending-primary or pending-outlier buffer and is immediately
-   queryable;
-3. show the Bayesian model being refined online from the new batch;
-4. compact the index (fold the buffers into the main structures) and verify
-   results stay exact throughout.
+1. build COAX over an initial batch of order records;
+2. stream new orders in with ``insert_batch`` — the whole batch is routed
+   by the learned soft-FD models in one vectorised margin check and is
+   immediately queryable;
+3. measure batch vs one-row-at-a-time insert throughput;
+4. show the Bayesian model being refined online from the new batch;
+5. let threshold-triggered auto-compaction fold the buffers into the main
+   structures incrementally, and verify results stay exact throughout.
 
 Run with::
 
@@ -20,15 +21,23 @@ Run with::
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro import BayesianLinearRegression, COAXIndex, Interval, Rectangle, Table
+from repro import (
+    BayesianLinearRegression,
+    COAXConfig,
+    COAXIndex,
+    Interval,
+    Rectangle,
+    Table,
+)
 
 
-def initial_batch(n_rows: int = 40_000, seed: int = 3) -> Table:
-    """Order table: order_id, ship_weight (correlated with price), price."""
-    rng = np.random.default_rng(seed)
-    order_id = np.arange(1.0, n_rows + 1.0)
+def order_batch(n_rows: int, rng: np.random.Generator, start_id: float = 1.0) -> Table:
+    """Order table: order_id, price, ship weight (correlated with price)."""
+    order_id = np.arange(start_id, start_id + n_rows)
     price = rng.gamma(shape=2.0, scale=40.0, size=n_rows) + 5.0
     # Shipping weight roughly tracks price (bigger orders weigh more), with
     # a few gift-card orders (zero weight) breaking the pattern.
@@ -39,8 +48,10 @@ def initial_batch(n_rows: int = 40_000, seed: int = 3) -> Table:
 
 
 def main() -> None:
-    table = initial_batch()
-    index = COAXIndex(table)
+    rng = np.random.default_rng(3)
+    table = order_batch(40_000, rng)
+    config = COAXConfig(auto_compact_threshold=150_000)
+    index = COAXIndex(table, config=config)
     print("initial build")
     print("-------------")
     print(index.build_report.describe())
@@ -53,32 +64,37 @@ def main() -> None:
     print(f"orders with price in [100, 200] and weight in [8, 20]: {before}\n")
 
     # ------------------------------------------------------------------
-    # Stream new orders in.
+    # Stream new orders in, one vectorised batch.
     # ------------------------------------------------------------------
-    rng = np.random.default_rng(99)
-    print("inserting 500 new orders ...")
-    inserted_matching = 0
-    for i in range(500):
-        price = float(rng.gamma(shape=2.0, scale=40.0) + 5.0)
-        weight = float(0.08 * price + rng.normal(0.0, 0.4))
-        if rng.random() < 0.06:
-            weight = 0.01  # gift card: breaks the dependency, goes to outliers
-        record = {
-            "order_id": float(table.n_rows + i + 1),
-            "price": price,
-            "weight": weight,
-        }
-        index.insert(record)
-        if 100.0 <= price <= 200.0 and 8.0 <= weight <= 20.0:
-            inserted_matching += 1
+    stream_rng = np.random.default_rng(99)
+    new_orders = order_batch(100_000, stream_rng, start_id=float(table.n_rows + 1))
+    inserted_matching = int(np.count_nonzero(new_orders.mask(heavy_and_pricey)))
+
+    print(f"inserting {new_orders.n_rows} new orders with insert_batch() ...")
+    start = time.perf_counter()
+    row_ids = index.insert_batch(new_orders)
+    batch_seconds = time.perf_counter() - start
+    print(f"  batch insert: {new_orders.n_rows} rows in {batch_seconds * 1e3:.1f} ms "
+          f"({new_orders.n_rows / batch_seconds:,.0f} rows/s)")
     print(f"  pending records: {index.n_pending} "
-          f"(primary buffer {len(index._pending_primary)}, "
-          f"outlier buffer {len(index._pending_outlier)})")
+          f"(primary-bound {index.n_pending_primary}, "
+          f"outlier-bound {index.n_pending_outlier})")
+
+    # One-row-at-a-time comparison over a small sample, for contrast.
+    sample = order_batch(1_000, np.random.default_rng(7), start_id=1e9)
+    probe = COAXIndex(table, config=config, groups=list(index.groups))
+    start = time.perf_counter()
+    for record in sample.iter_rows():
+        probe.insert(record)
+    seq_seconds = (time.perf_counter() - start) / sample.n_rows * new_orders.n_rows
+    print(f"  sequential insert() would take ~{seq_seconds:.2f} s for the same stream "
+          f"({seq_seconds / batch_seconds:,.0f}x slower)\n")
 
     after = len(index.range_query(heavy_and_pricey))
-    print(f"  same query now returns {after} orders "
+    print(f"same query now returns {after} orders "
           f"({after - before} of the inserted ones match; expected {inserted_matching})")
     assert after - before == inserted_matching
+    assert len(row_ids) == new_orders.n_rows
 
     # ------------------------------------------------------------------
     # Online refinement of the soft-FD model (the Bayesian update path).
@@ -93,9 +109,11 @@ def main() -> None:
     refreshed = BayesianLinearRegression()
     refreshed.update(table.column(group.predictor), table.column(dependent))
     posterior_before = refreshed.posterior()
-    new_predictor = np.array([row[group.predictor] for row in index._pending_primary])
-    new_dependent = np.array([row[dependent] for row in index._pending_primary])
-    refreshed.update(new_predictor, new_dependent)
+    pending_primary = index.delta.inlier_mask
+    refreshed.update(
+        index.delta.column(group.predictor)[pending_primary],
+        index.delta.column(dependent)[pending_primary],
+    )
     posterior_after = refreshed.posterior()
     print(f"posterior slope before new batch: {posterior_before.slope:.5f} "
           f"(+/- {posterior_before.slope_std:.5f})")
@@ -103,14 +121,22 @@ def main() -> None:
           f"(+/- {posterior_after.slope_std:.5f})")
 
     # ------------------------------------------------------------------
-    # Compact: fold the buffers into a fresh index.
+    # Compaction: threshold-triggered, incremental, in place.
     # ------------------------------------------------------------------
-    compacted = index.compact()
-    print("\nafter compaction")
-    print("----------------")
-    print(f"rows indexed: {compacted.n_rows} (was {index.n_rows}), "
-          f"pending: {compacted.n_pending}")
-    assert len(compacted.range_query(heavy_and_pricey)) == after
+    print("\nauto-compaction")
+    print("---------------")
+    trigger = order_batch(60_000, stream_rng, start_id=2e9)
+    expected_extra = int(np.count_nonzero(trigger.mask(heavy_and_pricey)))
+    print(f"inserting {trigger.n_rows} more orders "
+          f"(crosses the auto_compact_threshold of {config.auto_compact_threshold}) ...")
+    start = time.perf_counter()
+    index.insert_batch(trigger)
+    elapsed = time.perf_counter() - start
+    print(f"  insert + triggered compaction took {elapsed * 1e3:.1f} ms")
+    print(f"  rows indexed: {index.n_rows}, pending: {index.n_pending}")
+    assert index.n_pending == 0, "auto-compaction should have drained the delta store"
+    final = len(index.range_query(heavy_and_pricey))
+    assert final == after + expected_extra
     print("query results unchanged by compaction — exactness preserved.")
 
 

@@ -16,8 +16,8 @@ Quickstart::
     query = Rectangle({"Distance": Interval(500, 800), "AirTime": Interval(60, 120)})
     row_ids = index.range_query(query)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured comparison of every table and figure.
+See DESIGN.md (repository root) for the architecture: the layer inventory,
+the query pipeline, and the columnar delta-store update subsystem.
 """
 
 from repro.data import (
@@ -51,7 +51,7 @@ from repro.indexes import (
     available_indexes,
     create_index,
 )
-from repro.core import COAXConfig, COAXIndex, QueryResult, translate_query
+from repro.core import COAXConfig, COAXIndex, DeltaStore, QueryResult, translate_query
 from repro.data.sql import parse_where
 from repro.io import load_csv, load_index, load_npz, save_csv, save_index, save_npz
 from repro.stats.profile import TableProfile, profile_table
@@ -86,6 +86,7 @@ __all__ = [
     "create_index",
     "COAXConfig",
     "COAXIndex",
+    "DeltaStore",
     "QueryResult",
     "translate_query",
     "parse_where",

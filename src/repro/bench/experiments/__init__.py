@@ -3,7 +3,8 @@
 Each module reproduces one artefact of the paper's evaluation and returns an
 :class:`~repro.bench.reporting.ExperimentResult` whose rows are the numbers
 the corresponding table or figure reports.  The mapping from paper artefact
-to driver is documented in DESIGN.md (section 4) and EXPERIMENTS.md.
+to driver is documented in DESIGN.md; the ``updates`` driver goes beyond
+the paper and benchmarks the delta-store update subsystem.
 """
 
 from repro.bench.experiments import (
@@ -16,6 +17,7 @@ from repro.bench.experiments import (
     headline,
     table1,
     theory,
+    updates,
 )
 
 #: Registry used by the CLI: experiment id -> (callable, description).
@@ -29,6 +31,7 @@ EXPERIMENTS = {
     "appendix_g": (appendix_g.run, "Appendix G — grid cells scanned vs soft-FD index"),
     "headline": (headline.run, "Headline claims — memory reduction and speedup"),
     "ablations": (ablations.run, "Ablations — margins, outlier index, bucketing, splines"),
+    "updates": (updates.run, "Updates — insert throughput and latency under writes"),
 }
 
 __all__ = [
@@ -42,4 +45,5 @@ __all__ = [
     "headline",
     "table1",
     "theory",
+    "updates",
 ]

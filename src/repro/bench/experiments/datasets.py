@@ -8,7 +8,7 @@ the same two datasets so their numbers are comparable with each other.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.data.airline import AirlineConfig, generate_airline_dataset
 from repro.data.osm import OSMConfig, generate_osm_dataset

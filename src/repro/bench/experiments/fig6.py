@@ -12,7 +12,6 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.bench.experiments.datasets import airline_table, osm_table, standard_workloads
 from repro.bench.harness import default_index_specs, run_comparison

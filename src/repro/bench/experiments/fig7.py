@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.experiments.datasets import airline_table
 from repro.bench.experiments.fig6 import coax_component_timing
-from repro.bench.harness import IndexSpec, default_index_specs, run_comparison
+from repro.bench.harness import default_index_specs, run_comparison
 from repro.bench.reporting import ExperimentResult
 from repro.core.coax import COAXIndex
 from repro.core.config import COAXConfig

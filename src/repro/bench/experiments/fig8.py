@@ -10,7 +10,7 @@ the directory grows — is the shape to compare.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bench.experiments.datasets import airline_table, osm_table, standard_workloads
 from repro.bench.harness import time_workload

@@ -5,10 +5,12 @@ Usage::
     python -m repro.cli list
     python -m repro.cli table1
     python -m repro.cli fig6 --rows 50000 --queries 40
+    python -m repro.cli update-bench --inserts 100000 --batch-size 10000
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
-in :mod:`repro.bench.experiments`.
+in :mod:`repro.bench.experiments`.  ``update-bench`` is the command for the
+delta-store update benchmark (an alias of the ``updates`` experiment id).
 """
 
 from __future__ import annotations
@@ -22,6 +24,9 @@ from repro.bench.experiments import EXPERIMENTS
 
 __all__ = ["main", "build_parser", "run_experiment"]
 
+#: Command spellings accepted in addition to the experiment registry ids.
+COMMAND_ALIASES = {"update-bench": "updates"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the CLI."""
@@ -31,11 +36,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'all' to run everything, or 'list'",
+        help="experiment id (see 'list'), 'update-bench', 'all' to run everything, or 'list'",
     )
     parser.add_argument("--rows", type=int, default=None, help="dataset size (records)")
     parser.add_argument("--queries", type=int, default=None, help="queries per workload")
     parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--inserts", type=int, default=None, help="insert-stream size (update-bench)"
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="insert batch size (update-bench)"
+    )
     return parser
 
 
@@ -45,20 +56,27 @@ def run_experiment(
     rows: Optional[int] = None,
     queries: Optional[int] = None,
     seed: Optional[int] = None,
+    inserts: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> str:
-    """Run one experiment by id and return its formatted table."""
+    """Run one experiment by id (or alias) and return its formatted table."""
+    name = COMMAND_ALIASES.get(name, name)
     try:
         runner, _ = EXPERIMENTS[name]
     except KeyError as exc:
         raise KeyError(f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}") from exc
     kwargs = {}
     signature = inspect.signature(runner)
-    if rows is not None and "n_rows" in signature.parameters:
-        kwargs["n_rows"] = rows
-    if queries is not None and "n_queries" in signature.parameters:
-        kwargs["n_queries"] = queries
-    if seed is not None and "seed" in signature.parameters:
-        kwargs["seed"] = seed
+    forwarded = {
+        "n_rows": rows,
+        "n_queries": queries,
+        "seed": seed,
+        "n_inserts": inserts,
+        "batch_size": batch_size,
+    }
+    for parameter, value in forwarded.items():
+        if value is not None and parameter in signature.parameters:
+            kwargs[parameter] = value
     result = runner(**kwargs)
     return result.table()
 
@@ -77,7 +95,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         try:
             output = run_experiment(
-                name, rows=args.rows, queries=args.queries, seed=args.seed
+                name,
+                rows=args.rows,
+                queries=args.queries,
+                seed=args.seed,
+                inserts=args.inserts,
+                batch_size=args.batch_size,
             )
         except KeyError as exc:
             print(exc, file=sys.stderr)

@@ -8,6 +8,7 @@ plain rectangles and FD groups) and are combined by the index class.
 """
 
 from repro.core.config import COAXConfig
+from repro.core.delta import DeltaStore
 from repro.core.query_translation import translate_query, translated_predictor_interval
 from repro.core.partitioner import PartitionResult, partition_rows
 from repro.core.planner import QueryPlan, plan_query
@@ -16,6 +17,7 @@ from repro.core.coax import COAXIndex, COAXBuildReport
 
 __all__ = [
     "COAXConfig",
+    "DeltaStore",
     "translate_query",
     "translated_predictor_interval",
     "PartitionResult",

@@ -13,22 +13,26 @@
 5. query translation and planning (Section 4), with exact post-filtering so
    results are always identical to a full scan.
 
-Updates (future work in the paper) are supported through a delta buffer:
-inserted records are routed by the learned models into a pending-primary or
-pending-outlier buffer which is scanned at query time and folded into the
-main structures by :meth:`COAXIndex.compact`.
+Updates (future work in the paper) are supported through a columnar delta
+store (:mod:`repro.core.delta`): inserted batches are routed by the learned
+models with one vectorised margin check per model, buffered in NumPy append
+buffers that query execution scans vectorised, and folded into the main
+structures incrementally by :meth:`COAXIndex.compact` — the learned FD
+groups, the inlier/outlier routing and the primary grid's quantile
+boundaries are all reused, so compaction merges instead of rebuilding.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import COAXConfig
+from repro.core.delta import BatchLike, DeltaStore, coerce_batch
 from repro.core.partitioner import PartitionResult, partition_rows
-from repro.core.planner import QueryPlan, bounding_box_of_rows, plan_query
+from repro.core.planner import QueryPlan, bounding_box_of_rows, merge_boxes, plan_query
 from repro.core.query_translation import dependent_attributes, translate_query
 from repro.core.results import QueryResult, merge_row_ids
 from repro.data.predicates import Rectangle
@@ -98,13 +102,14 @@ class COAXIndex(MultidimensionalIndex):
         self,
         table: Table,
         *,
-        config: COAXConfig = COAXConfig(),
+        config: Optional[COAXConfig] = None,
         groups: Optional[Sequence[FDGroup]] = None,
         row_ids: Optional[np.ndarray] = None,
         dimensions: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(table, row_ids=row_ids, dimensions=dimensions)
-        self._config = config
+        self._config = config if config is not None else COAXConfig()
+        config = self._config
         warnings: List[str] = []
 
         # ------------------------------------------------------------------
@@ -168,10 +173,9 @@ class COAXIndex(MultidimensionalIndex):
         self._outlier_box = bounding_box_of_rows(table, partition.outlier_ids)
 
         # ------------------------------------------------------------------
-        # 5. Delta buffers for inserted records (future-work update support).
+        # 5. Columnar delta store for inserted records (update support).
         # ------------------------------------------------------------------
-        self._pending_primary: List[Dict[str, float]] = []
-        self._pending_outlier: List[Dict[str, float]] = []
+        self._delta = DeltaStore(tuple(table.schema), self._groups)
         self._next_row_id = int(table.n_rows)
 
         self._report = COAXBuildReport(
@@ -287,9 +291,42 @@ class COAXIndex(MultidimensionalIndex):
         return self._partition.primary_ratio
 
     @property
+    def delta(self) -> DeltaStore:
+        """The columnar delta store holding not-yet-compacted inserts."""
+        return self._delta
+
+    @property
+    def next_row_id(self) -> int:
+        """Row id the next inserted record will be assigned."""
+        return self._next_row_id
+
+    @property
+    def rows_aligned(self) -> bool:
+        """True when the index covers exactly rows 0..n-1 of its table in order.
+
+        Only then can appended rows keep their assigned ids; both incremental
+        compaction and persistence branch on this.
+        """
+        return self._table.n_rows == len(self._row_ids) and bool(
+            np.array_equal(
+                self._row_ids, np.arange(self._table.n_rows, dtype=np.int64)
+            )
+        )
+
+    @property
     def n_pending(self) -> int:
-        """Number of inserted records still sitting in the delta buffers."""
-        return len(self._pending_primary) + len(self._pending_outlier)
+        """Number of inserted records still sitting in the delta store."""
+        return self._delta.n_pending
+
+    @property
+    def n_pending_primary(self) -> int:
+        """Pending records the learned models route to the primary index."""
+        return self._delta.n_pending_primary
+
+    @property
+    def n_pending_outlier(self) -> int:
+        """Pending records violating some margin (outlier-bound)."""
+        return self._delta.n_pending_outlier
 
     # ------------------------------------------------------------------
     # Queries
@@ -348,84 +385,142 @@ class COAXIndex(MultidimensionalIndex):
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
         """Positional ids; only needed to satisfy the base-class contract."""
         matches = self.range_query(query)
-        # Map original row ids back to positions within this index's subset.
-        order = np.argsort(self._row_ids, kind="stable")
-        sorted_ids = self._row_ids[order]
-        located = np.searchsorted(sorted_ids, matches)
-        located = np.clip(located, 0, len(sorted_ids) - 1)
-        valid = sorted_ids[located] == matches
-        return order[located[valid]]
+        # Map original row ids back to positions within this index's subset
+        # via the cached lookup (no per-query argsort).
+        return self.positions_of(matches)
 
     def _scan_pending(self, query: Rectangle) -> np.ndarray:
-        """Brute-force scan of the delta buffers."""
-        if not self._pending_primary and not self._pending_outlier:
-            return np.empty(0, dtype=np.int64)
-        matches: List[int] = []
-        for row in self._pending_primary + self._pending_outlier:
-            if query.matches_row(row):
-                matches.append(int(row["__row_id__"]))
-        return np.asarray(sorted(matches), dtype=np.int64)
+        """Vectorised rectangle scan of the delta store."""
+        return self._delta.scan(query)
 
     # ------------------------------------------------------------------
     # Updates (paper future work)
     # ------------------------------------------------------------------
     def insert(self, record: Mapping[str, float]) -> int:
-        """Insert a new record, returning its assigned row id.
+        """Insert a single record, returning its assigned row id.
 
-        The record is routed by the learned models: if it satisfies every
-        margin it belongs (logically) to the primary index, otherwise to the
-        outlier index.  Either way it first lands in an in-memory delta
-        buffer that query execution scans; :meth:`compact` folds the buffers
-        into the main structures by rebuilding them.
+        Convenience wrapper over :meth:`insert_batch`; for any non-trivial
+        write volume the batch API is orders of magnitude faster.
         """
-        missing = [name for name in self._table.schema if name not in record]
-        if missing:
-            raise ValueError(f"record is missing attributes: {missing}")
-        row = {name: float(record[name]) for name in self._table.schema}
-        row_id = self._next_row_id
-        self._next_row_id += 1
-        row["__row_id__"] = float(row_id)
-        if self._record_is_inlier(row):
-            self._pending_primary.append(row)
-        else:
-            self._pending_outlier.append(row)
-        return row_id
+        return int(self.insert_batch([record])[0])
 
-    def _record_is_inlier(self, row: Mapping[str, float]) -> bool:
-        """True when the record respects every group's margins."""
-        for group in self._groups:
-            predictor_value = np.array([row[group.predictor]])
-            for dependent in group.dependents:
-                model = group.model_for(dependent)
-                if not bool(model.within_margin(predictor_value, np.array([row[dependent]]))[0]):
-                    return False
-        return True
+    def insert_batch(self, batch: BatchLike) -> np.ndarray:
+        """Insert a batch of records, returning their assigned row ids.
+
+        ``batch`` may be a :class:`Table`, a mapping of column arrays, or a
+        sequence of record dicts.  The whole batch is routed by the learned
+        models in one vectorised margin check per model: rows inside every
+        margin logically belong to the primary index, the rest to the
+        outlier index.  Either way they land in the columnar delta store,
+        are immediately visible to queries, and are folded into the main
+        structures by :meth:`compact` — automatically once the configured
+        ``auto_compact_threshold`` is reached.
+        """
+        columns = coerce_batch(batch, tuple(self._table.schema))
+        n_new = len(next(iter(columns.values()))) if columns else 0
+        row_ids = self._next_row_id + np.arange(n_new, dtype=np.int64)
+        if n_new == 0:
+            return row_ids
+        self._next_row_id += n_new
+        self._delta.append_batch(columns, row_ids)
+        threshold = self._config.auto_compact_threshold
+        if threshold is not None and self._delta.n_pending >= threshold:
+            self.compact()
+        return row_ids
 
     def compact(self) -> "COAXIndex":
-        """Fold the delta buffers into a freshly built COAX index.
+        """Fold the delta store into the main structures in place.
 
-        Returns the new index (the current instance is left untouched), which
-        is the simplest correct realisation of the paper's "COAX can be
-        extended to support updates" direction: the learned models and the
-        grid of Algorithm 1 could be reused, but a rebuild keeps the
-        structure optimal and the code auditable.
+        Compaction is incremental: the learned FD groups are kept (no
+        re-detection), the routing recorded at insert time is reused (no
+        re-partitioning), and the primary grid absorbs its new rows into
+        the existing quantile layout (no re-quantiling).  The outlier index
+        is rebuilt only when its type cannot merge in place — it holds the
+        small minority of the data by construction.  Returns ``self`` so
+        existing ``index = index.compact()`` call sites keep working.
         """
-        pending = self._pending_primary + self._pending_outlier
-        if not pending:
+        if self._delta.n_pending == 0:
             return self
-        extra = Table(
-            {
-                name: np.array([row[name] for row in pending], dtype=np.float64)
-                for name in self._table.schema
-            }
+        pending = self._delta.pending_table()
+        pending_ids = self._delta.row_ids.copy()
+        pending_inliers = self._delta.inlier_mask.copy()
+        pending_model_counts = self._delta.per_model_inlier_counts
+        if self.rows_aligned:
+            self._compact_incremental(
+                pending, pending_ids, pending_inliers, pending_model_counts
+            )
+        else:
+            # The index covers a proper subset (or permutation) of its
+            # table, so appended rows cannot keep their assigned ids;
+            # rebuild over the combined data with the learned groups.
+            self._compact_rebuild(pending)
+        self._delta.clear()
+        return self
+
+    def _compact_incremental(
+        self,
+        pending: Table,
+        pending_ids: np.ndarray,
+        pending_inliers: np.ndarray,
+        pending_model_counts: Dict[str, int],
+    ) -> None:
+        """Merge pending rows into the existing structures (aligned case)."""
+        combined = self._table.concat(pending)
+        new_inlier_ids = pending_ids[pending_inliers]
+        new_outlier_ids = pending_ids[~pending_inliers]
+        # Primary grid: absorb into the existing quantile layout.
+        self._primary.absorb_rows(combined, new_inlier_ids)
+        # Outlier index: absorb when the structure supports it, else rebuild
+        # (over the outlier minority only).
+        outlier_ids = np.concatenate([self._partition.outlier_ids, new_outlier_ids])
+        if isinstance(self._outlier, SortedCellGridIndex):
+            self._outlier.absorb_rows(combined, new_outlier_ids)
+        else:
+            self._outlier = self._build_outlier_index(combined, outlier_ids)
+        # Flat row bookkeeping of the COAX facade itself.
+        n_old = len(self._row_ids)
+        n_new = len(pending_ids)
+        self._append_rows(combined, pending_ids)
+        inlier_ids = np.concatenate([self._partition.inlier_ids, new_inlier_ids])
+        # Per-model fractions merge exactly as weighted means using the
+        # counts the delta store recorded at append time — no model is
+        # re-evaluated during compaction.
+        per_model = {
+            name: (old_fraction * n_old + pending_model_counts.get(name, 0))
+            / (n_old + n_new)
+            for name, old_fraction in self._partition.per_model_inlier_fraction.items()
+        }
+        self._partition = PartitionResult(
+            inlier_ids=inlier_ids,
+            outlier_ids=outlier_ids,
+            per_model_inlier_fraction=per_model,
         )
-        combined = self._table.take(self._row_ids).concat(extra)
-        return COAXIndex(
+        # Bounding boxes only ever grow: hull of the old box and the batch box.
+        self._primary_box = merge_boxes(
+            self._primary_box, bounding_box_of_rows(combined, new_inlier_ids)
+        )
+        self._outlier_box = merge_boxes(
+            self._outlier_box, bounding_box_of_rows(combined, new_outlier_ids)
+        )
+        self._report = replace(
+            self._report,
+            n_rows=self.n_rows,
+            primary_ratio=self._partition.primary_ratio,
+            per_model_inlier_fraction=dict(per_model),
+        )
+
+    def _compact_rebuild(self, pending: Table) -> None:
+        """Full rebuild with the learned groups (subset/permuted row case)."""
+        combined = self._table.take(self._row_ids).concat(pending)
+        fresh = COAXIndex(
             combined,
             config=self._config,
             groups=self._groups,
             dimensions=self._dimensions,
         )
+        stats = self.stats
+        self.__dict__.update(fresh.__dict__)
+        self.stats = stats
 
     # ------------------------------------------------------------------
     # Memory accounting

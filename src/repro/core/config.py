@@ -42,6 +42,10 @@ class COAXConfig:
     #: Warn (via the build report) when the primary index would retain less
     #: than this fraction of the data.
     min_primary_fraction: float = 0.5
+    #: Compact automatically once this many inserted records are pending in
+    #: the delta store; ``None`` disables auto-compaction (compaction is
+    #: then entirely manual via :meth:`COAXIndex.compact`).
+    auto_compact_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.primary_cells_per_dim < 1:
@@ -56,3 +60,5 @@ class COAXConfig:
             raise ValueError("max_groups must be non-negative")
         if not 0.0 <= self.min_primary_fraction <= 1.0:
             raise ValueError("min_primary_fraction must be in [0, 1]")
+        if self.auto_compact_threshold is not None and self.auto_compact_threshold < 1:
+            raise ValueError("auto_compact_threshold must be at least 1 (or None)")

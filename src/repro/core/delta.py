@@ -1,0 +1,284 @@
+"""Columnar delta store for inserted records (the COAX update subsystem).
+
+The paper leaves updates as future work; this module realises them with a
+write-optimised columnar buffer in front of the read-optimised main
+structures, the classic delta-store / main-store split of column stores:
+
+* inserted batches land in per-attribute NumPy append buffers with
+  amortised geometric growth — an insert of ``k`` rows is ``k`` array
+  writes, not ``k`` Python dict allocations;
+* routing against the learned soft-FD models is vectorised: one
+  ``within_margin`` evaluation per model over the whole batch decides which
+  rows logically belong to the primary index and which to the outlier
+  index (the same batch-margin primitive the build-time partitioner uses);
+* query-time merging is a vectorised rectangle scan over the active buffer
+  prefix — no per-row Python loop, however many rows are pending;
+* compaction (:meth:`COAXIndex.compact`) drains the buffer into the main
+  structures and :meth:`clear`\\ s it; the recorded routing masks are
+  reused so nothing is re-partitioned.
+
+The store also exposes its raw state (:meth:`state` / :meth:`load_state`)
+so persistence can round-trip an index without forcing a compaction first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.predicates import Rectangle
+from repro.data.table import Table
+from repro.fd.groups import FDGroup, per_model_inlier_masks
+
+__all__ = ["DeltaStore", "coerce_batch"]
+
+#: Initial capacity (rows) of a freshly created delta store.
+INITIAL_CAPACITY = 256
+#: Geometric growth factor of the append buffers.
+GROWTH_FACTOR = 2.0
+
+#: Anything accepted as an insert batch: a table, a column mapping, or a
+#: sequence of record dicts (the slow but convenient path).
+BatchLike = Union[Table, Mapping[str, np.ndarray], Sequence[Mapping[str, float]]]
+
+
+def coerce_batch(batch: BatchLike, schema: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Normalise an insert batch to float64 column arrays in schema order.
+
+    Raises ``ValueError`` when attributes are missing or column lengths
+    disagree; extra attributes are ignored so callers can pass richer
+    records.
+    """
+    if isinstance(batch, Table):
+        columns: Mapping[str, np.ndarray] = batch.columns()
+    elif isinstance(batch, Mapping):
+        columns = batch
+    else:
+        records = list(batch)
+        if not records:
+            return {name: np.empty(0, dtype=np.float64) for name in schema}
+        missing = [name for name in schema if name not in records[0]]
+        if missing:
+            raise ValueError(f"record is missing attributes: {missing}")
+        try:
+            return {
+                name: np.array(
+                    [float(record[name]) for record in records], dtype=np.float64
+                )
+                for name in schema
+            }
+        except KeyError as exc:
+            raise ValueError(f"record is missing attributes: [{exc.args[0]!r}]") from exc
+    missing = [name for name in schema if name not in columns]
+    if missing:
+        raise ValueError(f"batch is missing attributes: {missing}")
+    arrays: Dict[str, np.ndarray] = {}
+    n_rows: Optional[int] = None
+    for name in schema:
+        array = np.asarray(columns[name], dtype=np.float64).ravel()
+        if n_rows is None:
+            n_rows = len(array)
+        elif len(array) != n_rows:
+            raise ValueError(
+                f"batch column {name!r} has {len(array)} rows, expected {n_rows}"
+            )
+        arrays[name] = array
+    return arrays
+
+
+class DeltaStore:
+    """Columnar append buffer holding records inserted since the last compaction."""
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        groups: Sequence[FDGroup] = (),
+        *,
+        initial_capacity: int = INITIAL_CAPACITY,
+    ) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be at least 1")
+        self._schema: Tuple[str, ...] = tuple(schema)
+        self._groups: Tuple[FDGroup, ...] = tuple(groups)
+        self._capacity = int(initial_capacity)
+        self._size = 0
+        self._buffers: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=np.float64) for name in self._schema
+        }
+        self._row_ids = np.empty(self._capacity, dtype=np.int64)
+        self._inlier = np.empty(self._capacity, dtype=bool)
+        # Per "predictor->dependent" model: buffered rows inside its margins,
+        # accumulated at append time so compaction never re-evaluates models.
+        self._per_model_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Tuple[str, ...]:
+        """Attribute names of the buffered columns."""
+        return self._schema
+
+    @property
+    def n_pending(self) -> int:
+        """Number of buffered records."""
+        return self._size
+
+    @property
+    def n_pending_primary(self) -> int:
+        """Buffered records routed to the (logical) primary index."""
+        return int(np.count_nonzero(self._inlier[: self._size]))
+
+    @property
+    def n_pending_outlier(self) -> int:
+        """Buffered records routed to the (logical) outlier index."""
+        return self._size - self.n_pending_primary
+
+    @property
+    def capacity(self) -> int:
+        """Allocated buffer capacity in rows."""
+        return self._capacity
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Assigned row ids of the buffered records (a view, do not mutate)."""
+        return self._row_ids[: self._size]
+
+    @property
+    def inlier_mask(self) -> np.ndarray:
+        """Routing decision per buffered record (a view, do not mutate)."""
+        return self._inlier[: self._size]
+
+    @property
+    def per_model_inlier_counts(self) -> Dict[str, int]:
+        """Per FD model: buffered rows inside its margins (from append time)."""
+        return dict(self._per_model_counts)
+
+    def column(self, name: str) -> np.ndarray:
+        """Active prefix of one buffered column (a view, do not mutate)."""
+        return self._buffers[name][: self._size]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """Active prefixes of all buffered columns."""
+        return {name: self.column(name) for name in self._schema}
+
+    def nbytes(self) -> int:
+        """Bytes allocated by the buffers (including growth headroom)."""
+        per_row = len(self._schema) * 8 + 8 + 1
+        return int(self._capacity * per_row)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaStore(n_pending={self._size}, capacity={self._capacity}, "
+            f"columns={list(self._schema)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        """Grow the buffers geometrically until ``extra`` more rows fit."""
+        needed = self._size + extra
+        if needed <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < needed:
+            capacity = int(capacity * GROWTH_FACTOR) + 1
+        for name in self._schema:
+            grown = np.empty(capacity, dtype=np.float64)
+            grown[: self._size] = self._buffers[name][: self._size]
+            self._buffers[name] = grown
+        grown_ids = np.empty(capacity, dtype=np.int64)
+        grown_ids[: self._size] = self._row_ids[: self._size]
+        self._row_ids = grown_ids
+        grown_inlier = np.empty(capacity, dtype=bool)
+        grown_inlier[: self._size] = self._inlier[: self._size]
+        self._inlier = grown_inlier
+        self._capacity = capacity
+
+    def append_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        row_ids: np.ndarray,
+        *,
+        inlier_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Append a coerced batch, routing it against the learned models.
+
+        ``columns`` must already be schema-complete float64 arrays (see
+        :func:`coerce_batch`).  Returns the inlier mask of the batch; pass
+        ``inlier_mask`` explicitly to skip routing (persistence restore).
+        """
+        n_new = len(row_ids)
+        if n_new == 0:
+            return np.empty(0, dtype=bool)
+        model_masks = per_model_inlier_masks(self._groups, columns)
+        for name, mask in model_masks.items():
+            self._per_model_counts[name] = self._per_model_counts.get(name, 0) + int(
+                np.count_nonzero(mask)
+            )
+        if inlier_mask is None:
+            inlier_mask = np.ones(n_new, dtype=bool)
+            for mask in model_masks.values():
+                inlier_mask &= mask
+        else:
+            inlier_mask = np.asarray(inlier_mask, dtype=bool)
+        self._reserve(n_new)
+        start, stop = self._size, self._size + n_new
+        for name in self._schema:
+            self._buffers[name][start:stop] = columns[name]
+        self._row_ids[start:stop] = np.asarray(row_ids, dtype=np.int64)
+        self._inlier[start:stop] = inlier_mask
+        self._size = stop
+        return inlier_mask
+
+    def clear(self) -> None:
+        """Drop every buffered record (capacity is kept for reuse)."""
+        self._size = 0
+        self._per_model_counts = {}
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def scan(self, query: Rectangle) -> np.ndarray:
+        """Row ids of buffered records matching ``query`` (sorted).
+
+        One vectorised interval check per constrained attribute over the
+        active buffer prefix — the delta-side analogue of the full-scan
+        baseline, but only over the (small) pending set.
+        """
+        if self._size == 0 or query.is_empty:
+            return np.empty(0, dtype=np.int64)
+        mask = query.matches(self.columns())
+        return np.sort(self._row_ids[: self._size][mask])
+
+    def pending_table(self) -> Optional[Table]:
+        """The buffered records as a :class:`Table` (``None`` when empty)."""
+        if self._size == 0:
+            return None
+        return Table({name: self.column(name).copy() for name in self._schema})
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, np.ndarray]:
+        """Copies of the active buffer state, keyed for an ``.npz`` archive."""
+        payload = {f"column::{name}": self.column(name).copy() for name in self._schema}
+        payload["__row_ids__"] = self.row_ids.copy()
+        payload["__inlier__"] = self.inlier_mask.copy()
+        return payload
+
+    def load_state(self, payload: Mapping[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state`; replaces the current buffer contents."""
+        row_ids = np.asarray(payload["__row_ids__"], dtype=np.int64)
+        inlier = np.asarray(payload["__inlier__"], dtype=bool)
+        columns = {
+            name: np.asarray(payload[f"column::{name}"], dtype=np.float64)
+            for name in self._schema
+        }
+        self.clear()
+        self.append_batch(columns, row_ids, inlier_mask=inlier)

@@ -14,7 +14,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.data.table import Table
-from repro.fd.groups import FDGroup
+from repro.fd.groups import FDGroup, per_model_inlier_masks
 
 __all__ = ["PartitionResult", "partition_rows"]
 
@@ -61,16 +61,13 @@ def partition_rows(
         empty = np.empty(0, dtype=np.int64)
         return PartitionResult(empty, empty, {})
 
+    needed = {attr for group in groups for attr in group.attributes}
+    columns = {name: table.column(name)[row_ids] for name in needed}
     inlier_mask = np.ones(len(row_ids), dtype=bool)
     per_model: Dict[str, float] = {}
-    for group in groups:
-        predictor_values = table.column(group.predictor)[row_ids]
-        for dependent in group.dependents:
-            model = group.model_for(dependent)
-            dependent_values = table.column(dependent)[row_ids]
-            within = model.within_margin(predictor_values, dependent_values)
-            per_model[f"{group.predictor}->{dependent}"] = float(np.mean(within))
-            inlier_mask &= within
+    for name, within in per_model_inlier_masks(groups, columns).items():
+        per_model[name] = float(np.mean(within))
+        inlier_mask &= within
     inlier_ids = row_ids[inlier_mask]
     outlier_ids = row_ids[~inlier_mask]
     return PartitionResult(

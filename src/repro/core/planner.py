@@ -23,7 +23,7 @@ from repro.data.table import Table
 from repro.core.query_translation import translate_query, translated_predictor_interval
 from repro.fd.groups import FDGroup
 
-__all__ = ["QueryPlan", "plan_query", "bounding_box_of_rows"]
+__all__ = ["QueryPlan", "plan_query", "bounding_box_of_rows", "merge_boxes"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,25 @@ def bounding_box_of_rows(
         values = table.column(name)[row_ids]
         lows[name] = float(values.min())
         highs[name] = float(values.max())
+    return lows, highs
+
+
+def merge_boxes(
+    left: Optional[Tuple[Dict[str, float], Dict[str, float]]],
+    right: Optional[Tuple[Dict[str, float], Dict[str, float]]],
+) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+    """Smallest box containing both operands (``None`` means an empty set).
+
+    Used by incremental compaction: the box of the combined row set is the
+    hull of the old box and the box of the absorbed batch, so no O(n)
+    rescan of the main data is needed.
+    """
+    if left is None:
+        return right
+    if right is None:
+        return left
+    lows = {name: min(left[0][name], right[0][name]) for name in left[0]}
+    highs = {name: max(left[1][name], right[1][name]) for name in left[1]}
     return lows, highs
 
 

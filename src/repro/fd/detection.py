@@ -13,14 +13,14 @@ margin band is relative to the dependent attribute's range.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.table import Table
 from repro.fd.bayesian import BayesianLinearRegression
-from repro.fd.bucketing import BucketGrid, BucketingConfig, build_training_set
-from repro.fd.margins import MarginEstimate, estimate_margins, estimate_margins_robust
+from repro.fd.bucketing import BucketingConfig, build_training_set
+from repro.fd.margins import estimate_margins, estimate_margins_robust
 from repro.fd.model import FDModel, LinearFDModel, SplineFDModel
 from repro.stats.csm import build_centre_sequence
 

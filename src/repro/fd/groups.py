@@ -12,12 +12,20 @@ always a star centred on its predictor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fd.detection import FDCandidate
 from repro.fd.model import FDModel
 
-__all__ = ["FDGroup", "UnionFind", "build_groups"]
+__all__ = [
+    "FDGroup",
+    "UnionFind",
+    "build_groups",
+    "per_model_inlier_masks",
+    "combined_inlier_mask",
+]
 
 
 class UnionFind:
@@ -94,6 +102,67 @@ class FDGroup:
     def memory_bytes(self) -> int:
         """Bytes occupied by the group's models."""
         return sum(model.memory_bytes() for model in self.models.values())
+
+    def inlier_mask(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorised margin check of a whole batch against this group.
+
+        ``columns`` maps attribute names to equal-length arrays (a table, a
+        delta buffer, an insert batch).  Returns the boolean mask of rows
+        inside the margin band of *every* model of the group — one
+        ``within_margin`` call per model instead of a Python loop per row.
+        """
+        predictor_values = np.asarray(columns[self.predictor], dtype=np.float64)
+        mask = np.ones(len(predictor_values), dtype=bool)
+        for dependent in self.dependents:
+            model = self.models[dependent]
+            dependent_values = np.asarray(columns[dependent], dtype=np.float64)
+            mask &= model.within_margin(predictor_values, dependent_values)
+        return mask
+
+
+def per_model_inlier_masks(
+    groups: Sequence["FDGroup"],
+    columns: Mapping[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Per ``predictor->dependent`` model: mask of rows inside its margins.
+
+    The batch-margin primitive shared by the build-time partitioner and the
+    delta store's insert routing: every model is evaluated once over the
+    whole batch.
+    """
+    masks: Dict[str, np.ndarray] = {}
+    for group in groups:
+        predictor_values = np.asarray(columns[group.predictor], dtype=np.float64)
+        for dependent in group.dependents:
+            model = group.model_for(dependent)
+            dependent_values = np.asarray(columns[dependent], dtype=np.float64)
+            masks[f"{group.predictor}->{dependent}"] = model.within_margin(
+                predictor_values, dependent_values
+            )
+    return masks
+
+
+def combined_inlier_mask(
+    groups: Sequence["FDGroup"],
+    columns: Mapping[str, np.ndarray],
+    *,
+    n_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Mask of rows inside every margin of every group (primary-index rows).
+
+    With no groups every row is an inlier, which is why ``n_rows`` may be
+    passed explicitly (an empty group list cannot reveal the batch length).
+    """
+    if n_rows is None:
+        for array in columns.values():
+            n_rows = len(array)
+            break
+        else:
+            n_rows = 0
+    mask = np.ones(int(n_rows), dtype=bool)
+    for group in groups:
+        mask &= group.inlier_mask(columns)
+    return mask
 
 
 #: Callback used by :func:`build_groups` to (re)fit a model for a specific

@@ -11,8 +11,8 @@ separately from the data itself, which is what Figure 8 plots on its x axis.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Type
 
 import numpy as np
 
@@ -107,6 +107,9 @@ class MultidimensionalIndex(ABC):
         self._columns: Dict[str, np.ndarray] = {
             name: table.column(name)[row_ids] for name in table.schema
         }
+        # Lazily built row-id -> position lookup (see :meth:`positions_of`).
+        self._row_id_order: Optional[np.ndarray] = None
+        self._sorted_row_ids: Optional[np.ndarray] = None
         self.stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -136,6 +139,27 @@ class MultidimensionalIndex(ABC):
         """Local (subset) copy of a column, aligned with positional ids."""
         return self._columns[name]
 
+    def positions_of(self, row_ids: np.ndarray) -> np.ndarray:
+        """Positional ids of ``row_ids`` within this index's subset.
+
+        The stable argsort of the covered row ids is computed once and
+        cached, so repeated id-to-position mapping (every COAX query needs
+        it) costs one binary search instead of an ``O(n log n)`` sort per
+        call.  Ids not covered by this index are silently dropped.  The
+        cache is invalidated whenever the covered row set changes
+        (:meth:`_append_rows`).
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0 or self.n_rows == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._row_id_order is None or self._sorted_row_ids is None:
+            self._row_id_order = np.argsort(self._row_ids, kind="stable")
+            self._sorted_row_ids = self._row_ids[self._row_id_order]
+        located = np.searchsorted(self._sorted_row_ids, row_ids)
+        located = np.clip(located, 0, len(self._sorted_row_ids) - 1)
+        valid = self._sorted_row_ids[located] == row_ids
+        return self._row_id_order[located[valid]]
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -154,6 +178,16 @@ class MultidimensionalIndex(ABC):
     def count(self, query: Rectangle) -> int:
         """Number of matching records (convenience wrapper)."""
         return int(len(self.range_query(query)))
+
+    def batch_range_query(self, queries: Sequence[Rectangle]) -> List[np.ndarray]:
+        """Original row ids for every query of a batch.
+
+        The base implementation executes the queries one by one; subclasses
+        with batch-friendly layouts (or remote/async backends) can override
+        it to share directory lookups across the batch.  Results are
+        positionally aligned with ``queries``.
+        """
+        return [self.range_query(query) for query in queries]
 
     @abstractmethod
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
@@ -177,6 +211,24 @@ class MultidimensionalIndex(ABC):
     # ------------------------------------------------------------------
     # Helpers for subclasses
     # ------------------------------------------------------------------
+    def _append_rows(self, table: Table, new_row_ids: np.ndarray) -> None:
+        """Extend the covered row set with ``new_row_ids`` of ``table``.
+
+        ``table`` becomes the index's backing table (it must contain the old
+        rows under their old ids plus the new ones).  Only the flat row
+        bookkeeping is updated here — directory structures are the
+        subclass's responsibility (see ``SortedCellGridIndex.absorb_rows``).
+        """
+        new_row_ids = np.asarray(new_row_ids, dtype=np.int64)
+        self._table = table
+        self._row_ids = np.concatenate([self._row_ids, new_row_ids])
+        for name in table.schema:
+            self._columns[name] = np.concatenate(
+                [self._columns[name], table.column(name)[new_row_ids]]
+            )
+        self._row_id_order = None
+        self._sorted_row_ids = None
+
     def _filter_candidates(self, candidates: np.ndarray, query: Rectangle) -> np.ndarray:
         """Exact post-filter of candidate positional ids against the query."""
         candidates = np.asarray(candidates, dtype=np.int64)

@@ -105,6 +105,72 @@ class SortedCellGridIndex(MultidimensionalIndex):
         )
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def absorb_rows(self, table: Table, new_row_ids: np.ndarray) -> None:
+        """Merge new rows of ``table`` into the existing grid in place.
+
+        This is the incremental half of COAX compaction: the quantile
+        boundaries learned at build time are kept (no re-quantiling), the
+        new rows are assigned to cells with the existing directory, sorted
+        by (cell, sort key) once, and merged into the per-cell sorted runs
+        with one binary search per touched cell.  Sorting work is
+        ``O(k log k + k log n)`` for ``k`` new rows; the merged arrays are
+        then rewritten in one ``O(n + k)`` copy (``np.insert``), so the win
+        over a rebuild is avoiding the full ``O((n + k) log (n + k))``
+        re-sort and the re-quantiling, not the linear copy.
+
+        ``table`` must contain the previously covered rows under their old
+        ids plus the new rows under ``new_row_ids``.
+        """
+        new_row_ids = np.asarray(new_row_ids, dtype=np.int64)
+        old_n = self.n_rows
+        if len(new_row_ids) == 0:
+            self._table = table
+            return
+        self._append_rows(table, new_row_ids)
+        if old_n == 0:
+            # The grid was built over no data, so its boundaries carry no
+            # information; learn them from the first absorbed batch.
+            self._boundaries = [
+                quantile_boundaries(self._columns[dim], self._cells_per_dim)
+                for dim in self._grid_dimensions
+            ]
+            self._build_cells()
+            return
+        k = len(new_row_ids)
+        new_positions = old_n + np.arange(k, dtype=np.int64)
+        if self._grid_dimensions:
+            cell_coordinates = [
+                self._cell_of(self._columns[dim][old_n:], axis)
+                for axis, dim in enumerate(self._grid_dimensions)
+            ]
+            flat = np.ravel_multi_index(cell_coordinates, self._shape)
+        else:
+            flat = np.zeros(k, dtype=np.int64)
+        keys = self._columns[self._sort_dimension][old_n:]
+        order = np.lexsort((keys, flat)).astype(np.int64)
+        flat_sorted = flat[order]
+        keys_sorted = keys[order]
+        positions_sorted = new_positions[order]
+        insert_at = np.empty(k, dtype=np.int64)
+        # flat_sorted is sorted, so each touched cell is one contiguous run.
+        touched_cells, run_starts = np.unique(flat_sorted, return_index=True)
+        run_ends = np.append(run_starts[1:], k)
+        for cell, run_start, run_end in zip(touched_cells, run_starts, run_ends):
+            start, stop = int(self._offsets[cell]), int(self._offsets[cell + 1])
+            insert_at[run_start:run_end] = start + np.searchsorted(
+                self._sorted_keys[start:stop],
+                keys_sorted[run_start:run_end],
+                side="right",
+            )
+        self._row_order = np.insert(self._row_order, insert_at, positions_sorted)
+        self._sorted_keys = np.insert(self._sorted_keys, insert_at, keys_sorted)
+        n_cells = self.n_cells
+        counts = np.bincount(flat, minlength=n_cells)
+        self._offsets[1:] += np.cumsum(counts)
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def _cell_range(self, axis: int, low: float, high: float) -> Tuple[int, int]:

@@ -14,7 +14,7 @@ splits) so COAX's update path can reuse it for the outlier index.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -11,9 +11,16 @@ The format is deliberately simple and versioned so it can be inspected with
 nothing but NumPy:
 
 * ``__meta__`` — JSON string: format version, configuration, group
-  definitions (predictor, dependents, per-dependent model parameters), and
-  the schema order;
-* one array per table column, stored under ``column::<name>``.
+  definitions (predictor, dependents, per-dependent model parameters), the
+  schema order, and the delta-store bookkeeping (pending count, next row id);
+* one array per table column, stored under ``column::<name>``;
+* pending (inserted but not compacted) records under ``delta::<key>`` —
+  one array per column plus the assigned row ids and routing mask — so a
+  save/load round trip preserves the delta store instead of forcing a
+  compaction.
+
+Version 1 archives (no delta section) load fine: the delta store starts
+empty, exactly the state version 1 guaranteed by compacting before save.
 """
 
 from __future__ import annotations
@@ -33,10 +40,13 @@ from repro.fd.bucketing import BucketingConfig
 from repro.fd.groups import FDGroup
 from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
 
-__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+__all__ = ["save_index", "load_index", "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this build can read (2 added the delta-store section).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def _model_to_dict(model) -> Dict:
@@ -122,16 +132,24 @@ def _config_from_dict(payload: Dict) -> COAXConfig:
 
 
 def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
-    """Persist a COAX index (data + learned state) to ``path`` (.npz).
+    """Persist a COAX index (data + learned state + delta store) to ``path`` (.npz).
 
-    Pending (inserted but not compacted) records are folded in via
-    :meth:`COAXIndex.compact` before saving so nothing is lost.
+    Pending (inserted but not compacted) records are stored alongside the
+    main columns with their assigned row ids and routing mask, so loading
+    restores the exact pre-save state — including what is pending.
     Returns the path written.
     """
     path = Path(path)
-    if index.n_pending:
-        index = index.compact()
     table = index.table.take(index.row_ids)
+    pending = index.delta.pending_table() if index.n_pending else None
+    next_row_id = int(index.next_row_id)
+    if pending is not None and not index.rows_aligned:
+        # A subset-scoped index renumbers its rows on save (take), which
+        # would orphan the pending row ids; fold the pending rows into the
+        # saved table instead (the same renumbering compact() applies).
+        table = table.concat(pending)
+        pending = None
+        next_row_id = table.n_rows
     meta = {
         "format_version": FORMAT_VERSION,
         "schema": list(table.schema),
@@ -139,8 +157,13 @@ def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
         "config": _config_to_dict(index.config),
         "groups": [_group_to_dict(group) for group in index.groups],
         "n_rows": table.n_rows,
+        "n_pending": int(pending.n_rows) if pending is not None else 0,
+        "next_row_id": next_row_id,
     }
     arrays = {f"column::{name}": table.column(name) for name in table.schema}
+    if pending is not None:
+        for key, array in index.delta.state().items():
+            arrays[f"delta::{key}"] = array
     arrays["__meta__"] = np.array(json.dumps(meta))
     with path.open("wb") as handle:
         np.savez_compressed(handle, **arrays)
@@ -153,6 +176,7 @@ def load_index(path: Union[str, Path]) -> COAXIndex:
     The table is restored from the stored columns and the index is rebuilt
     with the stored groups and configuration (no re-detection), so the
     loaded index partitions and answers queries exactly like the saved one.
+    Pending delta-store records (format version 2) are restored un-compacted.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -160,12 +184,27 @@ def load_index(path: Union[str, Path]) -> COAXIndex:
             raise ValueError(f"{path} is not a COAX index archive (missing __meta__)")
         meta = json.loads(str(archive["__meta__"]))
         version = meta.get("format_version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise ValueError(
-                f"unsupported format version {version!r} (this build reads {FORMAT_VERSION})"
+                f"unsupported format version {version!r} "
+                f"(this build reads {SUPPORTED_VERSIONS})"
             )
         columns = {name: archive[f"column::{name}"] for name in meta["schema"]}
+        delta_payload: Dict[str, np.ndarray] = {}
+        if meta.get("n_pending"):
+            prefix = "delta::"
+            delta_payload = {
+                key[len(prefix):]: archive[key]
+                for key in archive.files
+                if key.startswith(prefix)
+            }
     table = Table(columns)
     groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
     config = _config_from_dict(meta["config"])
-    return COAXIndex(table, config=config, groups=groups, dimensions=meta["dimensions"])
+    index = COAXIndex(table, config=config, groups=groups, dimensions=meta["dimensions"])
+    if delta_payload:
+        index.delta.load_state(delta_payload)
+    next_row_id = meta.get("next_row_id")
+    if next_row_id is not None:
+        index._next_row_id = int(next_row_id)
+    return index

@@ -10,7 +10,7 @@ examples, the CLI and downstream users can print or inspect programmatically
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

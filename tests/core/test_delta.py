@@ -1,0 +1,182 @@
+"""Unit tests for the columnar delta store (repro.core.delta)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaStore, coerce_batch
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
+
+
+def make_store(groups=None, **kwargs) -> DeltaStore:
+    if groups is None:
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.0, 1.0)},
+            )
+        ]
+    return DeltaStore(("x", "y"), groups, **kwargs)
+
+
+def batch(xs, ys):
+    return {
+        "x": np.asarray(xs, dtype=np.float64),
+        "y": np.asarray(ys, dtype=np.float64),
+    }
+
+
+class TestCoerceBatch:
+    def test_table_input(self):
+        table = Table({"x": np.array([1.0]), "y": np.array([2.0])})
+        columns = coerce_batch(table, ("x", "y"))
+        assert columns["x"].tolist() == [1.0]
+
+    def test_mapping_input_casts_dtype(self):
+        columns = coerce_batch({"x": [1, 2], "y": [3, 4]}, ("x", "y"))
+        assert columns["x"].dtype == np.float64
+
+    def test_records_input(self):
+        columns = coerce_batch([{"x": 1.0, "y": 2.0}], ("x", "y"))
+        assert columns["y"].tolist() == [2.0]
+
+    def test_extra_attributes_ignored(self):
+        columns = coerce_batch({"x": [1.0], "y": [2.0], "z": [9.0]}, ("x", "y"))
+        assert set(columns) == {"x", "y"}
+
+    def test_later_record_missing_attribute_raises_value_error(self):
+        with pytest.raises(ValueError):
+            coerce_batch([{"x": 1.0, "y": 2.0}, {"x": 3.0}], ("x", "y"))
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ValueError):
+            coerce_batch({"x": [1.0]}, ("x", "y"))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            coerce_batch({"x": [1.0, 2.0], "y": [1.0]}, ("x", "y"))
+
+
+class TestAppendAndGrowth:
+    def test_append_routes_batch(self):
+        store = make_store()
+        mask = store.append_batch(batch([1.0, 2.0], [2.5, 90.0]), np.array([10, 11]))
+        assert mask.tolist() == [True, False]
+        assert store.n_pending == 2
+        assert store.n_pending_primary == 1
+        assert store.n_pending_outlier == 1
+
+    def test_geometric_growth(self):
+        store = make_store(initial_capacity=4)
+        assert store.capacity == 4
+        for i in range(20):
+            store.append_batch(batch([float(i)], [2.0 * i]), np.array([i]))
+        assert store.n_pending == 20
+        assert store.capacity >= 20
+        # Growth is geometric: far fewer reallocations than appends.
+        assert store.capacity < 80
+
+    def test_large_batch_in_one_reserve(self):
+        store = make_store(initial_capacity=2)
+        n = 10_000
+        xs = np.linspace(0.0, 100.0, n)
+        store.append_batch(batch(xs, 2.0 * xs), np.arange(n))
+        assert store.n_pending == n
+        assert np.array_equal(store.column("x"), xs)
+
+    def test_row_ids_preserved(self):
+        store = make_store()
+        store.append_batch(batch([1.0], [2.0]), np.array([42]))
+        assert store.row_ids.tolist() == [42]
+
+    def test_empty_append_is_noop(self):
+        store = make_store()
+        mask = store.append_batch(batch([], []), np.empty(0, dtype=np.int64))
+        assert len(mask) == 0
+        assert store.n_pending == 0
+
+    def test_clear_keeps_capacity(self):
+        store = make_store(initial_capacity=4)
+        xs = np.arange(100, dtype=np.float64)
+        store.append_batch(batch(xs, 2.0 * xs), np.arange(100))
+        capacity = store.capacity
+        store.clear()
+        assert store.n_pending == 0
+        assert store.capacity == capacity
+
+    def test_no_groups_everything_is_inlier(self):
+        store = make_store(groups=[])
+        mask = store.append_batch(batch([1.0, 2.0], [500.0, -500.0]), np.array([0, 1]))
+        assert mask.tolist() == [True, True]
+
+
+class TestScan:
+    def test_scan_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        n = 5_000
+        xs = rng.uniform(0.0, 100.0, size=n)
+        ys = rng.uniform(0.0, 250.0, size=n)
+        store = make_store()
+        store.append_batch(batch(xs, ys), np.arange(n))
+        query = Rectangle({"x": Interval(10.0, 40.0), "y": Interval(50.0, 150.0)})
+        expected = np.flatnonzero(
+            (xs >= 10.0) & (xs <= 40.0) & (ys >= 50.0) & (ys <= 150.0)
+        )
+        assert np.array_equal(store.scan(query), expected)
+
+    def test_scan_empty_store(self):
+        store = make_store()
+        assert len(store.scan(Rectangle({"x": Interval(0.0, 1.0)}))) == 0
+
+    def test_scan_empty_query(self):
+        store = make_store()
+        store.append_batch(batch([1.0], [2.0]), np.array([0]))
+        assert len(store.scan(Rectangle({"x": Interval.empty()}))) == 0
+
+    def test_scan_unknown_attribute_raises(self):
+        store = make_store()
+        store.append_batch(batch([1.0], [2.0]), np.array([0]))
+        with pytest.raises(KeyError):
+            store.scan(Rectangle({"z": Interval(0.0, 1.0)}))
+
+    def test_scan_returns_sorted_row_ids(self):
+        store = make_store()
+        store.append_batch(batch([5.0, 1.0, 3.0], [10.0, 2.0, 6.0]), np.array([30, 10, 20]))
+        hits = store.scan(Rectangle({"x": Interval(0.0, 10.0)}))
+        assert hits.tolist() == [10, 20, 30]
+
+
+class TestStateRoundTrip:
+    def test_state_load_state(self):
+        store = make_store()
+        store.append_batch(batch([1.0, 2.0], [2.0, 99.0]), np.array([7, 8]))
+        payload = store.state()
+        restored = make_store()
+        restored.load_state(payload)
+        assert restored.n_pending == 2
+        assert restored.row_ids.tolist() == [7, 8]
+        assert restored.inlier_mask.tolist() == store.inlier_mask.tolist()
+        assert np.array_equal(restored.column("y"), store.column("y"))
+
+    def test_pending_table(self):
+        store = make_store()
+        assert store.pending_table() is None
+        store.append_batch(batch([1.0], [2.0]), np.array([0]))
+        table = store.pending_table()
+        assert isinstance(table, Table)
+        assert table.n_rows == 1
+
+
+class TestPerModelCounts:
+    def test_counts_accumulate_and_clear(self):
+        store = make_store()
+        store.append_batch(batch([1.0, 2.0], [2.5, 90.0]), np.array([0, 1]))
+        store.append_batch(batch([3.0], [6.2]), np.array([2]))
+        assert store.per_model_inlier_counts == {"x->y": 2}
+        store.clear()
+        assert store.per_model_inlier_counts == {}

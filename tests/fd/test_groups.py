@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 import pytest
 
 from repro.fd.detection import FDCandidate

@@ -9,7 +9,6 @@ from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
 from repro.indexes.base import (
     IndexBuildError,
-    MultidimensionalIndex,
     QueryStats,
     available_indexes,
     create_index,
@@ -116,3 +115,47 @@ class TestFullScan:
         index = FullScanIndex(table)
         query = Rectangle({"a": Interval(0.0, 50.0)})
         assert index.count(query) == len(table.select(query))
+
+
+class TestPositionLookupCache:
+    def test_positions_of_round_trip(self, table):
+        index = FullScanIndex(table, row_ids=np.array([5, 1, 9, 3], dtype=np.int64))
+        positions = index.positions_of(np.array([9, 5], dtype=np.int64))
+        assert sorted(positions.tolist()) == [0, 2]
+
+    def test_uncovered_ids_dropped(self, table):
+        index = FullScanIndex(table, row_ids=np.array([5, 1], dtype=np.int64))
+        positions = index.positions_of(np.array([1, 777], dtype=np.int64))
+        assert positions.tolist() == [1]
+
+    def test_lookup_is_cached(self, table, monkeypatch):
+        index = FullScanIndex(table)
+        calls = {"n": 0}
+        original = np.argsort
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(np, "argsort", counting)
+        for _ in range(5):
+            index.positions_of(np.array([0, 1], dtype=np.int64))
+        assert calls["n"] == 1
+
+    def test_empty_inputs(self, table):
+        index = FullScanIndex(table)
+        assert len(index.positions_of(np.empty(0, dtype=np.int64))) == 0
+
+
+class TestBatchRangeQuery:
+    def test_results_align_with_single_queries(self, table):
+        index = FullScanIndex(table)
+        queries = [
+            Rectangle({"a": Interval(0.0, 30.0)}),
+            Rectangle({"b": Interval(50.0, 80.0)}),
+            Rectangle({"a": Interval(90.0, 100.0), "b": Interval(0.0, 10.0)}),
+        ]
+        results = index.batch_range_query(queries)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            assert np.array_equal(result, index.range_query(query))

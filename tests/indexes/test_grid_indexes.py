@@ -183,3 +183,75 @@ class TestColumnFiles:
 
     def test_registered_name(self, table):
         assert ColumnFilesIndex.name == "column_files"
+
+
+class TestAbsorbRows:
+    """Incremental merge of new rows into an existing sorted-cell grid."""
+
+    def _combined(self, table: Table, seed: int, k: int):
+        rng = np.random.default_rng(seed)
+        extra = Table(
+            {
+                "a": rng.uniform(0.0, 120.0, size=k),
+                "b": rng.exponential(scale=25.0, size=k),
+                "c": rng.normal(40.0, 20.0, size=k),
+            }
+        )
+        combined = table.concat(extra)
+        new_ids = np.arange(table.n_rows, combined.n_rows, dtype=np.int64)
+        return combined, new_ids
+
+    def test_absorb_matches_rebuild(self, table, queries):
+        combined, new_ids = self._combined(table, seed=5, k=1_500)
+        incremental = SortedCellGridIndex(table, cells_per_dim=5, sort_dimension="a")
+        incremental.absorb_rows(combined, new_ids)
+        rebuilt = SortedCellGridIndex(combined, cells_per_dim=5, sort_dimension="a")
+        assert incremental.n_rows == combined.n_rows
+        for query in queries:
+            assert np.array_equal(
+                np.sort(incremental.range_query(query)),
+                np.sort(rebuilt.range_query(query)),
+            )
+            assert np.array_equal(
+                np.sort(incremental.range_query(query)), combined.select(query)
+            )
+
+    def test_absorb_keeps_cells_sorted(self, table):
+        combined, new_ids = self._combined(table, seed=6, k=800)
+        index = SortedCellGridIndex(table, cells_per_dim=4, sort_dimension="b")
+        index.absorb_rows(combined, new_ids)
+        keys = index._sorted_keys
+        offsets = index._offsets
+        for cell in range(index.n_cells):
+            cell_keys = keys[offsets[cell]:offsets[cell + 1]]
+            assert np.all(np.diff(cell_keys) >= 0.0)
+        assert offsets[-1] == combined.n_rows
+
+    def test_absorb_empty_batch(self, table):
+        index = SortedCellGridIndex(table, cells_per_dim=4)
+        index.absorb_rows(table, np.empty(0, dtype=np.int64))
+        assert index.n_rows == table.n_rows
+
+    def test_absorb_into_empty_index(self, table):
+        empty = SortedCellGridIndex(
+            table, cells_per_dim=4, row_ids=np.empty(0, dtype=np.int64)
+        )
+        all_ids = np.arange(table.n_rows, dtype=np.int64)
+        empty.absorb_rows(table, all_ids)
+        assert empty.n_rows == table.n_rows
+        query = Rectangle({"a": Interval(10.0, 60.0)})
+        assert np.array_equal(np.sort(empty.range_query(query)), table.select(query))
+
+    def test_repeated_absorption(self, table, queries):
+        index = SortedCellGridIndex(table, cells_per_dim=5, sort_dimension="a")
+        current = table
+        for seed in (7, 8, 9):
+            combined, new_ids = self._combined(current, seed=seed, k=400)
+            index.absorb_rows(combined, new_ids)
+            current = combined
+        rebuilt = SortedCellGridIndex(current, cells_per_dim=5, sort_dimension="a")
+        for query in queries:
+            assert np.array_equal(
+                np.sort(index.range_query(query)),
+                np.sort(rebuilt.range_query(query)),
+            )

@@ -7,7 +7,7 @@ import pytest
 
 from repro.data.table import Table
 from repro.indexes.full_scan import FullScanIndex
-from repro.indexes.memory import MemoryReport, compare_reports, format_bytes, memory_report
+from repro.indexes.memory import compare_reports, format_bytes, memory_report
 from repro.indexes.rtree import RTreeIndex
 from repro.indexes.uniform_grid import UniformGridIndex
 

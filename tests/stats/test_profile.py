@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.stats.profile import ColumnProfile, profile_table
+from repro.stats.profile import profile_table
 
 
 class TestColumnProfiles:

@@ -47,3 +47,19 @@ class TestMain:
 
     def test_unknown_experiment_exit_code(self, capsys):
         assert main(["bogus"]) == 2
+
+
+class TestUpdateBench:
+    def test_alias_resolves(self):
+        text = run_experiment(
+            "update-bench", rows=3_000, queries=4, inserts=4_000, batch_size=2_000
+        )
+        assert "insert_batch()" in text
+        assert "incremental compact()" in text
+
+    def test_insert_options_parsed(self):
+        args = build_parser().parse_args(
+            ["update-bench", "--inserts", "5000", "--batch-size", "1000"]
+        )
+        assert args.inserts == 5000
+        assert args.batch_size == 1000

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro import (
-    COAXConfig,
     COAXIndex,
     FullScanIndex,
     Interval,

@@ -6,12 +6,11 @@ import numpy as np
 import pytest
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig
 from repro.data.predicates import Interval, Rectangle
 from repro.data.queries import WorkloadConfig, generate_knn_queries
 from repro.data.table import Table
 from repro.fd.groups import FDGroup
-from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
+from repro.fd.model import LinearFDModel, SplineFDModel
 from repro.io.datasets import encode_categories, load_csv, load_npz, save_csv, save_npz
 from repro.io.persistence import FORMAT_VERSION, load_index, save_index
 
@@ -45,7 +44,8 @@ class TestIndexPersistence:
             assert restored[key].slope == pytest.approx(model.slope)
             assert restored[key].eps_ub == pytest.approx(model.eps_ub)
 
-    def test_pending_records_are_folded_in_before_save(self, tmp_path):
+    def test_round_trip_preserves_delta_state(self, tmp_path):
+        """Pending (not yet compacted) records survive save/load as pending."""
         rng = np.random.default_rng(0)
         x = rng.uniform(0.0, 100.0, size=1_000)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=1_000)})
@@ -53,11 +53,60 @@ class TestIndexPersistence:
             FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
         ]
         index = COAXIndex(table, groups=groups)
-        index.insert({"x": 50.0, "y": 100.0})
+        inlier_id = index.insert({"x": 50.0, "y": 100.0})
+        outlier_id = index.insert({"x": 50.0, "y": 700.0})
         path = save_index(index, tmp_path / "pending.npz")
         loaded = load_index(path)
+        assert loaded.n_rows == 1_000
+        assert loaded.n_pending == 2
+        assert loaded.n_pending_primary == 1
+        assert loaded.n_pending_outlier == 1
+        # Pending rows stay queryable with their pre-save ids …
+        hits = loaded.range_query(Rectangle({"y": Interval(699.0, 701.0)}))
+        assert hits.tolist() == [outlier_id]
+        # … and new inserts continue from the saved next row id.
+        assert loaded.insert({"x": 10.0, "y": 20.0}) == outlier_id + 1
+        # Compacting the loaded index folds them in exactly.
+        loaded.compact()
+        assert loaded.n_pending == 0
+        assert loaded.n_rows == 1_003
+        assert inlier_id in loaded.range_query(
+            Rectangle({"x": Interval(49.9, 50.1), "y": Interval(99.0, 101.0)})
+        )
+
+    def test_subset_index_with_pending_saves_consistently(self, tmp_path):
+        """A subset-scoped index renumbers on save; pending rows must be
+        folded in rather than saved with now-orphaned row ids."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.0, 100.0, size=2_000)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=2_000)})
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
+        ]
+        subset = np.arange(0, 1_000, dtype=np.int64)
+        index = COAXIndex(table, groups=groups, row_ids=subset)
+        index.insert({"x": 50.0, "y": 700.0})  # outlier, pending id 2000
+        loaded = load_index(save_index(index, tmp_path / "subset.npz"))
         assert loaded.n_rows == 1_001
         assert loaded.n_pending == 0
+        hits = loaded.range_query(Rectangle({"y": Interval(699.0, 701.0)}))
+        assert len(hits) == 1
+        # The loaded index must stay usable through another update cycle.
+        loaded.insert({"x": 10.0, "y": 20.0})
+        loaded.compact()
+        assert loaded.n_rows == 1_002
+
+    def test_compacted_index_saves_without_delta_section(self, tmp_path):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0.0, 100.0, size=500)
+        table = Table({"x": x, "y": 2.0 * x})
+        index = COAXIndex(table, groups=[])
+        index.insert({"x": 1.0, "y": 2.0})
+        index.compact()
+        path = save_index(index, tmp_path / "clean.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            assert not any(key.startswith("delta::") for key in archive.files)
+        assert load_index(path).n_pending == 0
 
     def test_spline_models_survive_round_trip(self, tmp_path):
         rng = np.random.default_rng(1)
@@ -82,7 +131,9 @@ class TestIndexPersistence:
 
     def test_format_version_is_checked(self, airline_coax, tmp_path, monkeypatch):
         path = save_index(airline_coax, tmp_path / "v.npz")
-        monkeypatch.setattr("repro.io.persistence.FORMAT_VERSION", FORMAT_VERSION + 1)
+        monkeypatch.setattr(
+            "repro.io.persistence.SUPPORTED_VERSIONS", (FORMAT_VERSION + 1,)
+        )
         with pytest.raises(ValueError):
             load_index(path)
 
