@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     fig7,
     fig8,
     headline,
+    read_path,
     table1,
     theory,
     updates,
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "headline": (headline.run, "Headline claims — memory reduction and speedup"),
     "ablations": (ablations.run, "Ablations — margins, outlier index, bucketing, splines"),
     "updates": (updates.run, "Updates — insert throughput and latency under writes"),
+    "read_path": (read_path.run, "Read path — sequential vs batch query execution"),
 }
 
 __all__ = [
@@ -43,6 +45,7 @@ __all__ = [
     "fig7",
     "fig8",
     "headline",
+    "read_path",
     "table1",
     "theory",
     "updates",

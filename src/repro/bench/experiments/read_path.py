@@ -1,0 +1,237 @@
+"""Read-path benchmark — sequential vs batch query execution.
+
+The companion of the ``updates`` driver for the other half of the system:
+it produces the read-latency/throughput trajectory (``BENCH_read.json``)
+of the vectorized query engine.  For each dataset (Airline and OSM) and
+each index with a batched read path (COAX and the Column Files layout it
+is built on) the driver measures
+
+* the sequential baseline — ``range_query`` in a Python loop, one query at
+  a time — on the paper's range (KNN-rectangle) and point workloads;
+* the batch path — ``batch_range_query`` — across a sweep of batch sizes,
+  reporting throughput, mean latency and the speedup over the sequential
+  loop;
+* a COAX configuration with pending delta rows, exercising the batched
+  delta scan (``DeltaStore.scan_batch``) under un-compacted inserts.
+
+Every batch result is verified element-for-element against the sequential
+result of the same query before any number is reported, so the driver can
+never report fast-but-wrong throughput.  ``smoke=True`` shrinks the
+dataset for CI and asserts the batch path is at least as fast as the
+sequential loop, so read-path regressions fail the pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.experiments.datasets import airline_table, osm_table, standard_workloads
+from repro.bench.reporting import ExperimentResult
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.indexes.base import MultidimensionalIndex
+from repro.indexes.column_files import ColumnFilesIndex
+
+__all__ = ["run"]
+
+#: Batch sizes swept by the default configuration (1 = the sequential loop).
+DEFAULT_BATCH_SIZES: Tuple[int, ...] = (64, 256, 1024)
+
+#: Fraction of rows held back as an insert stream for the pending-delta rows.
+PENDING_FRACTION = 0.2
+
+
+def _time_sequential(
+    index: MultidimensionalIndex, queries: Sequence, repeats: int
+) -> Tuple[float, List[np.ndarray]]:
+    """Best-of-``repeats`` wall clock plus results of the per-query loop."""
+    best = np.inf
+    results: List[np.ndarray] = []
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        results = [index.range_query(query) for query in queries]
+        best = min(best, time.perf_counter() - start)
+    return best, results
+
+
+def _time_batched(
+    index: MultidimensionalIndex, queries: Sequence, batch_size: int, repeats: int
+) -> Tuple[float, List[np.ndarray]]:
+    """Best-of-``repeats`` wall clock plus results of batched execution."""
+    queries = list(queries)
+    best = np.inf
+    results: List[np.ndarray] = []
+    for _ in range(max(repeats, 1)):
+        run_results: List[np.ndarray] = []
+        start = time.perf_counter()
+        for begin in range(0, len(queries), batch_size):
+            run_results.extend(
+                index.batch_range_query(queries[begin : begin + batch_size])
+            )
+        best = min(best, time.perf_counter() - start)
+        results = run_results
+    return best, results
+
+
+def _mismatches(left: List[np.ndarray], right: List[np.ndarray]) -> int:
+    """Number of queries whose two result arrays differ."""
+    return sum(
+        0 if np.array_equal(a, b) else 1 for a, b in zip(left, right)
+    )
+
+
+def _bench_index(
+    rows: List[Dict[str, object]],
+    dataset: str,
+    index_name: str,
+    index: MultidimensionalIndex,
+    workloads: Dict[str, Sequence],
+    batch_sizes: Sequence[int],
+    repeats: int,
+) -> Dict[str, float]:
+    """Benchmark one index on every workload; returns best speedup per workload."""
+    best: Dict[str, float] = {}
+    for workload_name, queries in workloads.items():
+        queries = list(queries)
+        # Warm-up: fault in caches and lazily built lookups on both paths.
+        index.batch_range_query(queries[: min(32, len(queries))])
+        for query in queries[: min(32, len(queries))]:
+            index.range_query(query)
+        seq_seconds, seq_results = _time_sequential(index, queries, repeats)
+        rows.append(
+            {
+                "dataset": dataset,
+                "index": index_name,
+                "workload": workload_name,
+                "mode": "sequential",
+                "batch_size": 1,
+                "queries": len(queries),
+                "seconds": round(seq_seconds, 4),
+                "queries_per_s": int(len(queries) / max(seq_seconds, 1e-9)),
+                "mean_ms": round(seq_seconds / len(queries) * 1e3, 4),
+                "mismatched_queries": 0,
+            }
+        )
+        for batch_size in batch_sizes:
+            batch_seconds, batch_results = _time_batched(index, queries, batch_size, repeats)
+            mismatched = _mismatches(seq_results, batch_results)
+            speedup = seq_seconds / max(batch_seconds, 1e-9)
+            best[workload_name] = max(best.get(workload_name, 0.0), speedup)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "index": index_name,
+                    "workload": workload_name,
+                    "mode": "batch",
+                    "batch_size": batch_size,
+                    "queries": len(queries),
+                    "seconds": round(batch_seconds, 4),
+                    "queries_per_s": int(len(queries) / max(batch_seconds, 1e-9)),
+                    "mean_ms": round(batch_seconds / len(queries) * 1e3, 4),
+                    "speedup_vs_seq": round(speedup, 2),
+                    "mismatched_queries": mismatched,
+                }
+            )
+            if mismatched:
+                raise AssertionError(
+                    f"batch results diverged from sequential on {dataset}/{index_name}/"
+                    f"{workload_name} at batch size {batch_size} ({mismatched} queries)"
+                )
+    return best
+
+
+def run(
+    n_rows: int = 30_000,
+    n_queries: int = 1024,
+    seed: int = 5,
+    batch_sizes: Optional[Sequence[int]] = None,
+    smoke: bool = False,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Run the read-path benchmark and return its result table.
+
+    Every (mode, batch size) combination is timed ``repeats`` times and the
+    minimum is reported, so one scheduler hiccup cannot skew a trajectory
+    point.  ``smoke`` shrinks the dataset/workload to CI scale and asserts
+    the batch path beats the sequential loop for COAX at its best batch
+    size on every dataset/workload combination.
+    """
+    if smoke:
+        n_rows = min(n_rows, 6_000)
+        n_queries = min(n_queries, 256)
+        batch_sizes = tuple(batch_sizes) if batch_sizes else (64, 256)
+        # Keep full best-of-N timing: the smoke assertion (batch >=
+        # sequential at the best batch size) is a CI gate, and the best of
+        # `repeats` runs x len(batch_sizes) sizes makes a scheduler stall
+        # on a shared runner vanishingly unlikely to flip it.
+    else:
+        batch_sizes = tuple(batch_sizes) if batch_sizes else DEFAULT_BATCH_SIZES
+    rows: List[Dict[str, object]] = []
+    notes: List[str] = []
+    config = COAXConfig()
+    speedups: Dict[Tuple[str, str, str], float] = {}
+
+    for dataset, maker, dataset_seed in (
+        ("Airline", airline_table, seed),
+        ("OSM", osm_table, seed + 1),
+    ):
+        n_pending = max(int(n_rows * PENDING_FRACTION), 1)
+        full = maker(n_rows + n_pending, seed=dataset_seed)
+        table = full.take(np.arange(n_rows, dtype=np.int64))
+        stream = full.take(np.arange(n_rows, full.n_rows, dtype=np.int64))
+        workloads = {
+            name: list(workload)
+            for name, workload in standard_workloads(
+                table, n_queries=n_queries, seed=dataset_seed
+            ).items()
+        }
+
+        coax = COAXIndex(table, config=config)
+        speedups.update(
+            {
+                (dataset, "COAX", workload): value
+                for workload, value in _bench_index(
+                    rows, dataset, "COAX", coax, workloads, batch_sizes, repeats
+                ).items()
+            }
+        )
+        column_files = ColumnFilesIndex(table, cells_per_dim=8)
+        _bench_index(
+            rows, dataset, "Column Files", column_files, workloads, batch_sizes, repeats
+        )
+
+        # COAX with pending delta rows: the batched delta scan rides along.
+        pending = COAXIndex(table, config=config, groups=list(coax.groups))
+        pending.insert_batch(stream)
+        _bench_index(
+            rows,
+            dataset,
+            f"COAX (+{stream.n_rows} pending)",
+            pending,
+            workloads,
+            batch_sizes,
+            repeats,
+        )
+
+    notes.append(
+        "batch results verified element-for-element against the sequential loop"
+    )
+    if smoke:
+        slower = {
+            key: value for key, value in speedups.items() if value < 1.0
+        }
+        if slower:
+            raise AssertionError(
+                f"batch path slower than the sequential loop in smoke mode: {slower}"
+            )
+        notes.append("smoke mode: asserted batch >= sequential throughput for COAX")
+
+    return ExperimentResult(
+        experiment="read_path",
+        description="Read path — sequential vs batch query execution",
+        rows=rows,
+        notes=notes,
+    )

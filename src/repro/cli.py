@@ -6,11 +6,16 @@ Usage::
     python -m repro.cli table1
     python -m repro.cli fig6 --rows 50000 --queries 40
     python -m repro.cli update-bench --inserts 100000 --batch-size 10000
+    python -m repro.cli query-bench --rows 30000 --queries 1024 --export BENCH_read.json
+    python -m repro.cli query-bench --smoke --export BENCH_read.json
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
 in :mod:`repro.bench.experiments`.  ``update-bench`` is the command for the
-delta-store update benchmark (an alias of the ``updates`` experiment id).
+delta-store update benchmark (an alias of the ``updates`` experiment id);
+``query-bench`` runs the read-path benchmark (``read_path``), with
+``--smoke`` for the quick CI variant that asserts batch execution beats the
+sequential loop and ``--export`` to write the JSON artifact.
 """
 
 from __future__ import annotations
@@ -18,14 +23,16 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Sequence
 
 from repro.bench.experiments import EXPERIMENTS
+from repro.bench.export import export_json
 
 __all__ = ["main", "build_parser", "run_experiment"]
 
 #: Command spellings accepted in addition to the experiment registry ids.
-COMMAND_ALIASES = {"update-bench": "updates"}
+COMMAND_ALIASES = {"update-bench": "updates", "query-bench": "read_path"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,10 +54,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--batch-size", type=int, default=None, help="insert batch size (update-bench)"
     )
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="query batch sizes to sweep (query-bench)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI variant: small data, asserts batch >= sequential (query-bench)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the experiment result as JSON to PATH",
+    )
     return parser
 
 
-def run_experiment(
+def _run_experiment(
     name: str,
     *,
     rows: Optional[int] = None,
@@ -58,8 +83,10 @@ def run_experiment(
     seed: Optional[int] = None,
     inserts: Optional[int] = None,
     batch_size: Optional[int] = None,
-) -> str:
-    """Run one experiment by id (or alias) and return its formatted table."""
+    batch_sizes: Optional[Sequence[int]] = None,
+    smoke: bool = False,
+):
+    """Run one experiment by id (or alias), returning its result object."""
     name = COMMAND_ALIASES.get(name, name)
     try:
         runner, _ = EXPERIMENTS[name]
@@ -73,12 +100,37 @@ def run_experiment(
         "seed": seed,
         "n_inserts": inserts,
         "batch_size": batch_size,
+        "batch_sizes": batch_sizes,
+        "smoke": smoke or None,
     }
     for parameter, value in forwarded.items():
         if value is not None and parameter in signature.parameters:
             kwargs[parameter] = value
-    result = runner(**kwargs)
-    return result.table()
+    return runner(**kwargs)
+
+
+def run_experiment(
+    name: str,
+    *,
+    rows: Optional[int] = None,
+    queries: Optional[int] = None,
+    seed: Optional[int] = None,
+    inserts: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    batch_sizes: Optional[Sequence[int]] = None,
+    smoke: bool = False,
+) -> str:
+    """Run one experiment by id (or alias) and return its formatted table."""
+    return _run_experiment(
+        name,
+        rows=rows,
+        queries=queries,
+        seed=seed,
+        inserts=inserts,
+        batch_size=batch_size,
+        batch_sizes=batch_sizes,
+        smoke=smoke,
+    ).table()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -94,18 +146,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         try:
-            output = run_experiment(
+            result = _run_experiment(
                 name,
                 rows=args.rows,
                 queries=args.queries,
                 seed=args.seed,
                 inserts=args.inserts,
                 batch_size=args.batch_size,
+                batch_sizes=args.batch_sizes,
+                smoke=args.smoke,
             )
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
-        print(output)
+        print(result.table())
+        if args.export:
+            target = Path(args.export)
+            if len(names) > 1:
+                # One file per experiment, or `all` would silently overwrite
+                # the same path and keep only the last result.
+                target = target.with_name(
+                    f"{target.stem}_{result.experiment}{target.suffix or '.json'}"
+                )
+            path = export_json(result, target)
+            print(f"wrote {path}")
         print()
     return 0
 

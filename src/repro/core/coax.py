@@ -32,10 +32,20 @@ import numpy as np
 from repro.core.config import COAXConfig
 from repro.core.delta import BatchLike, DeltaStore, coerce_batch
 from repro.core.partitioner import PartitionResult, partition_rows
-from repro.core.planner import QueryPlan, bounding_box_of_rows, merge_boxes, plan_query
-from repro.core.query_translation import dependent_attributes, translate_query
-from repro.core.results import QueryResult, merge_row_ids
-from repro.data.predicates import Rectangle
+from repro.core.planner import (
+    QueryPlan,
+    bounding_box_of_rows,
+    merge_boxes,
+    plan_query,
+    plan_query_flags,
+)
+from repro.core.query_translation import (
+    dependent_attributes,
+    translate_bounds_batch,
+    translate_query,
+)
+from repro.core.results import QueryResult, merge_flat_row_ids, merge_row_ids
+from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig, FDCandidate, detect_soft_fds, evaluate_pair
 from repro.fd.groups import FDGroup, build_groups
@@ -377,6 +387,97 @@ class COAXIndex(MultidimensionalIndex):
         if query.is_empty:
             return np.empty(0, dtype=np.int64)
         return self.query(query).row_ids
+
+    def batch_range_query(self, queries: Sequence[Rectangle]) -> List[np.ndarray]:
+        """Original row ids for every query of a batch, sharing work batch-wide.
+
+        True batch execution across every layer: the whole batch is planned
+        and translated in one vectorized pass over its columnar bound
+        matrices (:func:`translate_bounds_batch` + :func:`plan_query_flags`),
+        each sub-index receives *one* batched call covering every query
+        routed to it (the grid family executes those with its own vectorized
+        batch kernels), and the delta store is scanned once for all
+        rectangles.
+        Results are positionally aligned and identical to
+        ``[range_query(q) for q in queries]``.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+
+        # Columnar form of the whole batch: per-attribute bound matrices.
+        bounds = batch_bounds(queries)
+        live = np.ones(n_queries, dtype=bool)
+        for lows, highs in bounds.values():
+            live &= lows <= highs
+        n_live = int(live.sum())
+        if n_live == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+
+        # Vectorized batch translation (Equation 2 as array arithmetic) and
+        # batch planning (empty / no-inlier / bounding-box pruning as masks).
+        translated_bounds, no_inlier = translate_bounds_batch(
+            bounds, n_queries, self._groups
+        )
+        use_primary, use_outlier = plan_query_flags(
+            bounds,
+            translated_bounds,
+            no_inlier,
+            n_queries,
+            primary_box=self._primary_box,
+            outlier_box=self._outlier_box,
+        )
+        rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+
+        # One batched call per sub-index.  The primary consumes the
+        # translated bound matrices directly (it is always a sorted-cell
+        # grid); so does a grid-family outlier index, while other outlier
+        # structures fall back to their rectangle-level batch entry point.
+        id_parts: List[np.ndarray] = []
+        qid_parts: List[np.ndarray] = []
+        all_qids = np.arange(n_queries, dtype=np.int64)
+        ids, counts = self._primary.batch_flat_from_bounds(
+            translated_bounds, n_queries, use_primary, int(use_primary.sum())
+        )
+        id_parts.append(ids)
+        qid_parts.append(np.repeat(all_qids, counts))
+        if isinstance(self._outlier, SortedCellGridIndex):
+            ids, counts = self._outlier.batch_flat_from_bounds(
+                bounds, n_queries, use_outlier, int(use_outlier.sum())
+            )
+            id_parts.append(ids)
+            qid_parts.append(np.repeat(all_qids, counts))
+        else:
+            outlier_slots = np.flatnonzero(use_outlier)
+            if len(outlier_slots):
+                batch = [queries[i] for i in outlier_slots]
+                ids, counts = self._outlier.batch_range_query_flat(batch)
+                id_parts.append(ids)
+                qid_parts.append(np.repeat(outlier_slots, counts))
+
+        # One delta-store pass for every rectangle of the batch.
+        if self._delta.n_pending:
+            pending_results = self._delta.scan_batch(queries)
+            id_parts.append(np.concatenate(pending_results))
+            qid_parts.append(
+                np.repeat(all_qids, [len(part) for part in pending_results])
+            )
+
+        results = merge_flat_row_ids(
+            np.concatenate(id_parts), np.concatenate(qid_parts), n_queries
+        )
+        total_matched = int(sum(len(result) for result in results))
+        rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        self.stats.record_batch(
+            n_live,
+            rows_examined=rows_after - rows_before,
+            rows_matched=total_matched,
+            cells_visited=cells_after - cells_before,
+        )
+        return results
 
     def translated_query(self, query: Rectangle) -> Rectangle:
         """The rewritten query the primary index receives (for inspection)."""

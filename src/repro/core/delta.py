@@ -23,7 +23,7 @@ so persistence can round-trip an index without forcing a compaction first.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -255,6 +255,43 @@ class DeltaStore:
             return np.empty(0, dtype=np.int64)
         mask = query.matches(self.columns())
         return np.sort(self._row_ids[: self._size][mask])
+
+    #: Queries checked per broadcast block in :meth:`scan_batch`, bounding
+    #: the (block x pending) mask matrix to a few MB however large the batch.
+    SCAN_BATCH_BLOCK = 256
+
+    def scan_batch(self, queries: Sequence[Rectangle]) -> List[np.ndarray]:
+        """Row ids of buffered records matching each query of a batch.
+
+        The whole batch is answered with one pass over the buffer: per
+        attribute constrained by *any* query the column prefix is gathered
+        once and compared against the per-query bound vectors by
+        broadcasting, instead of re-reading every column for every query.
+        Results are positionally aligned with ``queries`` and identical to
+        ``[scan(q) for q in queries]``.
+        """
+        queries = list(queries)
+        results: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(len(queries))
+        ]
+        if self._size == 0 or not queries:
+            return results
+        live = [i for i, query in enumerate(queries) if not query.is_empty]
+        if not live:
+            return results
+        dims = sorted({dim for i in live for dim in queries[i].constrained_dims})
+        row_ids = self._row_ids[: self._size]
+        for block_start in range(0, len(live), self.SCAN_BATCH_BLOCK):
+            block = live[block_start : block_start + self.SCAN_BATCH_BLOCK]
+            mask = np.ones((len(block), self._size), dtype=bool)
+            for dim in dims:
+                lows = np.array([queries[i].interval(dim).low for i in block])
+                highs = np.array([queries[i].interval(dim).high for i in block])
+                values = self._buffers[dim][: self._size]
+                mask &= (values >= lows[:, None]) & (values <= highs[:, None])
+            for row, i in enumerate(block):
+                results[i] = np.sort(row_ids[mask[row]])
+        return results
 
     def pending_table(self) -> Optional[Table]:
         """The buffered records as a :class:`Table` (``None`` when empty)."""

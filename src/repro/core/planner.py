@@ -14,16 +14,29 @@ The planner performs exactly that pruning:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.predicates import Rectangle
+from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
-from repro.core.query_translation import translate_query, translated_predictor_interval
+from repro.core.query_translation import (
+    BoundsMap,
+    rewritten_queries_from_bounds,
+    translate_bounds_batch,
+    translate_query,
+    translated_predictor_interval,
+)
 from repro.fd.groups import FDGroup
 
-__all__ = ["QueryPlan", "plan_query", "bounding_box_of_rows", "merge_boxes"]
+__all__ = [
+    "QueryPlan",
+    "plan_query",
+    "plan_queries",
+    "plan_query_flags",
+    "bounding_box_of_rows",
+    "merge_boxes",
+]
 
 
 @dataclass(frozen=True)
@@ -120,3 +133,125 @@ def plan_query(
         use_outlier=use_outlier,
         skip_reasons=skip_reasons,
     )
+
+
+def _batch_empty(bounds: BoundsMap, n_queries: int) -> np.ndarray:
+    """Mask of queries with some empty constraint in a columnar batch."""
+    empty = np.zeros(n_queries, dtype=bool)
+    for lows, highs in bounds.values():
+        empty |= lows > highs
+    return empty
+
+
+def _batch_misses_box(
+    bounds: BoundsMap,
+    n_queries: int,
+    box: Tuple[Dict[str, float], Dict[str, float]],
+) -> np.ndarray:
+    """Mask of queries whose rectangle misses an axis-aligned bounding box."""
+    misses = np.zeros(n_queries, dtype=bool)
+    box_lows, box_highs = box
+    for dim, (lows, highs) in bounds.items():
+        if dim not in box_lows:
+            continue
+        misses |= (highs < box_lows[dim]) | (lows > box_highs[dim])
+    return misses
+
+
+def plan_query_flags(
+    bounds: BoundsMap,
+    translated_bounds: BoundsMap,
+    no_inlier: np.ndarray,
+    n_queries: int,
+    *,
+    primary_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+    outlier_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized sub-index routing for a columnar query batch.
+
+    ``bounds`` / ``translated_bounds`` are the original and translated
+    per-attribute bound matrices (see
+    :func:`repro.core.query_translation.translate_bounds_batch`, which also
+    produces ``no_inlier``).  Returns ``(use_primary, use_outlier)`` masks,
+    decision-identical to :func:`plan_query` per query — the same empty /
+    no-inlier / bounding-box pruning evaluated as whole-batch array ops.
+    """
+    if primary_box is None:
+        use_primary = np.zeros(n_queries, dtype=bool)
+    else:
+        use_primary = ~(
+            _batch_empty(translated_bounds, n_queries)
+            | np.asarray(no_inlier, dtype=bool)
+            | _batch_misses_box(translated_bounds, n_queries, primary_box)
+        )
+    if outlier_box is None:
+        use_outlier = np.zeros(n_queries, dtype=bool)
+    else:
+        use_outlier = ~(
+            _batch_empty(bounds, n_queries)
+            | _batch_misses_box(bounds, n_queries, outlier_box)
+        )
+    return use_primary, use_outlier
+
+
+def plan_queries(
+    queries: Sequence[Rectangle],
+    groups: Sequence[FDGroup],
+    *,
+    primary_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+    outlier_box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None,
+) -> List[QueryPlan]:
+    """Plans for a whole batch of queries, translated in one vectorized pass.
+
+    The rectangle-level convenience wrapper over the array-level batch
+    machinery COAX uses directly: translation through
+    :func:`translate_query_batch` / :func:`translate_bounds_batch` and
+    routing through :func:`plan_query_flags`, plus the per-query skip
+    reasons of :func:`plan_query`.  Decision-identical to
+    ``[plan_query(q, groups, ...) for q in queries]`` (guarded by the
+    planner tests).
+    """
+    queries = list(queries)
+    n_queries = len(queries)
+    bounds = batch_bounds(queries)
+    translated_bounds, no_inlier = translate_bounds_batch(bounds, n_queries, groups)
+    translated_queries = rewritten_queries_from_bounds(
+        queries, translated_bounds, groups
+    )
+    use_primary, use_outlier = plan_query_flags(
+        bounds,
+        translated_bounds,
+        no_inlier,
+        n_queries,
+        primary_box=primary_box,
+        outlier_box=outlier_box,
+    )
+    plans: List[QueryPlan] = []
+    for i, (query, translated) in enumerate(zip(queries, translated_queries)):
+        skip_reasons: Dict[str, str] = {}
+        if not use_primary[i]:
+            if primary_box is None:
+                skip_reasons["primary"] = "primary index is empty"
+            elif translated.is_empty or no_inlier[i]:
+                skip_reasons["primary"] = (
+                    "translated constraint is empty (no inlier can match)"
+                )
+            else:
+                skip_reasons["primary"] = "query misses the primary bounding box"
+        if not use_outlier[i]:
+            if outlier_box is None:
+                skip_reasons["outlier"] = "outlier index is empty"
+            elif query.is_empty:
+                skip_reasons["outlier"] = "query is empty"
+            else:
+                skip_reasons["outlier"] = "query misses the outlier bounding box"
+        plans.append(
+            QueryPlan(
+                primary_query=translated,
+                outlier_query=query,
+                use_primary=bool(use_primary[i]),
+                use_outlier=bool(use_outlier[i]),
+                skip_reasons=skip_reasons,
+            )
+        )
+    return plans

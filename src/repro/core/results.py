@@ -11,11 +11,11 @@ enforced rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["QueryResult", "merge_row_ids"]
+__all__ = ["QueryResult", "merge_row_ids", "merge_flat_row_ids", "merge_row_ids_batch"]
 
 
 def merge_row_ids(parts: Sequence[np.ndarray]) -> np.ndarray:
@@ -24,6 +24,68 @@ def merge_row_ids(parts: Sequence[np.ndarray]) -> np.ndarray:
     if not non_empty:
         return np.empty(0, dtype=np.int64)
     return np.unique(np.concatenate(non_empty))
+
+
+def merge_flat_row_ids(
+    ids: np.ndarray, qids: np.ndarray, n_queries: int
+) -> List[np.ndarray]:
+    """Per-query sorted unions of a flat ``(row id, query id)`` stream.
+
+    ``ids[j]`` is a result row id belonging to query ``qids[j]`` (in any
+    order, with duplicates).  Output ``i`` is the sorted de-duplicated row
+    ids of query ``i`` — identical to :func:`merge_row_ids` over that
+    query's fragments — computed for the whole batch with *one* sort: row
+    and query id are fused into a single integer key where the value ranges
+    allow it (one ``np.sort``, no indirection), falling back to a stable
+    ``lexsort`` otherwise.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    total = len(ids)
+    if total == 0:
+        return [empty for _ in range(n_queries)]
+    ids = np.asarray(ids, dtype=np.int64)
+    qids = np.asarray(qids, dtype=np.int64)
+    id_span = int(ids.max()) + 1
+    if id_span * n_queries < np.iinfo(np.int64).max // 2 and int(ids.min()) >= 0:
+        keys = np.sort(qids * id_span + ids)
+        keep = np.ones(total, dtype=bool)
+        keep[1:] = keys[1:] != keys[:-1]
+        keys = keys[keep]
+        out_ids = keys % id_span
+        out_qids = keys // id_span
+    else:  # pragma: no cover - needs >2^62 fused key space
+        order = np.lexsort((ids, qids))
+        ids = ids[order]
+        qids = qids[order]
+        keep = np.ones(total, dtype=bool)
+        keep[1:] = (ids[1:] != ids[:-1]) | (qids[1:] != qids[:-1])
+        out_ids = ids[keep]
+        out_qids = qids[keep]
+    counts = np.bincount(out_qids, minlength=n_queries)
+    return np.split(out_ids, np.cumsum(counts)[:-1])
+
+
+def merge_row_ids_batch(parts_per_query: Sequence[Sequence[np.ndarray]]) -> List[np.ndarray]:
+    """Per-query sorted unions for a whole batch in one vectorized pass.
+
+    ``parts_per_query[i]`` holds the result fragments (primary, outlier,
+    pending, ...) of query ``i``.  Instead of one ``np.unique`` dispatch per
+    query, all fragments are flattened into one ``(row id, query id)``
+    stream and merged by :func:`merge_flat_row_ids` with a single sort;
+    each output is identical to ``merge_row_ids`` of that query's
+    fragments.
+    """
+    n_queries = len(parts_per_query)
+    lengths = np.array(
+        [sum(len(part) for part in parts) for parts in parts_per_query], dtype=np.int64
+    )
+    if int(lengths.sum()) == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+    ids = np.concatenate(
+        [np.asarray(part, dtype=np.int64) for parts in parts_per_query for part in parts]
+    )
+    qids = np.repeat(np.arange(n_queries, dtype=np.int64), lengths)
+    return merge_flat_row_ids(ids, qids, n_queries)
 
 
 @dataclass

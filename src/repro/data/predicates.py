@@ -16,7 +16,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Interval", "Rectangle"]
+__all__ = ["Interval", "Rectangle", "batch_bounds"]
 
 
 @dataclass(frozen=True)
@@ -276,6 +276,35 @@ class Rectangle:
             if interval.high < lows[name] or interval.low > highs[name]:
                 return False
         return True
+
+
+def batch_bounds(
+    queries: "Iterable[Rectangle]",
+) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Per-attribute ``(lows, highs)`` bound matrices of a query batch.
+
+    The columnar form of a list of rectangles: for every attribute
+    constrained by at least one query, parallel arrays hold each query's
+    bounds (unconstrained slots stay at ``-inf``/``+inf``, so vectorised
+    containment checks treat them as always-true).  This is the
+    representation the batch execution paths (grid kernels, batch query
+    translation, batch planning) operate on — built with a single pass over
+    the rectangles instead of one ``interval()`` dispatch per (query,
+    attribute) pair.
+    """
+    queries = list(queries)
+    n_queries = len(queries)
+    bounds: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for i, query in enumerate(queries):
+        for name, interval in query.items():
+            if name not in bounds:
+                bounds[name] = (
+                    np.full(n_queries, -np.inf),
+                    np.full(n_queries, np.inf),
+                )
+            bounds[name][0][i] = interval.low
+            bounds[name][1][i] = interval.high
+    return bounds
 
 
 @dataclass

@@ -137,6 +137,39 @@ class LinearFDModel:
         x_at_hi = self._invert_scalar(hi_target)
         return _as_interval(x_at_lo, x_at_hi)
 
+    def predictor_intervals(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`predictor_interval` over a batch of y-intervals.
+
+        Takes parallel lower/upper bound arrays and returns the translated
+        predictor bound arrays, computing the same IEEE operations as the
+        scalar path so batch query translation stays bit-identical to the
+        sequential one.  Empty inputs (``low > high``) come back as the
+        canonical empty interval ``(+inf, -inf)``.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if abs(self.slope) < 1e-12:
+            # A flat model carries no information about x (scalar path
+            # returns the unbounded interval), except for empty inputs.
+            out_low = np.where(lows > highs, np.inf, -np.inf)
+            out_high = np.where(lows > highs, -np.inf, np.inf)
+            return out_low, out_high
+        lo_target = np.where(np.isneginf(lows), -np.inf, lows - self.eps_ub)
+        hi_target = np.where(np.isposinf(highs), np.inf, highs + self.eps_lb)
+        # (±inf - intercept) / slope keeps the sign bookkeeping of
+        # ``_invert_scalar`` for free under IEEE arithmetic.
+        x_at_lo = (lo_target - self.intercept) / self.slope
+        x_at_hi = (hi_target - self.intercept) / self.slope
+        out_low = np.minimum(x_at_lo, x_at_hi)
+        out_high = np.maximum(x_at_lo, x_at_hi)
+        empty = lows > highs
+        if empty.any():
+            out_low = np.where(empty, np.inf, out_low)
+            out_high = np.where(empty, -np.inf, out_high)
+        return out_low, out_high
+
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------

@@ -11,6 +11,13 @@ directory memory overhead separately from the data they cover.
 """
 
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, QueryStats, register_index, create_index, available_indexes
+from repro.indexes.kernels import (
+    axis_cell_ranges,
+    enumerate_cells,
+    enumerate_cells_batch,
+    gather_ranges,
+    segment_bisect,
+)
 from repro.indexes.full_scan import FullScanIndex
 from repro.indexes.sorted_array import SortedColumnIndex
 from repro.indexes.uniform_grid import UniformGridIndex
@@ -26,6 +33,11 @@ __all__ = [
     "register_index",
     "create_index",
     "available_indexes",
+    "axis_cell_ranges",
+    "enumerate_cells",
+    "enumerate_cells_batch",
+    "gather_ranges",
+    "segment_bisect",
     "FullScanIndex",
     "SortedColumnIndex",
     "UniformGridIndex",

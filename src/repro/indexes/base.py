@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Type
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -35,7 +35,24 @@ class IndexBuildError(RuntimeError):
 
 @dataclass
 class QueryStats:
-    """Work counters accumulated across queries (reset with :meth:`reset`)."""
+    """Work counters accumulated across queries (reset with :meth:`reset`).
+
+    Counter semantics (identical on the sequential and the batch path):
+
+    * ``queries`` counts *logical* queries: one increment per query answered,
+      never one per sub-index call or per batch.  A batch of ``n`` queries
+      increments it by ``n`` (:meth:`record_batch`); a COAX query that fans
+      out to the primary index, the outlier index and the delta store still
+      counts once on the COAX facade (the sub-indexes keep their own stats).
+    * ``rows_examined`` counts candidate rows actually scanned or gathered.
+      Visiting an empty cell — or a cell whose sorted-key run turns out
+      empty — contributes nothing here; it only shows up in
+      ``cells_visited``.
+    * ``rows_matched`` counts rows in the final, exactly filtered result.
+    * ``cells_visited`` / ``nodes_visited`` count directory work: every
+      enumerated grid cell (empty or not) respectively every tree node
+      touched.
+    """
 
     queries: int = 0
     rows_examined: int = 0
@@ -60,7 +77,30 @@ class QueryStats:
         nodes_visited: int = 0,
     ) -> None:
         """Accumulate the work of one query."""
-        self.queries += 1
+        self.record_batch(
+            1,
+            rows_examined=rows_examined,
+            rows_matched=rows_matched,
+            cells_visited=cells_visited,
+            nodes_visited=nodes_visited,
+        )
+
+    def record_batch(
+        self,
+        n_queries: int,
+        *,
+        rows_examined: int = 0,
+        rows_matched: int = 0,
+        cells_visited: int = 0,
+        nodes_visited: int = 0,
+    ) -> None:
+        """Accumulate the aggregate work of ``n_queries`` logical queries.
+
+        The batch execution paths record once per batch with the summed
+        counters, so batch and sequential execution of the same workload
+        leave identical statistics.
+        """
+        self.queries += n_queries
         self.rows_examined += rows_examined
         self.rows_matched += rows_matched
         self.cells_visited += cells_visited
@@ -189,6 +229,24 @@ class MultidimensionalIndex(ABC):
         """
         return [self.range_query(query) for query in queries]
 
+    def batch_range_query_flat(
+        self, queries: Sequence[Rectangle]
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Batch results as one flat array plus per-query counts.
+
+        Returns ``(row_ids, counts)`` where ``row_ids`` concatenates every
+        query's result in order and ``counts[i]`` is query ``i``'s result
+        size — the zero-copy form compound indexes (COAX) consume when they
+        merge sub-index results batch-wide, avoiding a split into per-query
+        arrays that the caller would immediately re-concatenate.  Contents
+        are identical to ``np.concatenate(batch_range_query(queries))``.
+        """
+        results = self.batch_range_query(queries)
+        counts = np.array([len(result) for result in results], dtype=np.int64)
+        if not results or int(counts.sum()) == 0:
+            return np.empty(0, dtype=np.int64), counts
+        return np.concatenate(results), counts
+
     @abstractmethod
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
         """Positional ids (into the local subset) of exactly matching records."""
@@ -220,22 +278,43 @@ class MultidimensionalIndex(ABC):
         subclass's responsibility (see ``SortedCellGridIndex.absorb_rows``).
         """
         new_row_ids = np.asarray(new_row_ids, dtype=np.int64)
+        # Invalidate the row-id lookup *before* mutating the row set: if a
+        # column concatenate below raises, a stale cache must never survive
+        # to serve positions over the partially updated arrays.
+        self._invalidate_row_lookup()
         self._table = table
         self._row_ids = np.concatenate([self._row_ids, new_row_ids])
         for name in table.schema:
             self._columns[name] = np.concatenate(
                 [self._columns[name], table.column(name)[new_row_ids]]
             )
+
+    def _invalidate_row_lookup(self) -> None:
+        """Drop the cached row-id ordering; any path that changes the
+        covered row set (absorbs, rebuilds, future merge paths) must call
+        this so :meth:`positions_of` rebuilds against the new rows."""
         self._row_id_order = None
         self._sorted_row_ids = None
 
-    def _filter_candidates(self, candidates: np.ndarray, query: Rectangle) -> np.ndarray:
-        """Exact post-filter of candidate positional ids against the query."""
+    def _filter_candidates(
+        self,
+        candidates: np.ndarray,
+        query: Rectangle,
+        skip_dims: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Exact post-filter of candidate positional ids against the query.
+
+        ``skip_dims`` names constraints the caller has already proven for
+        every candidate (an exact bisection, or the grid filter-pruning
+        invariant), so their column gathers are skipped.
+        """
         candidates = np.asarray(candidates, dtype=np.int64)
         if len(candidates) == 0:
             return candidates
         mask = np.ones(len(candidates), dtype=bool)
         for name, interval in query.items():
+            if name in skip_dims:
+                continue
             values = self._columns[name][candidates]
             mask &= (values >= interval.low) & (values <= interval.high)
         return candidates[mask]

@@ -13,6 +13,12 @@ quantile (CDF) aligned grid with one in-cell sorted attribute — applied to
 layout only to the reduced set of predictor attributes of the inlier
 records.  Keeping the baseline as its own registered class keeps benchmark
 configurations explicit about which system they measure.
+
+The vectorized read path is shared wholesale: single queries run through
+the :mod:`repro.indexes.kernels` cell-scan kernels and ``batch_range_query``
+executes a whole batch with one vectorized boundary bisection per axis,
+one batched in-cell bisection and one gathered post-filter pass — see
+:class:`SortedCellGridIndex`, from which both are inherited unchanged.
 """
 
 from __future__ import annotations

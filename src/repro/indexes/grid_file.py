@@ -19,13 +19,24 @@ The same structure doubles as the Column Files baseline (see
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.predicates import Rectangle
+from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, register_index
+from repro.indexes.kernels import (
+    SMALL_QUERY_CELLS,
+    axis_cell_ranges,
+    axis_filter_needed,
+    enumerate_cells,
+    enumerate_cells_batch,
+    gather_ranges,
+    observed_axis_spans,
+    row_major_strides,
+    segment_bisect,
+)
 from repro.indexes.uniform_grid import MAX_TOTAL_CELLS, _capped_cells_per_dim
 from repro.stats.quantiles import quantile_boundaries
 
@@ -65,10 +76,12 @@ class SortedCellGridIndex(MultidimensionalIndex):
         budget = min(budget, MAX_TOTAL_CELLS)
         self._cells_per_dim = _capped_cells_per_dim(cells_per_dim, n_grid_dims, budget)
         self._shape: Tuple[int, ...] = tuple([self._cells_per_dim] * n_grid_dims)
+        self._cell_strides: Tuple[int, ...] = row_major_strides(self._shape)
         self._boundaries: List[np.ndarray] = [
             quantile_boundaries(self._columns[dim], self._cells_per_dim)
             for dim in self._grid_dimensions
         ]
+        self._compute_axis_spans()
         self._build_cells()
 
     # ------------------------------------------------------------------
@@ -104,6 +117,13 @@ class SortedCellGridIndex(MultidimensionalIndex):
             np.searchsorted(boundaries, values, side="right") - 1, 0, self._cells_per_dim - 1
         )
 
+    def _compute_axis_spans(self) -> None:
+        """Observed [min, max] per grid dimension, kept current by absorbs
+        (see :func:`repro.indexes.kernels.observed_axis_spans`)."""
+        self._axis_lows, self._axis_highs = observed_axis_spans(
+            self._columns, self._grid_dimensions
+        )
+
     # ------------------------------------------------------------------
     # Incremental maintenance
     # ------------------------------------------------------------------
@@ -136,9 +156,14 @@ class SortedCellGridIndex(MultidimensionalIndex):
                 quantile_boundaries(self._columns[dim], self._cells_per_dim)
                 for dim in self._grid_dimensions
             ]
+            self._compute_axis_spans()
             self._build_cells()
             return
         k = len(new_row_ids)
+        for axis, dim in enumerate(self._grid_dimensions):
+            new_values = self._columns[dim][old_n:]
+            self._axis_lows[axis] = min(self._axis_lows[axis], float(new_values.min()))
+            self._axis_highs[axis] = max(self._axis_highs[axis], float(new_values.max()))
         new_positions = old_n + np.arange(k, dtype=np.int64)
         if self._grid_dimensions:
             cell_coordinates = [
@@ -179,39 +204,281 @@ class SortedCellGridIndex(MultidimensionalIndex):
         hi_cell = int(np.clip(np.searchsorted(boundaries, high, side="right") - 1, 0, self._cells_per_dim - 1))
         return lo_cell, hi_cell
 
-    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
-        sort_interval = query.interval(self._sort_dimension)
-        axis_ranges: List[np.ndarray] = []
+    def _axis_filter_needed(self, axis: int, low: float, high: float, lo_cell: int, hi_cell: int) -> bool:
+        """Scalar filter-pruning check for one grid axis
+        (see :func:`repro.indexes.kernels.axis_filter_needed`)."""
+        return axis_filter_needed(
+            low,
+            high,
+            lo_cell,
+            hi_cell,
+            self._boundaries[axis],
+            self._cells_per_dim,
+            self._axis_lows[axis],
+            self._axis_highs[axis],
+        )
+
+    def _pruned_filter_dims(
+        self, query: Rectangle, lo_cells: Sequence[int], hi_cells: Sequence[int]
+    ) -> List[str]:
+        """Grid dimensions whose exact post-filter is provably redundant.
+
+        The filter-pruning invariant (see :meth:`_axis_filter_needed`):
+        when a query interval fully covers every visited cell along an
+        axis, no candidate row can violate it, so its column gather is
+        skipped.  Constraints on non-indexed attributes are never pruned.
+        """
+        pruned: List[str] = []
+        for axis, dim in enumerate(self._grid_dimensions):
+            if not query.constrains(dim):
+                continue
+            interval = query.interval(dim)
+            if not self._axis_filter_needed(
+                axis, interval.low, interval.high, int(lo_cells[axis]), int(hi_cells[axis])
+            ):
+                pruned.append(dim)
+        return pruned
+
+    def _axis_cell_spans(self, query: Rectangle) -> Tuple[List[int], List[int]]:
+        """Inclusive per-axis cell ranges the query overlaps."""
+        lo_cells: List[int] = []
+        hi_cells: List[int] = []
         for axis, dim in enumerate(self._grid_dimensions):
             interval = query.interval(dim)
             lo_cell, hi_cell = self._cell_range(axis, interval.low, interval.high)
-            axis_ranges.append(np.arange(lo_cell, hi_cell + 1))
-        cells_visited = 0
-        rows_examined = 0
-        chunks: List[np.ndarray] = []
-        combos = itertools.product(*axis_ranges) if axis_ranges else [()]
-        for combo in combos:
-            flat = int(np.ravel_multi_index(combo, self._shape)) if self._shape else 0
-            start, stop = int(self._offsets[flat]), int(self._offsets[flat + 1])
-            cells_visited += 1
-            if stop <= start:
-                continue
-            # Binary search the sorted dimension inside the cell: a scan
-            # between two bounding binary searches (Section 6).
-            cell_keys = self._sorted_keys[start:stop]
-            first = start + int(np.searchsorted(cell_keys, sort_interval.low, side="left"))
-            last = start + int(np.searchsorted(cell_keys, sort_interval.high, side="right"))
-            if last > first:
-                chunks.append(self._row_order[first:last])
-                rows_examined += last - first
-        candidates = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-        matches = self._filter_candidates(candidates, query)
+            lo_cells.append(lo_cell)
+            hi_cells.append(hi_cell)
+        return lo_cells, hi_cells
+
+    def _bisect_cells(
+        self, cells: np.ndarray, lows: np.ndarray, highs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-cell ``[first, last)`` key runs for per-cell sort-key bounds.
+
+        One batched bisection over all cells (of one query or of a whole
+        batch) instead of two Python-dispatched ``searchsorted`` calls per
+        cell.  The upper search starts from the lower result — valid because
+        ``last >= first`` whenever the interval is non-empty.
+        """
+        starts = self._offsets[cells]
+        stops = self._offsets[cells + 1]
+        first = segment_bisect(self._sorted_keys, starts, stops, lows, side="left")
+        last = segment_bisect(self._sorted_keys, first, stops, highs, side="right")
+        return first, last
+
+    #: Hybrid switch between the scalar per-cell path and the batched
+    #: kernels (shared grid-family constant; results are identical on both
+    #: sides).
+    SMALL_QUERY_CELLS = SMALL_QUERY_CELLS
+
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        sort_interval = query.interval(self._sort_dimension)
+        lo_cells, hi_cells = self._axis_cell_spans(query)
+        n_cells = 1
+        for lo_cell, hi_cell in zip(lo_cells, hi_cells):
+            n_cells *= hi_cell - lo_cell + 1
+        skip_dims: List[str] = [self._sort_dimension]  # the bisection is exact
+        if n_cells <= self.SMALL_QUERY_CELLS:
+            # Scalar path: enumerate the few cells with plain integer
+            # stride math and scan each between two bounding binary
+            # searches (Section 6) — lowest constant cost for point-like
+            # queries.  Pruning analysis is not worth its overhead here.
+            strides = self._cell_strides
+            chunks: List[np.ndarray] = []
+            rows_examined = 0
+            offsets = self._offsets
+            keys = self._sorted_keys
+            for combo in itertools.product(
+                *(
+                    range(lo_cell, hi_cell + 1)
+                    for lo_cell, hi_cell in zip(lo_cells, hi_cells)
+                )
+            ):
+                flat = sum(index * stride for index, stride in zip(combo, strides))
+                start, stop = int(offsets[flat]), int(offsets[flat + 1])
+                if stop <= start:
+                    continue
+                cell_keys = keys[start:stop]
+                first = start + int(np.searchsorted(cell_keys, sort_interval.low, side="left"))
+                last = start + int(np.searchsorted(cell_keys, sort_interval.high, side="right"))
+                if last > first:
+                    chunks.append(self._row_order[first:last])
+                    rows_examined += last - first
+            candidates = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+        else:
+            cells = enumerate_cells(lo_cells, hi_cells, self._shape)
+            # Kernel path: one batched bisection over the whole cell
+            # hyper-rectangle plus one gathered copy of all surviving runs.
+            first, last = self._bisect_cells(
+                cells,
+                np.full(len(cells), sort_interval.low),
+                np.full(len(cells), sort_interval.high),
+            )
+            gathered, _ = gather_ranges(first, last)
+            candidates = self._row_order[gathered]
+            rows_examined = len(candidates)
+            skip_dims.extend(self._pruned_filter_dims(query, lo_cells, hi_cells))
+        matches = self._filter_candidates(candidates, query, skip_dims)
         self.stats.record(
             rows_examined=rows_examined,
             rows_matched=len(matches),
-            cells_visited=cells_visited,
+            cells_visited=n_cells,
         )
         return matches
+
+    # ------------------------------------------------------------------
+    # Batch query
+    # ------------------------------------------------------------------
+    def batch_range_query(self, queries: Sequence[Rectangle]) -> List[np.ndarray]:
+        """Original row ids for every query of a batch, sharing directory work.
+
+        The batch path computes all queries' cell ranges with one vectorized
+        boundary bisection per axis, bisects the sorted dimension of every
+        (query, cell) pair in one batched kernel call, gathers all candidate
+        runs at once and applies one vectorized post-filter pass per
+        attribute over the whole batch.  Results are bit-identical to
+        ``[range_query(q) for q in queries]``.
+        """
+        row_ids, counts = self.batch_range_query_flat(queries)
+        return np.split(row_ids, np.cumsum(counts)[:-1]) if len(counts) else []
+
+    def batch_range_query_flat(
+        self, queries: Sequence[Rectangle]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat form of :meth:`batch_range_query` (see the base class)."""
+        queries = list(queries)
+        if not queries:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        n_queries = len(queries)
+        bounds = batch_bounds(queries)
+        live = np.ones(n_queries, dtype=bool)
+        for lows, highs in bounds.values():
+            live &= lows <= highs
+        return self.batch_flat_from_bounds(bounds, n_queries, live, n_queries)
+
+    def batch_flat_from_bounds(
+        self,
+        bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        n_queries: int,
+        execute: np.ndarray,
+        n_recorded: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat batch results for an already-columnar query batch.
+
+        ``bounds`` is the per-attribute bound-matrix form of the batch (see
+        :func:`repro.data.predicates.batch_bounds`); ``execute`` masks the
+        queries to actually run (the rest report zero results), and
+        ``n_recorded`` is how many logical queries the stats should count —
+        compound callers like COAX route only a planner-chosen subset here
+        while empty queries still count.  This array-level entry point lets
+        COAX feed translated bound matrices straight into the grid kernels
+        without materialising per-query rectangles.
+        """
+        if self.n_rows == 0:
+            self.stats.record_batch(n_recorded)
+            return np.empty(0, dtype=np.int64), np.zeros(n_queries, dtype=np.int64)
+        matches, counts = self._batch_positions_from_bounds(
+            bounds, n_queries, execute, n_recorded
+        )
+        return self._row_ids[matches], counts
+
+    def _batch_positions_from_bounds(
+        self,
+        bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        n_queries: int,
+        live: np.ndarray,
+        n_recorded: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat positional matches plus per-query counts for a batch."""
+        # Per-axis cell ranges for the whole batch: one searchsorted pair
+        # per axis instead of one per (query, axis).
+        n_axes = len(self._grid_dimensions)
+        axis_lo = np.zeros((n_axes, n_queries), dtype=np.int64)
+        axis_hi = np.full((n_axes, n_queries), -1, dtype=np.int64)
+        filter_needed = np.zeros((n_axes, n_queries), dtype=bool)
+        for axis, dim in enumerate(self._grid_dimensions):
+            if dim in bounds:
+                lows, highs = bounds[dim]
+            else:
+                lows = np.full(n_queries, -np.inf)
+                highs = np.full(n_queries, np.inf)
+            axis_lo[axis], axis_hi[axis] = axis_cell_ranges(
+                self._boundaries[axis], lows, highs, self._cells_per_dim
+            )
+            # Vectorized filter-pruning check (see _axis_filter_needed): the
+            # post-filter on this axis only matters for queries whose
+            # interval does not cover every visited cell.  Phrased as the
+            # negation of "provably covered" so NaN (from NaN-polluted
+            # boundaries or spans) conservatively keeps the filter, exactly
+            # like the scalar path.
+            boundaries = self._boundaries[axis]
+            lower_bound = np.where(
+                axis_lo[axis] > 0, boundaries[axis_lo[axis]], self._axis_lows[axis]
+            )
+            upper_bound = np.where(
+                axis_hi[axis] < self._cells_per_dim - 1,
+                boundaries[np.minimum(axis_hi[axis] + 1, self._cells_per_dim)],
+                self._axis_highs[axis],
+            )
+            filter_needed[axis] = ~((lows <= lower_bound) & (highs >= upper_bound))
+        # Masked-out queries must enumerate no cells even when their grid
+        # ranges are non-empty (the emptiness may come from another
+        # attribute, or the planner routed them elsewhere) — and they must
+        # not force a post-filter pass on any axis either.
+        if not live.all():
+            axis_hi[:, ~live] = -1
+            filter_needed[:, ~live] = False
+        all_cells, cells_per_query = enumerate_cells_batch(axis_lo, axis_hi, self._shape)
+        if n_axes == 0:
+            cells_per_query = live.astype(np.int64)
+            all_cells = np.zeros(int(cells_per_query.sum()), dtype=np.int64)
+        cell_qid = np.repeat(np.arange(n_queries, dtype=np.int64), cells_per_query)
+
+        # One batched sorted-key bisection over every (query, cell) pair.
+        if self._sort_dimension in bounds:
+            sort_lows, sort_highs = bounds[self._sort_dimension]
+        else:
+            sort_lows = np.full(n_queries, -np.inf)
+            sort_highs = np.full(n_queries, np.inf)
+        first, last = self._bisect_cells(
+            all_cells, sort_lows[cell_qid], sort_highs[cell_qid]
+        )
+        gathered, run_lengths = gather_ranges(first, last)
+        candidates = self._row_order[gathered]
+        row_qid = np.repeat(cell_qid, run_lengths)
+
+        # One vectorized post-filter pass per attribute over the whole
+        # batch.  The sort dimension is proven by the bisection; a grid
+        # dimension is checked only if pruning failed for at least one
+        # query, and only that query's bounds stay finite.
+        axis_of = {dim: axis for axis, dim in enumerate(self._grid_dimensions)}
+        mask = np.ones(len(candidates), dtype=bool)
+        for dim, (lows, highs) in bounds.items():
+            if dim == self._sort_dimension:
+                continue
+            axis = axis_of.get(dim)
+            if axis is not None:
+                needed = filter_needed[axis]
+                if not needed.any():
+                    continue
+                lows = np.where(needed, lows, -np.inf)
+                highs = np.where(needed, highs, np.inf)
+            values = self._columns[dim][candidates]
+            mask &= (values >= lows[row_qid]) & (values <= highs[row_qid])
+        matches = candidates[mask]
+        matched_qid = row_qid[mask]
+        counts = np.bincount(matched_qid, minlength=n_queries)
+        self.stats.record_batch(
+            n_recorded,
+            rows_examined=len(candidates),
+            rows_matched=len(matches),
+            cells_visited=len(all_cells),
+        )
+        # row_qid is non-decreasing, so `matches` holds the per-query results
+        # back to back, each in the exact order the sequential path produces.
+        return matches, counts
 
     # ------------------------------------------------------------------
     # Memory and layout introspection

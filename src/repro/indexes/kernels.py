@@ -1,0 +1,296 @@
+"""Vectorized NumPy kernels of the grid-family read path.
+
+Every grid-shaped index in the library (uniform grid, sorted-cell grid,
+column files, and through them the COAX primary/outlier indexes) answers a
+range query with the same three steps:
+
+1. enumerate the hyper-rectangle of candidate cells overlapping the query;
+2. narrow each cell's contiguous record run — either the whole cell, or the
+   sub-run found by bisecting the in-cell sorted attribute;
+3. gather the surviving run positions into one candidate array.
+
+Before this module those steps ran as a Python hot loop: one
+``itertools.product`` tuple per cell, two Python-dispatched
+``np.searchsorted`` calls per cell and a slice/append/concatenate chain.
+The kernels below replace them with whole-batch NumPy primitives so the
+per-cell (and, through :mod:`repro.core.coax`'s batch path, the per-query)
+interpreter overhead is paid once per *batch* instead of once per cell:
+
+* :func:`enumerate_cells` — the meshgrid / ``ravel_multi_index``
+  vectorization of the candidate cell hyper-rectangle, in the same
+  row-major order ``itertools.product`` used so results stay bit-identical;
+* :func:`segment_bisect` — a branch-free vectorized binary search over many
+  independently sorted segments at once (each grid cell is one sorted
+  segment of the global key array), replacing the two per-cell
+  ``np.searchsorted`` calls with ``O(log max_segment_len)`` whole-array
+  steps;
+* :func:`gather_ranges` — the cumsum/repeat trick turning an array of
+  ``[start, stop)`` ranges into the concatenated index array in one shot,
+  replacing the per-cell slice/append/``np.concatenate`` chain;
+* :func:`axis_cell_ranges` — batched boundary bisection: the inclusive
+  cell-index range along one axis for *many* query intervals with one
+  ``np.searchsorted`` pair per axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SMALL_QUERY_CELLS",
+    "enumerate_cells",
+    "enumerate_cells_batch",
+    "segment_bisect",
+    "gather_ranges",
+    "axis_cell_ranges",
+    "row_major_strides",
+    "observed_axis_spans",
+    "axis_filter_needed",
+]
+
+#: Below this many candidate cells a single query takes the scalar per-cell
+#: path: the batched kernels pay ~log(cell size) vectorized steps of fixed
+#: NumPy dispatch overhead, which only amortises once enough cells share
+#: them.  Shared by every grid-family index so the hybrid switch cannot
+#: drift between layouts.
+SMALL_QUERY_CELLS = 24
+
+
+def row_major_strides(shape: Sequence[int]) -> Tuple[int, ...]:
+    """Row-major strides of a grid shape, for scalar flat-id arithmetic."""
+    strides: List[int] = []
+    below = 1
+    for length in reversed(tuple(shape)):
+        strides.append(below)
+        below *= length
+    return tuple(reversed(strides))
+
+
+def observed_axis_spans(
+    columns: Mapping[str, np.ndarray], dims: Sequence[str]
+) -> Tuple[List[float], List[float]]:
+    """Observed ``[min, max]`` per grid dimension (``(+inf, -inf)`` if empty).
+
+    The edge cells of a clipped grid are catch-alls (values below the first
+    or above the last boundary land in them), so the boundaries alone do
+    not bound the data; these spans close that gap for the filter-pruning
+    check.  Callers keep them current when rows are absorbed.
+    """
+    lows: List[float] = []
+    highs: List[float] = []
+    for dim in dims:
+        values = columns[dim]
+        if len(values):
+            lows.append(float(values.min()))
+            highs.append(float(values.max()))
+        else:
+            lows.append(np.inf)
+            highs.append(-np.inf)
+    return lows, highs
+
+
+def axis_filter_needed(
+    low: float,
+    high: float,
+    lo_cell: int,
+    hi_cell: int,
+    boundaries: np.ndarray,
+    n_cells: int,
+    axis_low: float,
+    axis_high: float,
+) -> bool:
+    """Can the exact post-filter on one grid axis reject any visited row?
+
+    Rows in cells ``>= lo_cell`` carry values ``>= boundaries[lo_cell]``
+    (for ``lo_cell > 0``; the first cell is a clipped catch-all bounded
+    only by the observed axis minimum), and rows in cells ``<= hi_cell``
+    carry values ``< boundaries[hi_cell + 1]`` (symmetrically for the last
+    cell).  When the query interval covers those bounds on both sides,
+    every visited row satisfies the interval and the post-filter on this
+    axis would gather a column for nothing.  Comparisons are phrased so
+    NaN (from NaN-polluted data) conservatively keeps the filter.
+    """
+    lower_covered = low <= (boundaries[lo_cell] if lo_cell > 0 else axis_low)
+    if not lower_covered:
+        return True
+    upper_covered = high >= (
+        boundaries[hi_cell + 1] if hi_cell < n_cells - 1 else axis_high
+    )
+    return not upper_covered
+
+
+def enumerate_cells(
+    lo_cells: Sequence[int],
+    hi_cells: Sequence[int],
+    shape: Tuple[int, ...],
+) -> np.ndarray:
+    """Flat ids of every cell in the inclusive hyper-rectangle of cell ranges.
+
+    ``lo_cells``/``hi_cells`` give the inclusive per-axis cell range and
+    ``shape`` the grid shape.  The ids come back in row-major (C) order —
+    exactly the order ``itertools.product`` over per-axis ``range`` objects
+    would produce — so callers that replaced a product loop with this kernel
+    return candidates in the same order as before.
+    """
+    if not shape:
+        return np.zeros(1, dtype=np.int64)
+    axes = [
+        np.arange(int(lo), int(hi) + 1, dtype=np.int64)
+        for lo, hi in zip(lo_cells, hi_cells)
+    ]
+    if len(axes) == 1:
+        return axes[0]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.ravel_multi_index([m.ravel() for m in mesh], shape).astype(np.int64)
+
+
+def enumerate_cells_batch(
+    lo_cells: np.ndarray,
+    hi_cells: np.ndarray,
+    shape: Tuple[int, ...],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat cell ids of many cell hyper-rectangles, concatenated in order.
+
+    ``lo_cells``/``hi_cells`` are ``(n_axes, n_queries)`` inclusive range
+    matrices.  Returns ``(cells, counts)`` where ``cells`` concatenates
+    every query's row-major cell enumeration (so
+    ``np.split(cells, np.cumsum(counts)[:-1])`` recovers the per-query
+    lists, each identical to :func:`enumerate_cells` for that query) and
+    ``counts`` is the per-query cell count.  A query whose range is empty on
+    some axis (``hi < lo``) contributes zero cells.
+
+    The whole batch is enumerated without a per-query Python step: one
+    global arange is decomposed into per-query mixed-radix digits — one
+    floor-divide/mod pair per axis — and re-composed into flat ids with the
+    grid strides.
+    """
+    lo_cells = np.asarray(lo_cells, dtype=np.int64)
+    hi_cells = np.asarray(hi_cells, dtype=np.int64)
+    n_axes, n_queries = lo_cells.shape
+    if not shape or n_axes == 0:
+        counts = np.ones(n_queries, dtype=np.int64)
+        return np.zeros(n_queries, dtype=np.int64), counts
+    lengths = np.maximum(hi_cells - lo_cells + 1, 0)
+    counts = lengths.prod(axis=0)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    ends = np.cumsum(counts)
+    # Rank of every output cell within its own query's enumeration.
+    rank = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    qid = np.repeat(np.arange(n_queries, dtype=np.int64), counts)
+    # Row-major decomposition: axis 0 varies slowest, so its digit is the
+    # rank divided by the product of all later axis lengths.
+    below = np.ones(n_queries, dtype=np.int64)
+    strides_below = np.empty((n_axes, n_queries), dtype=np.int64)
+    for axis in range(n_axes - 1, -1, -1):
+        strides_below[axis] = below
+        below = below * lengths[axis]
+    cells = np.zeros(total, dtype=np.int64)
+    for axis in range(n_axes):
+        digit = (rank // strides_below[axis][qid]) % np.maximum(lengths[axis][qid], 1)
+        cells = cells * shape[axis] + (lo_cells[axis][qid] + digit)
+    return cells, counts
+
+
+def segment_bisect(
+    keys: np.ndarray,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    values: np.ndarray,
+    *,
+    side: str = "left",
+) -> np.ndarray:
+    """Vectorized ``searchsorted`` over many sorted segments of one array.
+
+    ``keys`` is a flat array whose slices ``keys[starts[i]:stops[i]]`` are
+    each sorted ascending (the per-cell sorted runs of a grid index).  For
+    every segment ``i`` the kernel returns the global insertion position of
+    ``values[i]`` within its segment, i.e. the same result as
+    ``starts[i] + np.searchsorted(keys[starts[i]:stops[i]], values[i], side)``
+    — but computed for all segments simultaneously with a branch-free binary
+    search: ``O(log max_segment_len)`` whole-array compare/where steps
+    instead of one Python-dispatched ``searchsorted`` call per segment.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    lo = starts.copy()
+    hi = stops.copy()
+    if len(starts) == 0:
+        return lo
+    max_len = int(np.max(stops - starts, initial=0))
+    if max_len <= 0:
+        return lo
+    # Invariant: the answer is always in [lo, hi].  Probing keys[mid] is safe
+    # because lo < hi implies mid < stop <= len(keys).
+    for _ in range(max_len.bit_length()):
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        probe = keys[np.minimum(mid, len(keys) - 1)]
+        if side == "left":
+            go_right = probe < values
+        else:
+            go_right = probe <= values
+        go_right &= active
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    return lo
+
+
+def gather_ranges(starts: np.ndarray, stops: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated indices of many ``[start, stop)`` ranges, in range order.
+
+    Returns ``(indices, lengths)`` where ``indices`` is the one-array
+    equivalent of ``np.concatenate([np.arange(a, b) for a, b in zip(...)])``
+    and ``lengths`` the per-range contribution (``stop - start`` clipped to
+    zero) so callers can attribute the gathered rows back to their source
+    range (cell or query) without another pass.  Built from one ``cumsum``
+    and one ``repeat`` — no Python-level loop over ranges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    lengths = np.maximum(stops - starts, 0)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    ends = np.cumsum(lengths)
+    # Within each range the offset runs 0..length-1; shifting a global arange
+    # by the repeated range starts yields all ranges at once.
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    indices = np.repeat(starts, lengths) + offsets
+    return indices, lengths
+
+
+def axis_cell_ranges(
+    boundaries: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    n_cells: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Inclusive cell ranges along one axis for a whole batch of intervals.
+
+    Vectorized version of the per-query boundary bisection: one
+    ``np.searchsorted`` call per side for *all* queries of a batch.  Returns
+    ``(lo_cells, hi_cells)`` clipped into ``[0, n_cells - 1]``; an empty
+    query interval (``low > high``) simply yields ``lo_cell > hi_cell`` and
+    enumerates no cells.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.float64)
+    lows = np.asarray(lows, dtype=np.float64)
+    highs = np.asarray(highs, dtype=np.float64)
+    lo_cells = np.clip(
+        np.searchsorted(boundaries, lows, side="right") - 1, 0, n_cells - 1
+    ).astype(np.int64)
+    hi_cells = np.clip(
+        np.searchsorted(boundaries, highs, side="right") - 1, 0, n_cells - 1
+    ).astype(np.int64)
+    # Preserve emptiness: a query with low > high must visit no cells.
+    empty = lows > highs
+    if empty.any():
+        hi_cells = np.where(empty, lo_cells - 1, hi_cells)
+    return lo_cells, hi_cells

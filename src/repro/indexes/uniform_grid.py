@@ -26,6 +26,14 @@ import numpy as np
 from repro.data.predicates import Rectangle
 from repro.data.table import Table
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, register_index
+from repro.indexes.kernels import (
+    SMALL_QUERY_CELLS,
+    axis_filter_needed,
+    enumerate_cells,
+    gather_ranges,
+    observed_axis_spans,
+    row_major_strides,
+)
 from repro.stats.quantiles import uniform_boundaries
 
 __all__ = ["UniformGridIndex"]
@@ -73,10 +81,17 @@ class UniformGridIndex(MultidimensionalIndex):
         budget = min(budget, MAX_TOTAL_CELLS)
         self._cells_per_dim = _capped_cells_per_dim(cells_per_dim, n_dims, budget)
         self._shape: Tuple[int, ...] = tuple([self._cells_per_dim] * n_dims)
+        self._cell_strides: Tuple[int, ...] = row_major_strides(self._shape)
         self._boundaries: List[np.ndarray] = [
             uniform_boundaries(self._columns[dim], self._cells_per_dim)
             for dim in self._dimensions
         ]
+        # Observed [min, max] per axis: the edge cells are clipped
+        # catch-alls, so filter pruning needs the real data span to prove a
+        # query interval covers everything a visited edge cell can hold.
+        self._axis_lows, self._axis_highs = observed_axis_spans(
+            self._columns, self._dimensions
+        )
         self._build_cells()
 
     # ------------------------------------------------------------------
@@ -115,26 +130,69 @@ class UniformGridIndex(MultidimensionalIndex):
         hi_cell = int(np.clip(np.searchsorted(boundaries, high, side="right") - 1, 0, self._cells_per_dim - 1))
         return lo_cell, hi_cell
 
+    def _axis_filter_needed(self, axis: int, low: float, high: float, lo_cell: int, hi_cell: int) -> bool:
+        """Scalar filter-pruning check for one axis
+        (see :func:`repro.indexes.kernels.axis_filter_needed`)."""
+        return axis_filter_needed(
+            low,
+            high,
+            lo_cell,
+            hi_cell,
+            self._boundaries[axis],
+            self._cells_per_dim,
+            self._axis_lows[axis],
+            self._axis_highs[axis],
+        )
+
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
-        axis_ranges: List[np.ndarray] = []
+        lo_cells: List[int] = []
+        hi_cells: List[int] = []
+        n_cells = 1
         for axis, dim in enumerate(self._dimensions):
             interval = query.interval(dim)
             lo_cell, hi_cell = self._cell_range(axis, interval.low, interval.high)
-            axis_ranges.append(np.arange(lo_cell, hi_cell + 1))
-        cells_visited = 0
-        chunks: List[np.ndarray] = []
-        for combo in itertools.product(*axis_ranges):
-            flat = int(np.ravel_multi_index(combo, self._shape)) if self._shape else 0
-            start, stop = self._offsets[flat], self._offsets[flat + 1]
-            cells_visited += 1
-            if stop > start:
-                chunks.append(self._row_order[start:stop])
-        candidates = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-        matches = self._filter_candidates(candidates, query)
+            lo_cells.append(lo_cell)
+            hi_cells.append(hi_cell)
+            n_cells *= hi_cell - lo_cell + 1
+        prunable: List[str] = []
+        if n_cells <= SMALL_QUERY_CELLS:
+            # Scalar path: slice the few cell runs directly — lower constant
+            # cost than the gather kernel for point-like queries, where the
+            # pruning analysis would not pay for itself either.
+            offsets = self._offsets
+            chunks = []
+            for combo in itertools.product(
+                *(range(lo, hi + 1) for lo, hi in zip(lo_cells, hi_cells))
+            ):
+                flat = sum(index * stride for index, stride in zip(combo, self._cell_strides))
+                start, stop = offsets[flat], offsets[flat + 1]
+                if stop > start:
+                    chunks.append(self._row_order[start:stop])
+            candidates = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+        else:
+            # Vectorized enumeration of the candidate cell hyper-rectangle
+            # plus one gather of every cell's contiguous run — no per-cell
+            # Python loop, however many cells the query overlaps.  Wide
+            # queries are where filter pruning pays: skip the post-filter on
+            # axes whose interval covers every visited cell.
+            cells = enumerate_cells(lo_cells, hi_cells, self._shape)
+            gathered, _ = gather_ranges(self._offsets[cells], self._offsets[cells + 1])
+            candidates = self._row_order[gathered]
+            for axis, dim in enumerate(self._dimensions):
+                if not query.constrains(dim):
+                    continue
+                interval = query.interval(dim)
+                if not self._axis_filter_needed(
+                    axis, interval.low, interval.high, lo_cells[axis], hi_cells[axis]
+                ):
+                    prunable.append(dim)
+        matches = self._filter_candidates(candidates, query, prunable)
         self.stats.record(
             rows_examined=len(candidates),
             rows_matched=len(matches),
-            cells_visited=cells_visited,
+            cells_visited=n_cells,
         )
         return matches
 

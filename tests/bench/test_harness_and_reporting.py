@@ -58,6 +58,18 @@ class TestTimeWorkload:
         assert timing.n_queries == len(workload)
         assert timing.total_seconds > 0
 
+    def test_batch_size_knob_matches_sequential(self, table, workload):
+        from repro.bench.harness import execute_workload
+        from repro.indexes.grid_file import SortedCellGridIndex
+
+        index = SortedCellGridIndex(table, cells_per_dim=5)
+        sequential_total = execute_workload(index, workload)
+        for batch_size in (1, 3, len(workload), 100):
+            assert execute_workload(index, workload, batch_size=batch_size) == sequential_total
+        timing = time_workload(index, workload, batch_size=3)
+        assert timing.total_results == sequential_total
+        assert timing.n_queries == len(workload)
+
 
 class TestRunComparison:
     def test_rows_and_verification(self, table, workload):

@@ -1,0 +1,227 @@
+"""Batch-vs-sequential equivalence of the read path.
+
+The batch execution kernels must be a pure optimisation: for every
+registered index, ``batch_range_query(queries)`` has to return exactly
+``[range_query(q) for q in queries]`` — same row ids, same order, query by
+query — and leave the same work statistics behind.  Hypothesis drives the
+property over random tables and workloads; dedicated tests pin the edge
+cases (empty query, empty batch, empty index) and COAX with pending delta
+rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.bucketing import BucketingConfig
+from repro.fd.detection import DetectionConfig
+from repro.indexes.base import available_indexes, create_index
+
+
+def build_registered_indexes(table: Table):
+    """One instance of every registered index type over ``table``.
+
+    COAX is built with a detection configuration cheap enough for
+    property-test scale; every other index uses light default parameters.
+    """
+    kwargs_by_name = {
+        "coax": {
+            "config": COAXConfig(
+                detection=DetectionConfig(
+                    bucketing=BucketingConfig(sample_count=min(table.n_rows, 500)),
+                    monte_carlo_rounds=2,
+                )
+            )
+        },
+        "uniform_grid": {"cells_per_dim": 4},
+        "sorted_cell_grid": {"cells_per_dim": 4},
+        "column_files": {"cells_per_dim": 4},
+        "rtree": {"node_capacity": 6},
+    }
+    return [
+        create_index(name, table, **kwargs_by_name.get(name, {}))
+        for name in available_indexes()
+    ]
+
+
+def assert_batch_matches_sequential(index, queries):
+    """The core property, including statistics parity."""
+    index.stats.reset()
+    sequential = [index.range_query(query) for query in queries]
+    seq_stats = (
+        index.stats.queries,
+        index.stats.rows_examined,
+        index.stats.rows_matched,
+        index.stats.cells_visited,
+    )
+    index.stats.reset()
+    batch = index.batch_range_query(queries)
+    batch_stats = (
+        index.stats.queries,
+        index.stats.rows_examined,
+        index.stats.rows_matched,
+        index.stats.cells_visited,
+    )
+    assert len(batch) == len(sequential), type(index).__name__
+    for position, (left, right) in enumerate(zip(sequential, batch)):
+        assert np.array_equal(left, right), (type(index).__name__, position)
+    assert seq_stats == batch_stats, type(index).__name__
+
+
+@st.composite
+def tables_and_workloads(draw):
+    """A random 2-3 column table plus a random mixed workload."""
+    n_rows = draw(st.integers(min_value=1, max_value=250))
+    n_cols = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    names = [f"c{i}" for i in range(n_cols)]
+    columns = {}
+    for i, name in enumerate(names):
+        kind = (seed + i) % 3
+        if kind == 0:
+            columns[name] = rng.uniform(-50.0, 50.0, size=n_rows)
+        elif kind == 1:
+            columns[name] = rng.normal(0.0, 10.0, size=n_rows)
+        else:
+            # Heavy ties stress the per-cell bisection boundaries.
+            columns[name] = rng.integers(0, 4, size=n_rows).astype(float)
+    table = Table(columns)
+    n_queries = draw(st.integers(min_value=1, max_value=6))
+    queries = []
+    for _ in range(n_queries):
+        intervals = {}
+        for name in names:
+            if draw(st.booleans()):
+                low = draw(st.floats(-60.0, 60.0))
+                width = draw(st.floats(-5.0, 60.0))  # negative width = empty
+                intervals[name] = Interval(low, low + width)
+        queries.append(Rectangle(intervals))
+    return table, queries
+
+
+class TestBatchEquivalenceProperty:
+    @given(tables_and_workloads())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_registered_index(self, table_and_workload):
+        table, queries = table_and_workload
+        for index in build_registered_indexes(table):
+            assert_batch_matches_sequential(index, queries)
+
+
+class TestBatchEdgeCases:
+    @pytest.fixture(scope="class")
+    def table(self) -> Table:
+        rng = np.random.default_rng(3)
+        return Table(
+            {
+                "a": rng.uniform(0.0, 100.0, size=400),
+                "b": rng.normal(0.0, 5.0, size=400),
+                "c": rng.integers(0, 6, size=400).astype(float),
+            }
+        )
+
+    def test_empty_batch(self, table):
+        for index in build_registered_indexes(table):
+            assert index.batch_range_query([]) == []
+
+    def test_empty_and_unconstrained_queries(self, table):
+        queries = [
+            Rectangle({"a": Interval(5.0, 1.0)}),  # empty interval
+            Rectangle(),  # matches everything
+            Rectangle({"a": Interval(10.0, 60.0), "b": Interval(3.0, -3.0)}),
+        ]
+        for index in build_registered_indexes(table):
+            assert_batch_matches_sequential(index, queries)
+
+    def test_nan_polluted_column(self):
+        """NaN data must keep the exact post-filter on both paths.
+
+        A NaN in a grid column makes the quantile boundaries (and tracked
+        axis spans) NaN; the vectorized pruning check must stay
+        conservative under NaN — like the scalar path — or the batch path
+        silently skips the post-filter and returns non-matching rows.
+        """
+        rng = np.random.default_rng(9)
+        values = rng.uniform(0.0, 100.0, size=500)
+        values[7] = np.nan
+        table = Table({"a": values, "b": rng.uniform(0.0, 100.0, size=500)})
+        queries = [
+            Rectangle({"a": Interval(10.0, 20.0)}),
+            Rectangle({"a": Interval(10.0, 20.0), "b": Interval(0.0, 50.0)}),
+            Rectangle({"b": Interval(30.0, 60.0)}),
+        ]
+        for name in available_indexes():
+            if name == "coax":
+                continue  # COAX refuses to fit FD models over NaN data
+            index = create_index(name, table)
+            assert_batch_matches_sequential(index, queries)
+
+    def test_empty_index(self, table):
+        queries = [Rectangle({"a": Interval(0.0, 50.0)}), Rectangle()]
+        no_rows = np.empty(0, dtype=np.int64)
+        for name in available_indexes():
+            if name == "coax":
+                continue  # COAX needs build data for FD detection
+            index = create_index(name, table, row_ids=no_rows)
+            assert_batch_matches_sequential(index, queries)
+            assert all(len(result) == 0 for result in index.batch_range_query(queries))
+
+
+class TestCOAXWithPendingRows:
+    """COAX equivalence with a populated delta store (scan_batch path)."""
+
+    @pytest.fixture(scope="class")
+    def coax(self) -> COAXIndex:
+        rng = np.random.default_rng(11)
+        n = 2_000
+        x = rng.uniform(0.0, 300.0, size=n)
+        y = 2.1 * x + rng.normal(scale=1.5, size=n)
+        drift = rng.random(n) < 0.12
+        y[drift] = rng.uniform(y.min(), y.max(), size=int(drift.sum()))
+        z = rng.uniform(0.0, 8.0, size=n)
+        config = COAXConfig(
+            detection=DetectionConfig(
+                bucketing=BucketingConfig(sample_count=2_000, bucket_chunks=32),
+                monte_carlo_rounds=4,
+            )
+        )
+        index = COAXIndex(Table({"x": x, "y": y, "z": z}), config=config)
+        k = 300
+        nx = rng.uniform(0.0, 300.0, size=k)
+        ny = 2.1 * nx + rng.normal(scale=1.5, size=k)
+        flip = rng.random(k) < 0.3
+        ny[flip] = rng.uniform(y.min(), y.max(), size=int(flip.sum()))
+        index.insert_batch({"x": nx, "y": ny, "z": rng.uniform(0.0, 8.0, size=k)})
+        assert index.n_pending == k
+        return index
+
+    @given(
+        x_low=st.floats(-30.0, 330.0),
+        x_width=st.floats(-10.0, 200.0),
+        y_low=st.floats(-50.0, 700.0),
+        y_width=st.floats(0.0, 400.0),
+        constrain_z=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pending_rows_visible_on_both_paths(
+        self, coax, x_low, x_width, y_low, y_width, constrain_z
+    ):
+        intervals = {
+            "x": Interval(x_low, x_low + x_width),
+            "y": Interval(y_low, y_low + y_width),
+        }
+        if constrain_z:
+            intervals["z"] = Interval(1.0, 6.0)
+        queries = [
+            Rectangle(intervals),
+            Rectangle({"x": Interval(x_low, x_low + x_width)}),
+            Rectangle(),
+        ]
+        assert_batch_matches_sequential(coax, queries)

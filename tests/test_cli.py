@@ -63,3 +63,31 @@ class TestUpdateBench:
         )
         assert args.inserts == 5000
         assert args.batch_size == 1000
+
+
+class TestQueryBench:
+    def test_alias_resolves_in_smoke_mode(self):
+        text = run_experiment("query-bench", rows=3_000, queries=32, smoke=True)
+        assert "sequential" in text and "batch" in text
+        assert "Airline" in text and "OSM" in text
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["query-bench", "--smoke", "--batch-sizes", "32", "64", "--export", "out.json"]
+        )
+        assert args.smoke is True
+        assert args.batch_sizes == [32, 64]
+        assert args.export == "out.json"
+
+    def test_export_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "read.json"
+        assert main(
+            ["query-bench", "--rows", "3000", "--queries", "24", "--smoke",
+             "--export", str(target)]
+        ) == 0
+        assert target.exists()
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "read_path"
+        assert payload["rows"]
