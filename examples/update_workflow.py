@@ -12,7 +12,11 @@ This example demonstrates the columnar delta-store update subsystem:
 3. measure batch vs one-row-at-a-time insert throughput;
 4. show the Bayesian model being refined online from the new batch;
 5. let threshold-triggered auto-compaction fold the buffers into the main
-   structures incrementally, and verify results stay exact throughout.
+   structures incrementally, and verify results stay exact throughout;
+6. complete the CRUD cycle: cancel orders with ``delete_batch`` /
+   ``delete_where`` (tombstoned, invisible immediately), reprice orders
+   in place with ``update_batch`` (same row ids), and reclaim the
+   tombstones with a compaction.
 
 Run with::
 
@@ -138,6 +142,46 @@ def main() -> None:
     final = len(index.range_query(heavy_and_pricey))
     assert final == after + expected_extra
     print("query results unchanged by compaction — exactness preserved.")
+
+    # ------------------------------------------------------------------
+    # Deletes and in-place updates (the rest of CRUD).
+    # ------------------------------------------------------------------
+    print("\ndeletes and updates")
+    print("-------------------")
+    matching = index.range_query(heavy_and_pricey)
+    cancelled = matching[: len(matching) // 2]
+    start = time.perf_counter()
+    n_deleted = index.delete_batch(cancelled)
+    delete_ms = (time.perf_counter() - start) * 1e3
+    print(f"cancelled {n_deleted} orders with delete_batch() in {delete_ms:.2f} ms "
+          f"(tombstoned, {index.n_tombstoned} pending reclaim)")
+    assert len(index.range_query(heavy_and_pricey)) == final - n_deleted
+
+    # Reprice the remaining matches in place — the row ids stay the same.
+    remaining = index.range_query(heavy_and_pricey)
+    repriced = {
+        "order_id": index.table.column("order_id")[remaining],
+        "price": np.full(len(remaining), 99.0),
+        "weight": index.table.column("weight")[remaining],
+    }
+    index.update_batch(remaining, repriced)
+    print(f"repriced {len(remaining)} orders to 99.00 with update_batch() "
+          f"(ids preserved, {index.n_pending} pending)")
+    assert len(index.range_query(heavy_and_pricey)) == 0
+    sale = Rectangle({"price": Interval(99.0, 99.0), "weight": Interval(8.0, 20.0)})
+    assert len(index.range_query(sale)) == len(remaining)
+
+    # delete_where removes whatever a predicate matches, in one call.
+    gift_cards = Rectangle({"weight": Interval(0.0, 0.02)})
+    swept = index.delete_where(gift_cards)
+    print(f"swept {len(swept)} gift-card orders with delete_where()")
+
+    # Compaction physically reclaims every tombstone; ids survive.
+    index.compact()
+    assert index.n_tombstoned == 0 and index.n_pending == 0
+    assert len(index.range_query(sale)) == len(remaining)
+    print(f"compacted: {index.n_rows} live rows, tombstones reclaimed, "
+          "query results unchanged — full CRUD, exact throughout.")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ the paper and benchmarks the delta-store update subsystem.
 from repro.bench.experiments import (
     ablations,
     appendix_g,
+    crud,
     fig4,
     fig6,
     fig7,
@@ -34,12 +35,14 @@ EXPERIMENTS = {
     "ablations": (ablations.run, "Ablations — margins, outlier index, bucketing, splines"),
     "updates": (updates.run, "Updates — insert throughput and latency under writes"),
     "read_path": (read_path.run, "Read path — sequential vs batch query execution"),
+    "crud": (crud.run, "CRUD — delete/update throughput and post-compaction latency"),
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ablations",
     "appendix_g",
+    "crud",
     "fig4",
     "fig6",
     "fig7",

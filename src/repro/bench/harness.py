@@ -46,11 +46,15 @@ def execute_workload(
     With ``batch_size`` set the workload is executed through
     ``batch_range_query`` in batches of that size (the read path's batch
     kernels then share directory lookups, translation and delta scans
-    across each batch); by default queries run one at a time.  Results are
-    identical either way.  This is the unit of work the pytest-benchmark
-    suites time; it is also handy for warm-up runs in examples.
+    across each batch) — including ``batch_size=1``, which exercises the
+    batch machinery one query at a time; by default (``None``) queries run
+    through ``range_query``.  Results are identical either way.  This is
+    the unit of work the pytest-benchmark suites time; it is also handy
+    for warm-up runs in examples.
     """
-    if batch_size is not None and batch_size > 1:
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be at least 1 (or None)")
+    if batch_size is not None:
         return sum(
             len(result)
             for batch in _query_batches(workload, batch_size)
@@ -134,15 +138,18 @@ def time_workload(
 ) -> TimingResult:
     """Run every query of ``workload`` against ``index`` and time each one.
 
-    With ``batch_size`` set, execution goes through ``batch_range_query``
-    in batches of that size and each query's latency sample is its batch's
-    wall clock divided by the batch length (per-query attribution inside a
-    batch is meaningless — the work is shared); mean and total are then
-    exact, while median and p95 describe per-batch averages.
+    With ``batch_size`` set (any value >= 1), execution goes through
+    ``batch_range_query`` in batches of that size and each query's latency
+    sample is its batch's wall clock divided by the batch length (per-query
+    attribution inside a batch is meaningless — the work is shared); mean
+    and total are then exact, while median and p95 describe per-batch
+    averages.
     """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be at least 1 (or None)")
     samples: List[float] = []
     total_results = 0
-    if batch_size is not None and batch_size > 1:
+    if batch_size is not None:
         for batch in _query_batches(workload, batch_size):
             start = time.perf_counter()
             batch_results = index.batch_range_query(batch)

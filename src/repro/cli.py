@@ -8,14 +8,18 @@ Usage::
     python -m repro.cli update-bench --inserts 100000 --batch-size 10000
     python -m repro.cli query-bench --rows 30000 --queries 1024 --export BENCH_read.json
     python -m repro.cli query-bench --smoke --export BENCH_read.json
+    python -m repro.cli crud --deletes 10000 --export BENCH_crud.json
+    python -m repro.cli crud --smoke
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
 in :mod:`repro.bench.experiments`.  ``update-bench`` is the command for the
 delta-store update benchmark (an alias of the ``updates`` experiment id);
-``query-bench`` runs the read-path benchmark (``read_path``), with
-``--smoke`` for the quick CI variant that asserts batch execution beats the
-sequential loop and ``--export`` to write the JSON artifact.
+``query-bench`` runs the read-path benchmark (``read_path``); ``crud`` runs
+the delete/update benchmark against a delete-aware full-scan oracle.  For
+the latter two, ``--smoke`` is the quick CI variant that asserts the batch
+paths beat their sequential loops, and ``--export`` writes the JSON
+artifact.
 """
 
 from __future__ import annotations
@@ -62,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="query batch sizes to sweep (query-bench)",
     )
     parser.add_argument(
+        "--deletes", type=int, default=None, help="delete-stream size (crud)"
+    )
+    parser.add_argument(
+        "--updates", type=int, default=None, help="update-stream size (crud)"
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="quick CI variant: small data, asserts batch >= sequential (query-bench)",
@@ -82,6 +92,8 @@ def _run_experiment(
     queries: Optional[int] = None,
     seed: Optional[int] = None,
     inserts: Optional[int] = None,
+    deletes: Optional[int] = None,
+    updates: Optional[int] = None,
     batch_size: Optional[int] = None,
     batch_sizes: Optional[Sequence[int]] = None,
     smoke: bool = False,
@@ -99,6 +111,8 @@ def _run_experiment(
         "n_queries": queries,
         "seed": seed,
         "n_inserts": inserts,
+        "n_deletes": deletes,
+        "n_updates": updates,
         "batch_size": batch_size,
         "batch_sizes": batch_sizes,
         "smoke": smoke or None,
@@ -116,6 +130,8 @@ def run_experiment(
     queries: Optional[int] = None,
     seed: Optional[int] = None,
     inserts: Optional[int] = None,
+    deletes: Optional[int] = None,
+    updates: Optional[int] = None,
     batch_size: Optional[int] = None,
     batch_sizes: Optional[Sequence[int]] = None,
     smoke: bool = False,
@@ -127,6 +143,8 @@ def run_experiment(
         queries=queries,
         seed=seed,
         inserts=inserts,
+        deletes=deletes,
+        updates=updates,
         batch_size=batch_size,
         batch_sizes=batch_sizes,
         smoke=smoke,
@@ -152,6 +170,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 queries=args.queries,
                 seed=args.seed,
                 inserts=args.inserts,
+                deletes=args.deletes,
+                updates=args.updates,
                 batch_size=args.batch_size,
                 batch_sizes=args.batch_sizes,
                 smoke=args.smoke,

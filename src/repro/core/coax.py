@@ -20,6 +20,19 @@ buffers that query execution scans vectorised, and folded into the main
 structures incrementally by :meth:`COAXIndex.compact` — the learned FD
 groups, the inlier/outlier routing and the primary grid's quantile
 boundaries are all reused, so compaction merges instead of rebuilding.
+
+Deletes and in-place updates complete the CRUD surface in the delta-store
+tradition: :meth:`COAXIndex.delete_batch` tombstones main-structure rows in
+a bitmap (``O(k log n)`` per batch, immediately visible because every read
+path masks tombstoned positions next to its exact post-filter) and removes
+pending rows from the delta buffers in place;
+:meth:`COAXIndex.update_batch` is delete + reinsert under the *same* row
+ids (row ids are table positions, an invariant compaction preserves).  A
+compaction that sees tombstones physically reclaims them — partition
+fractions and bounding boxes are rebuilt from the survivors — and can be
+triggered automatically via ``COAXConfig.auto_compact_tombstone_fraction``.
+Row ids are stable for the lifetime of a record: deletion retires an id
+forever and compaction never renumbers.
 """
 
 from __future__ import annotations
@@ -369,8 +382,13 @@ class COAXIndex(MultidimensionalIndex):
         merged = merge_row_ids([primary_ids, outlier_ids, pending_ids])
         rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
         cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        # The delta scan examines every pending row (a vectorised rectangle
+        # check over the whole buffer), so those rows count as examined too
+        # — otherwise benchmarks under-report the work of un-compacted
+        # inserts.  An empty rectangle scans nothing, mirroring scan().
+        pending_examined = 0 if query.is_empty else self._delta.n_pending
         self.stats.record(
-            rows_examined=rows_after - rows_before,
+            rows_examined=rows_after - rows_before + pending_examined,
             rows_matched=len(merged),
             cells_visited=cells_after - cells_before,
         )
@@ -471,9 +489,12 @@ class COAXIndex(MultidimensionalIndex):
         total_matched = int(sum(len(result) for result in results))
         rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
         cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        # Every live (non-empty) query of the batch examines the whole
+        # pending buffer, exactly like the scalar path records per query —
+        # batch and sequential execution must leave identical statistics.
         self.stats.record_batch(
             n_live,
-            rows_examined=rows_after - rows_before,
+            rows_examined=rows_after - rows_before + self._delta.n_pending * n_live,
             rows_matched=total_matched,
             cells_visited=cells_after - cells_before,
         )
@@ -522,51 +543,191 @@ class COAXIndex(MultidimensionalIndex):
         row_ids = self._next_row_id + np.arange(n_new, dtype=np.int64)
         if n_new == 0:
             return row_ids
-        self._next_row_id += n_new
         self._delta.append_batch(columns, row_ids)
+        # Claim the ids only after the append succeeded: a batch that blows
+        # up mid-routing must not permanently burn its id range.
+        self._next_row_id += n_new
+        self._maybe_auto_compact()
+        return row_ids
+
+    def _maybe_auto_compact(self) -> None:
+        """Compact when either configured trigger (pending count or
+        tombstone fraction) has been reached."""
         threshold = self._config.auto_compact_threshold
         if threshold is not None and self._delta.n_pending >= threshold:
             self.compact()
+            return
+        fraction = self._config.auto_compact_tombstone_fraction
+        if fraction is not None and self.tombstone_fraction >= fraction:
+            self.compact()
+
+    # ------------------------------------------------------------------
+    # Deletes and in-place updates
+    # ------------------------------------------------------------------
+    def delete(self, row_id: int) -> bool:
+        """Delete one record by row id; ``True`` if it was live.
+
+        Convenience wrapper over :meth:`delete_batch`; for any non-trivial
+        delete volume the batch API is orders of magnitude faster.
+        """
+        return self.delete_batch(np.array([row_id], dtype=np.int64)) == 1
+
+    def delete_batch(self, row_ids: np.ndarray) -> int:
+        """Delete records by row id; returns how many were actually live.
+
+        Main-structure rows are tombstoned in a bitmap (``O(k log n)`` for
+        the whole batch) and disappear from results immediately — every
+        read path masks tombstoned positions next to its exact post-filter.
+        Pending rows are removed from the delta buffers in place, with the
+        per-model routing counts decremented exactly.  Ids that are
+        unknown, already deleted, or not covered by this index are skipped,
+        so the call is idempotent.  Deleted ids are retired forever (new
+        inserts never reuse them); the physical space is reclaimed by the
+        next :meth:`compact`, which triggers automatically once
+        ``COAXConfig.auto_compact_tombstone_fraction`` is exceeded.
+        """
+        row_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
+        if len(row_ids) == 0:
+            return 0
+        deleted = self._delta.delete_rows(row_ids)
+        deleted += self._delete_main_rows(row_ids)
+        if deleted:
+            self._maybe_auto_compact()
+        return int(deleted)
+
+    def delete_rows(self, row_ids: np.ndarray, *, assume_unique: bool = False) -> int:
+        """Generic tombstone entry point (see the base class).
+
+        Routes through the full COAX delete — delta store included — so the
+        facade and the sub-indexes can never diverge.  ``assume_unique`` is
+        accepted for signature compatibility; :meth:`delete_batch`
+        de-duplicates once internally either way.
+        """
+        del assume_unique
+        return self.delete_batch(row_ids)
+
+    def delete_where(self, query: Rectangle) -> np.ndarray:
+        """Delete every record matching ``query``; returns their row ids."""
+        matches = self.range_query(query)
+        self.delete_batch(matches)
+        return matches
+
+    def _delete_main_rows(self, row_ids: np.ndarray) -> int:
+        """Tombstone main-structure rows on the facade and both sub-indexes.
+
+        ``row_ids`` must already be de-duplicated; the sort is paid once by
+        the caller instead of once per structure.
+        """
+        newly = MultidimensionalIndex.delete_rows(self, row_ids, assume_unique=True)
+        if newly:
+            self._primary.delete_rows(row_ids, assume_unique=True)
+            self._outlier.delete_rows(row_ids, assume_unique=True)
+        return newly
+
+    def _live_ids_mask(self, row_ids: np.ndarray) -> np.ndarray:
+        """Which of ``row_ids`` are currently live (main or pending)."""
+        mask = self.rows_live(row_ids)
+        if self._delta.n_pending:
+            mask |= np.isin(row_ids, self._delta.row_ids)
+        return mask
+
+    def update_batch(self, row_ids: np.ndarray, batch: BatchLike) -> np.ndarray:
+        """Replace live records in place, preserving their row ids.
+
+        ``batch`` (same forms as :meth:`insert_batch`) holds the new
+        attribute values, positionally aligned with ``row_ids``.  Each
+        update is a delete plus a reinsert through the delta store: the old
+        version is tombstoned (main rows) or removed in place (pending
+        rows) and the new version is appended under the *same* row id with
+        its routing re-evaluated against the learned models — ids stay
+        aligned with table positions, the invariant compaction relies on to
+        write updated values back in place.  Unknown or already-deleted ids
+        raise ``KeyError`` (a partial update never applies silently);
+        duplicate ids in one batch raise ``ValueError``.  Returns
+        ``row_ids`` unchanged, mirroring :meth:`insert_batch`.
+        """
+        columns = coerce_batch(batch, tuple(self._table.schema))
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        n_new = len(next(iter(columns.values()))) if columns else 0
+        if n_new != len(row_ids):
+            raise ValueError(
+                f"update batch has {n_new} rows for {len(row_ids)} row ids"
+            )
+        if n_new == 0:
+            return row_ids
+        if len(np.unique(row_ids)) != len(row_ids):
+            raise ValueError("update batch contains duplicate row ids")
+        live = self._live_ids_mask(row_ids)
+        if not live.all():
+            missing = row_ids[~live]
+            raise KeyError(
+                f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
+            )
+        self._delta.delete_rows(row_ids)
+        self._delete_main_rows(row_ids)
+        self._delta.append_batch(columns, row_ids)
+        self._maybe_auto_compact()
         return row_ids
 
     def compact(self) -> "COAXIndex":
         """Fold the delta store into the main structures in place.
 
-        Compaction is incremental: the learned FD groups are kept (no
-        re-detection), the routing recorded at insert time is reused (no
-        re-partitioning), and the primary grid absorbs its new rows into
-        the existing quantile layout (no re-quantiling).  The outlier index
-        is rebuilt only when its type cannot merge in place — it holds the
-        small minority of the data by construction.  Returns ``self`` so
-        existing ``index = index.compact()`` call sites keep working.
+        Insert-only compaction is incremental: the learned FD groups are
+        kept (no re-detection), the routing recorded at insert time is
+        reused (no re-partitioning), and the primary grid absorbs its new
+        rows into the existing quantile layout (no re-quantiling).  The
+        outlier index is rebuilt only when its type cannot merge in place —
+        it holds the small minority of the data by construction.
+
+        When tombstones exist (or the index covers a table subset), the
+        tombstoned rows are physically reclaimed instead: the index is
+        rebuilt with the learned groups over the survivors only, so
+        partition fractions and the primary/outlier bounding boxes are
+        recomputed from live rows.  Row ids are preserved either way —
+        compaction never renumbers.  Returns ``self`` so existing
+        ``index = index.compact()`` call sites keep working.
         """
-        if self._delta.n_pending == 0:
+        if self._delta.n_pending == 0 and self._n_tombstoned == 0:
             return self
-        pending = self._delta.pending_table()
-        pending_ids = self._delta.row_ids.copy()
-        pending_inliers = self._delta.inlier_mask.copy()
-        pending_model_counts = self._delta.per_model_inlier_counts
-        if self.rows_aligned:
+        if self.rows_aligned and self._n_tombstoned == 0:
+            pending_ids = self._delta.row_ids.copy()
+            pending_inliers = self._delta.inlier_mask.copy()
+            pending_model_counts = self._delta.per_model_inlier_counts
             self._compact_incremental(
-                pending, pending_ids, pending_inliers, pending_model_counts
+                pending_ids, pending_inliers, pending_model_counts
             )
         else:
-            # The index covers a proper subset (or permutation) of its
-            # table, so appended rows cannot keep their assigned ids;
-            # rebuild over the combined data with the learned groups.
-            self._compact_rebuild(pending)
+            self._compact_reclaim()
         self._delta.clear()
         return self
 
+    def _pending_tail_table(self) -> Table:
+        """Tail table spanning ids ``[table.n_rows, next_row_id)``.
+
+        Each live pending row is scattered to position ``id - n_rows`` so
+        the invariant *row id == table position* survives concatenation.
+        Slots whose id was deleted from the delta store before compaction
+        are filled with NaN; they are never covered by any row-id set, so
+        no structure or query ever reads them.
+        """
+        n_rows = self._table.n_rows
+        span = self._next_row_id - n_rows
+        slots = self._delta.row_ids - n_rows
+        columns: Dict[str, np.ndarray] = {}
+        for name in self._table.schema:
+            tail = np.full(span, np.nan)
+            tail[slots] = self._delta.column(name)
+            columns[name] = tail
+        return Table(columns)
+
     def _compact_incremental(
         self,
-        pending: Table,
         pending_ids: np.ndarray,
         pending_inliers: np.ndarray,
         pending_model_counts: Dict[str, int],
     ) -> None:
         """Merge pending rows into the existing structures (aligned case)."""
-        combined = self._table.concat(pending)
+        combined = self._table.concat(self._pending_tail_table())
         new_inlier_ids = pending_ids[pending_inliers]
         new_outlier_ids = pending_ids[~pending_inliers]
         # Primary grid: absorb into the existing quantile layout.
@@ -610,18 +771,48 @@ class COAXIndex(MultidimensionalIndex):
             per_model_inlier_fraction=dict(per_model),
         )
 
-    def _compact_rebuild(self, pending: Table) -> None:
-        """Full rebuild with the learned groups (subset/permuted row case)."""
-        combined = self._table.take(self._row_ids).concat(pending)
+    def _compact_reclaim(self) -> None:
+        """Rebuild over the survivors with the learned groups, keeping ids.
+
+        Used whenever tombstones exist or the index covers a table subset:
+        tombstoned rows are dropped from every structure (directories,
+        partition, bounding boxes and the per-index column copies are all
+        recomputed from live rows only), updated pending rows are written
+        back to their original table positions, and new pending rows land
+        at ``position == id`` in the extended table — so every surviving
+        record keeps the row id it has always had.  Dead positions stay in
+        the backing table as uncovered slots; every index structure and
+        column copy is rebuilt without them, which is where the memory and
+        scan cost of deleted rows actually lived.
+        """
+        pending_ids = self._delta.row_ids.copy()
+        n_rows = self._table.n_rows
+        updated = pending_ids < n_rows  # in-place updates of existing rows
+        span = self._next_row_id - n_rows
+        columns: Dict[str, np.ndarray] = {}
+        for name in self._table.schema:
+            base = self._table.column(name)
+            values = self._delta.column(name)
+            if updated.any():
+                base = base.copy()
+                base[pending_ids[updated]] = values[updated]
+            tail = np.full(span, np.nan)
+            tail[pending_ids[~updated] - n_rows] = values[~updated]
+            columns[name] = np.concatenate([base, tail])
+        combined = Table(columns)
+        survivors = np.union1d(self.live_row_ids(), pending_ids)
         fresh = COAXIndex(
             combined,
             config=self._config,
             groups=self._groups,
+            row_ids=survivors,
             dimensions=self._dimensions,
         )
         stats = self.stats
+        next_row_id = self._next_row_id
         self.__dict__.update(fresh.__dict__)
         self.stats = stats
+        self._next_row_id = next_row_id
 
     # ------------------------------------------------------------------
     # Memory accounting

@@ -46,6 +46,10 @@ class COAXConfig:
     #: the delta store; ``None`` disables auto-compaction (compaction is
     #: then entirely manual via :meth:`COAXIndex.compact`).
     auto_compact_threshold: Optional[int] = None
+    #: Compact automatically once this fraction of the main-structure rows
+    #: is tombstoned by deletes/updates (in ``(0, 1]``); ``None`` leaves
+    #: tombstones in place until a manual :meth:`COAXIndex.compact`.
+    auto_compact_tombstone_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.primary_cells_per_dim < 1:
@@ -62,3 +66,9 @@ class COAXConfig:
             raise ValueError("min_primary_fraction must be in [0, 1]")
         if self.auto_compact_threshold is not None and self.auto_compact_threshold < 1:
             raise ValueError("auto_compact_threshold must be at least 1 (or None)")
+        if self.auto_compact_tombstone_fraction is not None and not (
+            0.0 < self.auto_compact_tombstone_fraction <= 1.0
+        ):
+            raise ValueError(
+                "auto_compact_tombstone_fraction must be in (0, 1] (or None)"
+            )

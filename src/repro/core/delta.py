@@ -108,9 +108,19 @@ class DeltaStore:
         }
         self._row_ids = np.empty(self._capacity, dtype=np.int64)
         self._inlier = np.empty(self._capacity, dtype=bool)
-        # Per "predictor->dependent" model: buffered rows inside its margins,
-        # accumulated at append time so compaction never re-evaluates models.
-        self._per_model_counts: Dict[str, int] = {}
+        # Per "predictor->dependent" model: one boolean buffer recording,
+        # row by row, whether the record sits inside that model's margins.
+        # Keeping the per-row masks (not just counts) means deletes can
+        # decrement the routing bookkeeping exactly and persistence can
+        # restore it without ever re-evaluating a model.
+        self._model_names: Tuple[str, ...] = tuple(
+            f"{group.predictor}->{dependent}"
+            for group in self._groups
+            for dependent in group.dependents
+        )
+        self._model_masks: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=bool) for name in self._model_names
+        }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -153,7 +163,14 @@ class DeltaStore:
     @property
     def per_model_inlier_counts(self) -> Dict[str, int]:
         """Per FD model: buffered rows inside its margins (from append time)."""
-        return dict(self._per_model_counts)
+        return {
+            name: int(np.count_nonzero(mask[: self._size]))
+            for name, mask in self._model_masks.items()
+        }
+
+    def model_mask(self, name: str) -> np.ndarray:
+        """Active prefix of one model's margin mask (a view, do not mutate)."""
+        return self._model_masks[name][: self._size]
 
     def column(self, name: str) -> np.ndarray:
         """Active prefix of one buffered column (a view, do not mutate)."""
@@ -165,7 +182,7 @@ class DeltaStore:
 
     def nbytes(self) -> int:
         """Bytes allocated by the buffers (including growth headroom)."""
-        per_row = len(self._schema) * 8 + 8 + 1
+        per_row = len(self._schema) * 8 + 8 + 1 + len(self._model_names)
         return int(self._capacity * per_row)
 
     def __len__(self) -> int:
@@ -198,6 +215,10 @@ class DeltaStore:
         grown_inlier = np.empty(capacity, dtype=bool)
         grown_inlier[: self._size] = self._inlier[: self._size]
         self._inlier = grown_inlier
+        for name in self._model_names:
+            grown_mask = np.empty(capacity, dtype=bool)
+            grown_mask[: self._size] = self._model_masks[name][: self._size]
+            self._model_masks[name] = grown_mask
         self._capacity = capacity
 
     def append_batch(
@@ -206,21 +227,25 @@ class DeltaStore:
         row_ids: np.ndarray,
         *,
         inlier_mask: Optional[np.ndarray] = None,
+        model_masks: Optional[Mapping[str, np.ndarray]] = None,
     ) -> np.ndarray:
         """Append a coerced batch, routing it against the learned models.
 
         ``columns`` must already be schema-complete float64 arrays (see
-        :func:`coerce_batch`).  Returns the inlier mask of the batch; pass
-        ``inlier_mask`` explicitly to skip routing (persistence restore).
+        :func:`coerce_batch`).  Returns the inlier mask of the batch.  When
+        both ``inlier_mask`` and ``model_masks`` are given (a persistence
+        restore) the stored routing is trusted verbatim and **no model is
+        evaluated at all** — restore cost is a buffer copy, not
+        O(pending x models) — and the restored per-model masks keep
+        post-load compaction's weighted means identical to insert-time
+        truth.  An ``inlier_mask`` without ``model_masks`` (a legacy
+        format-v2 archive) still re-derives the per-model masks.
         """
         n_new = len(row_ids)
         if n_new == 0:
             return np.empty(0, dtype=bool)
-        model_masks = per_model_inlier_masks(self._groups, columns)
-        for name, mask in model_masks.items():
-            self._per_model_counts[name] = self._per_model_counts.get(name, 0) + int(
-                np.count_nonzero(mask)
-            )
+        if model_masks is None:
+            model_masks = per_model_inlier_masks(self._groups, columns)
         if inlier_mask is None:
             inlier_mask = np.ones(n_new, dtype=bool)
             for mask in model_masks.values():
@@ -233,13 +258,47 @@ class DeltaStore:
             self._buffers[name][start:stop] = columns[name]
         self._row_ids[start:stop] = np.asarray(row_ids, dtype=np.int64)
         self._inlier[start:stop] = inlier_mask
+        for name in self._model_names:
+            self._model_masks[name][start:stop] = np.asarray(
+                model_masks[name], dtype=bool
+            )
         self._size = stop
         return inlier_mask
+
+    def delete_rows(self, row_ids: np.ndarray) -> int:
+        """Remove buffered records by assigned row id, compacting in place.
+
+        The surviving rows are copied down over the deleted slots in one
+        vectorised pass per buffer (row ids, inlier routing, per-model
+        masks and every column move together), so the routing bookkeeping
+        is decremented exactly — no model is re-evaluated.  Ids not in the
+        buffer are ignored.  Returns the number of records removed.
+        """
+        if self._size == 0:
+            return 0
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return 0
+        doomed = np.isin(self._row_ids[: self._size], row_ids)
+        n_deleted = int(np.count_nonzero(doomed))
+        if n_deleted == 0:
+            return 0
+        keep = ~doomed
+        new_size = self._size - n_deleted
+        for name in self._schema:
+            buffer = self._buffers[name]
+            buffer[:new_size] = buffer[: self._size][keep]
+        self._row_ids[:new_size] = self._row_ids[: self._size][keep]
+        self._inlier[:new_size] = self._inlier[: self._size][keep]
+        for name in self._model_names:
+            mask = self._model_masks[name]
+            mask[:new_size] = mask[: self._size][keep]
+        self._size = new_size
+        return n_deleted
 
     def clear(self) -> None:
         """Drop every buffered record (capacity is kept for reuse)."""
         self._size = 0
-        self._per_model_counts = {}
 
     # ------------------------------------------------------------------
     # Reads
@@ -307,15 +366,30 @@ class DeltaStore:
         payload = {f"column::{name}": self.column(name).copy() for name in self._schema}
         payload["__row_ids__"] = self.row_ids.copy()
         payload["__inlier__"] = self.inlier_mask.copy()
+        for name in self._model_names:
+            payload[f"model::{name}"] = self.model_mask(name).copy()
         return payload
 
     def load_state(self, payload: Mapping[str, np.ndarray]) -> None:
-        """Inverse of :meth:`state`; replaces the current buffer contents."""
+        """Inverse of :meth:`state`; replaces the current buffer contents.
+
+        The stored routing mask is trusted as-is.  When the payload also
+        carries the per-model masks (format v3 state) they are restored
+        verbatim and no FD model is evaluated; older payloads without them
+        fall back to one re-derivation pass.
+        """
         row_ids = np.asarray(payload["__row_ids__"], dtype=np.int64)
         inlier = np.asarray(payload["__inlier__"], dtype=bool)
         columns = {
             name: np.asarray(payload[f"column::{name}"], dtype=np.float64)
             for name in self._schema
         }
+        model_masks: Optional[Dict[str, np.ndarray]] = {
+            name: np.asarray(payload[f"model::{name}"], dtype=bool)
+            for name in self._model_names
+            if f"model::{name}" in payload
+        }
+        if len(model_masks) != len(self._model_names):
+            model_masks = None
         self.clear()
-        self.append_batch(columns, row_ids, inlier_mask=inlier)
+        self.append_batch(columns, row_ids, inlier_mask=inlier, model_masks=model_masks)

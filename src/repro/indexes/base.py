@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.data.predicates import Rectangle
 from repro.data.table import Table
+from repro.indexes.kernels import live_candidate_mask
 
 __all__ = [
     "IndexBuildError",
@@ -150,6 +151,10 @@ class MultidimensionalIndex(ABC):
         # Lazily built row-id -> position lookup (see :meth:`positions_of`).
         self._row_id_order: Optional[np.ndarray] = None
         self._sorted_row_ids: Optional[np.ndarray] = None
+        # Tombstone bitmap over positional ids (``None`` until the first
+        # delete, so delete-free indexes pay nothing on the read path).
+        self._tombstone: Optional[np.ndarray] = None
+        self._n_tombstoned = 0
         self.stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -167,8 +172,34 @@ class MultidimensionalIndex(ABC):
 
     @property
     def n_rows(self) -> int:
-        """Number of indexed records."""
+        """Number of indexed records (live and tombstoned)."""
         return len(self._row_ids)
+
+    @property
+    def n_tombstoned(self) -> int:
+        """Number of covered records marked deleted but not yet reclaimed."""
+        return self._n_tombstoned
+
+    @property
+    def n_live(self) -> int:
+        """Number of covered records that are not tombstoned."""
+        return len(self._row_ids) - self._n_tombstoned
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Tombstoned share of the covered rows (compaction trigger metric)."""
+        return self._n_tombstoned / len(self._row_ids) if len(self._row_ids) else 0.0
+
+    @property
+    def tombstone_mask(self) -> Optional[np.ndarray]:
+        """Per-position deleted bitmap (``None`` while no row was deleted)."""
+        return self._tombstone
+
+    def live_row_ids(self) -> np.ndarray:
+        """Original row ids of the covered records that are still live."""
+        if self._tombstone is None:
+            return self._row_ids
+        return self._row_ids[~self._tombstone]
 
     @property
     def dimensions(self) -> tuple:
@@ -199,6 +230,63 @@ class MultidimensionalIndex(ABC):
         located = np.clip(located, 0, len(self._sorted_row_ids) - 1)
         valid = self._sorted_row_ids[located] == row_ids
         return self._row_id_order[located[valid]]
+
+    # ------------------------------------------------------------------
+    # Deletes (tombstones)
+    # ------------------------------------------------------------------
+    def delete_rows(self, row_ids: np.ndarray, *, assume_unique: bool = False) -> int:
+        """Tombstone the given original row ids; return how many were live.
+
+        Deletion is ``O(k log n)`` for ``k`` ids (one batched binary search
+        through the cached row-id lookup plus one bitmap scatter) and takes
+        effect immediately: every read path filters tombstoned positions
+        alongside its exact post-filter, so no directory structure is
+        touched.  Ids not covered by this index — and ids already
+        tombstoned — are silently skipped, which makes the call idempotent.
+        ``assume_unique`` skips the defensive de-duplication (duplicates
+        would double-count the tombstones) when the caller already holds a
+        unique id set — compound indexes fan one delete out to several
+        sub-structures and should not pay the sort more than once.  The
+        physical reclaim (dropping the rows from the directory and the
+        column copies) is the job of compaction, not of the delete itself.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0 or self.n_rows == 0:
+            return 0
+        positions = self.positions_of(row_ids if assume_unique else np.unique(row_ids))
+        if len(positions) == 0:
+            return 0
+        if self._tombstone is None:
+            self._tombstone = np.zeros(self.n_rows, dtype=bool)
+        newly = positions[~self._tombstone[positions]]
+        self._tombstone[newly] = True
+        self._n_tombstoned += len(newly)
+        return int(len(newly))
+
+    def rows_live(self, row_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``row_ids`` are covered and not tombstoned.
+
+        One batched binary search through the cached row-id lookup —
+        ``O(k log n)`` for ``k`` ids, like :meth:`delete_rows` — instead of
+        materialising the live-id set.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0 or self.n_rows == 0:
+            return np.zeros(len(row_ids), dtype=bool)
+        if self._row_id_order is None or self._sorted_row_ids is None:
+            self._row_id_order = np.argsort(self._row_ids, kind="stable")
+            self._sorted_row_ids = self._row_ids[self._row_id_order]
+        located = np.clip(
+            np.searchsorted(self._sorted_row_ids, row_ids),
+            0,
+            len(self._sorted_row_ids) - 1,
+        )
+        found = self._sorted_row_ids[located] == row_ids
+        if self._tombstone is None:
+            return found
+        # Not-found slots carry a clipped (but valid) position; `found`
+        # masks them out of the result either way.
+        return found & ~self._tombstone[self._row_id_order[located]]
 
     # ------------------------------------------------------------------
     # Queries
@@ -284,6 +372,10 @@ class MultidimensionalIndex(ABC):
         self._invalidate_row_lookup()
         self._table = table
         self._row_ids = np.concatenate([self._row_ids, new_row_ids])
+        if self._tombstone is not None:
+            self._tombstone = np.concatenate(
+                [self._tombstone, np.zeros(len(new_row_ids), dtype=bool)]
+            )
         for name in table.schema:
             self._columns[name] = np.concatenate(
                 [self._columns[name], table.column(name)[new_row_ids]]
@@ -306,12 +398,16 @@ class MultidimensionalIndex(ABC):
 
         ``skip_dims`` names constraints the caller has already proven for
         every candidate (an exact bisection, or the grid filter-pruning
-        invariant), so their column gathers are skipped.
+        invariant), so their column gathers are skipped.  Tombstoned
+        candidates are dropped here as well — even when every dimension is
+        skipped — so deletes are visible on every read path that funnels
+        through the exact filter.
         """
         candidates = np.asarray(candidates, dtype=np.int64)
         if len(candidates) == 0:
             return candidates
-        mask = np.ones(len(candidates), dtype=bool)
+        live = live_candidate_mask(candidates, self._tombstone)
+        mask = live if live is not None else np.ones(len(candidates), dtype=bool)
         for name, interval in query.items():
             if name in skip_dims:
                 continue

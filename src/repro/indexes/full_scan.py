@@ -22,7 +22,13 @@ class FullScanIndex(MultidimensionalIndex):
     name = "full_scan"
 
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
-        mask = np.ones(self.n_rows, dtype=bool)
+        if self._tombstone is None:
+            mask = np.ones(self.n_rows, dtype=bool)
+        else:
+            # Tombstoned rows are still scanned (they sit in the columns
+            # until a rebuild) but can never match, which makes this the
+            # delete-aware ground-truth oracle of the CRUD tests/benchmarks.
+            mask = ~self._tombstone
         for name, interval in query.items():
             values = self._columns[name]
             mask &= (values >= interval.low) & (values <= interval.high)

@@ -33,6 +33,7 @@ from repro.indexes.kernels import (
     enumerate_cells,
     enumerate_cells_batch,
     gather_ranges,
+    live_candidate_mask,
     observed_axis_spans,
     row_major_strides,
     segment_bisect,
@@ -452,9 +453,13 @@ class SortedCellGridIndex(MultidimensionalIndex):
         # One vectorized post-filter pass per attribute over the whole
         # batch.  The sort dimension is proven by the bisection; a grid
         # dimension is checked only if pruning failed for at least one
-        # query, and only that query's bounds stay finite.
+        # query, and only that query's bounds stay finite.  Tombstoned
+        # rows are masked out of the gathered runs here — before the
+        # fused-key merge — exactly like the scalar path's exact filter,
+        # so the batch path stays one pass under deletes.
         axis_of = {dim: axis for axis, dim in enumerate(self._grid_dimensions)}
-        mask = np.ones(len(candidates), dtype=bool)
+        live = live_candidate_mask(candidates, self._tombstone)
+        mask = live if live is not None else np.ones(len(candidates), dtype=bool)
         for dim, (lows, highs) in bounds.items():
             if dim == self._sort_dimension:
                 continue

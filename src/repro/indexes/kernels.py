@@ -34,7 +34,7 @@ interpreter overhead is paid once per *batch* instead of once per cell:
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,7 @@ __all__ = [
     "row_major_strides",
     "observed_axis_spans",
     "axis_filter_needed",
+    "live_candidate_mask",
 ]
 
 #: Below this many candidate cells a single query takes the scalar per-cell
@@ -119,6 +120,24 @@ def axis_filter_needed(
         boundaries[hi_cell + 1] if hi_cell < n_cells - 1 else axis_high
     )
     return not upper_covered
+
+
+def live_candidate_mask(
+    candidates: np.ndarray, tombstone: Optional[np.ndarray]
+) -> Optional[np.ndarray]:
+    """Mask of gathered candidate positions that are not tombstoned.
+
+    The delete-side analogue of the post-filter kernels: ``tombstone`` is a
+    per-position boolean bitmap (``True`` = deleted) or ``None`` when the
+    index holds no deletes at all.  Returns ``None`` in the no-deletes case
+    so callers skip the gather entirely — the read path pays nothing until
+    the first delete — and otherwise one vectorised gather of the bitmap,
+    which every read path (scalar post-filter, batch post-filter pass)
+    folds into its existing candidate mask so deletes never add a pass.
+    """
+    if tombstone is None:
+        return None
+    return ~tombstone[candidates]
 
 
 def enumerate_cells(

@@ -188,6 +188,8 @@ class UniformGridIndex(MultidimensionalIndex):
                     axis, interval.low, interval.high, lo_cells[axis], hi_cells[axis]
                 ):
                     prunable.append(dim)
+        # The exact filter also drops tombstoned rows, so deletes stay
+        # visible even when filter pruning proves every axis redundant.
         matches = self._filter_candidates(candidates, query, prunable)
         self.stats.record(
             rows_examined=len(candidates),

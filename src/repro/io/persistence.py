@@ -12,15 +12,22 @@ nothing but NumPy:
 
 * ``__meta__`` — JSON string: format version, configuration, group
   definitions (predictor, dependents, per-dependent model parameters), the
-  schema order, and the delta-store bookkeeping (pending count, next row id);
+  schema order, the delta-store bookkeeping (pending count, next row id)
+  and the live-row count;
 * one array per table column, stored under ``column::<name>``;
 * pending (inserted but not compacted) records under ``delta::<key>`` —
-  one array per column plus the assigned row ids and routing mask — so a
-  save/load round trip preserves the delta store instead of forcing a
-  compaction.
+  one array per column plus the assigned row ids, the routing mask and the
+  per-model margin masks — so a save/load round trip preserves the delta
+  store instead of forcing a compaction (and restoring it never re-runs an
+  FD model);
+* the tombstone bitmap under ``__tombstone__`` (format version 3, only
+  present when rows were deleted), one boolean per saved table row, so
+  deleted-but-not-yet-compacted rows stay deleted across a round trip.
 
 Version 1 archives (no delta section) load fine: the delta store starts
 empty, exactly the state version 1 guaranteed by compacting before save.
+Version 2 archives (no tombstones, no per-model masks) also load; their
+delta routing masks are trusted and the per-model masks re-derived once.
 """
 
 from __future__ import annotations
@@ -43,10 +50,11 @@ from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
 __all__ = ["save_index", "load_index", "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
 
 #: Bump when the on-disk layout changes incompatibly.
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
-#: Versions this build can read (2 added the delta-store section).
-SUPPORTED_VERSIONS = (1, 2)
+#: Versions this build can read (2 added the delta-store section, 3 the
+#: tombstone bitmap, the live-row count and the per-model routing masks).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _model_to_dict(model) -> Dict:
@@ -140,16 +148,18 @@ def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
     Returns the path written.
     """
     path = Path(path)
+    # Only the covered rows are stored (dead table slots a reclaiming
+    # compaction left behind cost nothing on disk); ``__row_ids__`` records
+    # their original ids so loading can scatter them back to their table
+    # positions — row ids survive a round trip even for subset-scoped
+    # indexes, which format v2 had to fold-and-renumber instead.
     table = index.table.take(index.row_ids)
-    pending = index.delta.pending_table() if index.n_pending else None
+    pending = index.n_pending > 0
     next_row_id = int(index.next_row_id)
-    if pending is not None and not index.rows_aligned:
-        # A subset-scoped index renumbers its rows on save (take), which
-        # would orphan the pending row ids; fold the pending rows into the
-        # saved table instead (the same renumbering compact() applies).
-        table = table.concat(pending)
-        pending = None
-        next_row_id = table.n_rows
+    tombstone = index.tombstone_mask
+    if tombstone is not None and not tombstone.any():
+        tombstone = None
+    n_tombstoned = int(tombstone.sum()) if tombstone is not None else 0
     meta = {
         "format_version": FORMAT_VERSION,
         "schema": list(table.schema),
@@ -157,13 +167,19 @@ def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
         "config": _config_to_dict(index.config),
         "groups": [_group_to_dict(group) for group in index.groups],
         "n_rows": table.n_rows,
-        "n_pending": int(pending.n_rows) if pending is not None else 0,
+        "n_pending": int(index.n_pending),
         "next_row_id": next_row_id,
+        "n_tombstoned": n_tombstoned,
+        "n_live": table.n_rows - n_tombstoned + int(index.n_pending),
     }
     arrays = {f"column::{name}": table.column(name) for name in table.schema}
-    if pending is not None:
+    if not index.rows_aligned:
+        arrays["__row_ids__"] = np.asarray(index.row_ids, dtype=np.int64)
+    if pending:
         for key, array in index.delta.state().items():
             arrays[f"delta::{key}"] = array
+    if tombstone is not None:
+        arrays["__tombstone__"] = tombstone.copy()
     arrays["__meta__"] = np.array(json.dumps(meta))
     with path.open("wb") as handle:
         np.savez_compressed(handle, **arrays)
@@ -176,7 +192,10 @@ def load_index(path: Union[str, Path]) -> COAXIndex:
     The table is restored from the stored columns and the index is rebuilt
     with the stored groups and configuration (no re-detection), so the
     loaded index partitions and answers queries exactly like the saved one.
-    Pending delta-store records (format version 2) are restored un-compacted.
+    Pending delta-store records (format version 2+) are restored
+    un-compacted — without re-evaluating any FD model when the archive
+    carries the per-model masks (version 3) — and tombstoned rows (version
+    3) come back deleted, ready for the next compaction to reclaim.
     """
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -198,10 +217,49 @@ def load_index(path: Union[str, Path]) -> COAXIndex:
                 for key in archive.files
                 if key.startswith(prefix)
             }
-    table = Table(columns)
+        tombstone = (
+            np.asarray(archive["__tombstone__"], dtype=bool)
+            if "__tombstone__" in archive
+            else None
+        )
+        row_ids = (
+            np.asarray(archive["__row_ids__"], dtype=np.int64)
+            if "__row_ids__" in archive
+            else None
+        )
     groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
     config = _config_from_dict(meta["config"])
-    index = COAXIndex(table, config=config, groups=groups, dimensions=meta["dimensions"])
+    if row_ids is None:
+        # Aligned archive: saved order is table order, ids are 0..n-1.
+        table = Table(columns)
+        index = COAXIndex(
+            table, config=config, groups=groups, dimensions=meta["dimensions"]
+        )
+    else:
+        # Subset-scoped archive: scatter the saved rows back to their
+        # original table positions (row id == position, the invariant the
+        # whole update path relies on); the gaps are dead slots no row-id
+        # set ever covers.
+        size = int(row_ids.max()) + 1 if len(row_ids) else 0
+        scattered = {}
+        for name in meta["schema"]:
+            column = np.full(size, np.nan)
+            column[row_ids] = columns[name]
+            scattered[name] = column
+        table = Table(scattered)
+        index = COAXIndex(
+            table,
+            config=config,
+            groups=groups,
+            row_ids=row_ids,
+            dimensions=meta["dimensions"],
+        )
+    if tombstone is not None and tombstone.any():
+        # The bitmap is positional over the saved coverage order; map it to
+        # row ids and re-apply without triggering an auto-compaction
+        # mid-load.
+        covered = row_ids if row_ids is not None else np.arange(table.n_rows, dtype=np.int64)
+        index._delete_main_rows(np.unique(covered[tombstone]))
     if delta_payload:
         index.delta.load_state(delta_payload)
     next_row_id = meta.get("next_row_id")

@@ -12,6 +12,7 @@ from repro.bench.experiments import (
     EXPERIMENTS,
     ablations,
     appendix_g,
+    crud,
     fig4,
     fig6,
     fig7,
@@ -32,7 +33,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
-            "read_path",
+            "read_path", "crud",
         }
 
 
@@ -165,6 +166,35 @@ class TestUpdates:
             assert row["mismatched_queries"] == 0
         mixed_row = next(row for row in result.rows if row["phase"] == "mixed")
         assert mixed_row["rows"] == 6_000
+
+
+class TestCRUD:
+    def test_smoke_mode_structure_and_oracle_identity(self):
+        result = crud.run(n_rows=SMALL, n_queries=8, smoke=True)
+        phases = {row["phase"] for row in result.rows}
+        assert phases == {"delete", "query", "update", "compact"}
+        # Every result set was verified against the delete-aware full scan.
+        for row in result.rows:
+            assert row.get("mismatched_queries", 0) == 0
+        delete_row = next(
+            row for row in result.rows if row["method"] == "delete_batch()"
+        )
+        update_row = next(
+            row for row in result.rows if row["method"] == "update_batch()"
+        )
+        # The full-scale acceptance bars (>= 100x deletes) belong to the
+        # benchmark run; on CI scale only loose sanity bounds are safe.
+        assert delete_row["speedup_vs_seq"] >= 10.0
+        assert update_row["speedup_vs_seq"] >= 5.0
+        reclaim_row = next(
+            row for row in result.rows if row["method"] == "compact() reclaim"
+        )
+        fresh_row = next(
+            row
+            for row in result.rows
+            if row["method"] == "fresh build over live rows"
+        )
+        assert reclaim_row["rows"] == fresh_row["rows"]
 
 
 class TestReadPath:

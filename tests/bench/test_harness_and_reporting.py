@@ -70,6 +70,45 @@ class TestTimeWorkload:
         assert timing.total_results == sequential_total
         assert timing.n_queries == len(workload)
 
+    def test_batch_size_one_takes_the_batch_path(self, table, workload, monkeypatch):
+        """``batch_size=1`` must honor the batch API, not silently fall back
+        to the sequential loop (regression: the old guard was ``> 1``)."""
+        from repro.bench.harness import execute_workload
+        from repro.indexes.grid_file import SortedCellGridIndex
+
+        index = SortedCellGridIndex(table, cells_per_dim=5)
+        calls = {"batch": 0, "scalar": 0}
+        original_batch = type(index).batch_range_query
+        original_scalar = type(index).range_query
+
+        def counting_batch(self, queries):
+            calls["batch"] += 1
+            return original_batch(self, queries)
+
+        def counting_scalar(self, query):
+            calls["scalar"] += 1
+            return original_scalar(self, query)
+
+        monkeypatch.setattr(type(index), "batch_range_query", counting_batch)
+        monkeypatch.setattr(type(index), "range_query", counting_scalar)
+        total = execute_workload(index, workload, batch_size=1)
+        assert calls["batch"] == len(workload)
+        assert calls["scalar"] == 0
+        assert total == execute_workload(index, workload)
+        timing = time_workload(index, workload, batch_size=1)
+        assert timing.total_results == total
+        assert timing.n_queries == len(workload)
+
+    def test_invalid_batch_size_rejected(self, table, workload):
+        from repro.bench.harness import execute_workload
+        from repro.indexes.grid_file import SortedCellGridIndex
+
+        index = SortedCellGridIndex(table, cells_per_dim=5)
+        with pytest.raises(ValueError):
+            execute_workload(index, workload, batch_size=0)
+        with pytest.raises(ValueError):
+            time_workload(index, workload, batch_size=-1)
+
 
 class TestRunComparison:
     def test_rows_and_verification(self, table, workload):

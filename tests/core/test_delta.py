@@ -179,4 +179,4 @@ class TestPerModelCounts:
         store.append_batch(batch([3.0], [6.2]), np.array([2]))
         assert store.per_model_inlier_counts == {"x->y": 2}
         store.clear()
-        assert store.per_model_inlier_counts == {}
+        assert store.per_model_inlier_counts == {"x->y": 0}

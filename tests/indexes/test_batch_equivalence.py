@@ -1,4 +1,4 @@
-"""Batch-vs-sequential equivalence of the read path.
+"""Batch-vs-sequential equivalence of the read path — including CRUD.
 
 The batch execution kernels must be a pure optimisation: for every
 registered index, ``batch_range_query(queries)`` has to return exactly
@@ -7,6 +7,12 @@ query — and leave the same work statistics behind.  Hypothesis drives the
 property over random tables and workloads; dedicated tests pin the edge
 cases (empty query, empty batch, empty index) and COAX with pending delta
 rows.
+
+The CRUD property extends this to mutations: interleaved
+insert/delete/update/query/compact sequences must stay bit-identical to a
+delete-aware full scan for every registered index (tombstone deletes) and
+for COAX with pending rows (full CRUD), before and after compaction and
+across a format-v3 save/load round trip.
 """
 
 from __future__ import annotations
@@ -21,7 +27,10 @@ from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
 from repro.fd.bucketing import BucketingConfig
 from repro.fd.detection import DetectionConfig
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
 from repro.indexes.base import available_indexes, create_index
+from repro.io.persistence import load_index, save_index
 
 
 def build_registered_indexes(table: Table):
@@ -172,6 +181,137 @@ class TestBatchEdgeCases:
             index = create_index(name, table, row_ids=no_rows)
             assert_batch_matches_sequential(index, queries)
             assert all(len(result) == 0 for result in index.batch_range_query(queries))
+
+
+class TestInterleavedDeletes:
+    """Tombstone deletes on every registered index vs a delete-aware scan."""
+
+    @given(tables_and_workloads(), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_registered_index(self, table_and_workload, delete_seed):
+        table, queries = table_and_workload
+        rng = np.random.default_rng(delete_seed)
+        indexes = build_registered_indexes(table)
+        deleted: set = set()
+        for _ in range(2):
+            doomed = rng.choice(
+                table.n_rows, size=max(1, table.n_rows // 4), replace=False
+            ).astype(np.int64)
+            deleted.update(int(i) for i in doomed)
+            for index in indexes:
+                index.delete_rows(doomed)
+            for index in indexes:
+                for query in queries:
+                    expected = np.array(
+                        sorted(set(table.select(query).tolist()) - deleted),
+                        dtype=np.int64,
+                    )
+                    got = np.sort(index.range_query(query))
+                    assert np.array_equal(got, expected), type(index).__name__
+                # Batch execution must stay bit-identical (results and
+                # stats) with tombstones in place.
+                assert_batch_matches_sequential(index, queries)
+
+
+def crud_reference_results(reference, query):
+    """Row ids of the logical record store matching ``query`` (sorted)."""
+    return np.array(
+        sorted(
+            row_id
+            for row_id, record in reference.items()
+            if all(
+                query.interval(name).contains_value(value)
+                for name, value in record.items()
+            )
+        ),
+        dtype=np.int64,
+    )
+
+
+class TestInterleavedCRUDOnCOAX:
+    """Full insert/delete/update/query/compact sequences on COAX.
+
+    A logical record store (id -> values) is the ground truth; after every
+    mutation round COAX must agree with it exactly — with pending rows,
+    with tombstones, after compaction reclaims, and across a format-v3
+    save/load round trip of the un-compacted CRUD state.
+    """
+
+    PROBES = [
+        Rectangle({"x": Interval(10.0, 60.0)}),
+        Rectangle({"y": Interval(30.0, 130.0)}),
+        Rectangle({"x": Interval(0.0, 100.0), "y": Interval(-1e6, 1e6)}),
+        Rectangle({"x": Interval(5.0, 1.0)}),
+        Rectangle(),
+    ]
+
+    def check(self, index, reference):
+        for query in self.PROBES:
+            expected = crud_reference_results(reference, query)
+            assert np.array_equal(np.sort(index.range_query(query)), expected)
+        assert_batch_matches_sequential(index, self.PROBES)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        compact_rounds=st.sets(st.integers(min_value=0, max_value=2)),
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_interleaved_crud(self, seed, compact_rounds, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        n = 400
+        x = rng.uniform(0.0, 100.0, size=n)
+        y = 2.0 * x + rng.uniform(-1.0, 1.0, size=n)
+        flip = rng.random(n) < 0.15
+        y[flip] = rng.uniform(0.0, 250.0, size=int(flip.sum()))
+        table = Table({"x": x, "y": y})
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+            )
+        ]
+        index = COAXIndex(table, groups=groups)
+        reference = {
+            i: {"x": float(x[i]), "y": float(y[i])} for i in range(n)
+        }
+        for round_no in range(3):
+            # Insert a batch (some rows pending until the next compact).
+            k = int(rng.integers(5, 60))
+            bx = rng.uniform(0.0, 100.0, size=k)
+            by = 2.0 * bx + rng.uniform(-10.0, 10.0, size=k)
+            ids = index.insert_batch({"x": bx, "y": by})
+            for j, row_id in enumerate(ids):
+                reference[int(row_id)] = {"x": float(bx[j]), "y": float(by[j])}
+            # Delete a random live subset (mixes main and pending rows).
+            live = np.array(sorted(reference), dtype=np.int64)
+            doomed = rng.choice(live, size=min(len(live), int(rng.integers(1, 50))), replace=False)
+            assert index.delete_batch(doomed) == len(set(doomed.tolist()))
+            for row_id in doomed:
+                reference.pop(int(row_id))
+            # Update a random live subset in place.
+            live = np.array(sorted(reference), dtype=np.int64)
+            targets = rng.choice(live, size=min(len(live), int(rng.integers(1, 30))), replace=False)
+            targets = np.unique(targets)
+            ux = rng.uniform(0.0, 100.0, size=len(targets))
+            uy = 2.0 * ux + rng.uniform(-10.0, 10.0, size=len(targets))
+            index.update_batch(targets, {"x": ux, "y": uy})
+            for j, row_id in enumerate(targets):
+                reference[int(row_id)] = {"x": float(ux[j]), "y": float(uy[j])}
+            self.check(index, reference)
+            if round_no in compact_rounds:
+                index.compact()
+                assert index.n_pending == 0 and index.n_tombstoned == 0
+                self.check(index, reference)
+        # Save/load round trip of the final (possibly un-compacted) state.
+        path = tmp_path_factory.mktemp("crud") / "crud.coax.npz"
+        loaded = load_index(save_index(index, path))
+        self.check(loaded, reference)
+        assert loaded.next_row_id == index.next_row_id
+        loaded.compact()
+        self.check(loaded, reference)
+        index.compact()
+        self.check(index, reference)
 
 
 class TestCOAXWithPendingRows:

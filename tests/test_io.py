@@ -75,8 +75,9 @@ class TestIndexPersistence:
         )
 
     def test_subset_index_with_pending_saves_consistently(self, tmp_path):
-        """A subset-scoped index renumbers on save; pending rows must be
-        folded in rather than saved with now-orphaned row ids."""
+        """A subset-scoped index with pending rows round-trips with its row
+        ids preserved (format v3 stores the covered ids; v2 had to fold the
+        pending rows into a renumbered table instead)."""
         rng = np.random.default_rng(3)
         x = rng.uniform(0.0, 100.0, size=2_000)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=2_000)})
@@ -85,16 +86,175 @@ class TestIndexPersistence:
         ]
         subset = np.arange(0, 1_000, dtype=np.int64)
         index = COAXIndex(table, groups=groups, row_ids=subset)
-        index.insert({"x": 50.0, "y": 700.0})  # outlier, pending id 2000
+        pending_id = index.insert({"x": 50.0, "y": 700.0})  # outlier, id 2000
+        assert pending_id == 2_000
         loaded = load_index(save_index(index, tmp_path / "subset.npz"))
-        assert loaded.n_rows == 1_001
-        assert loaded.n_pending == 0
+        assert loaded.n_rows == 1_000
+        assert loaded.n_pending == 1
+        assert loaded.next_row_id == index.next_row_id
+        # Query equivalence over the whole round trip, pending included.
+        for query in (
+            Rectangle({"y": Interval(699.0, 701.0)}),
+            Rectangle({"x": Interval(10.0, 60.0)}),
+            Rectangle(),
+        ):
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(index.range_query(query)),
+            )
         hits = loaded.range_query(Rectangle({"y": Interval(699.0, 701.0)}))
-        assert len(hits) == 1
+        assert hits.tolist() == [pending_id]
         # The loaded index must stay usable through another update cycle.
-        loaded.insert({"x": 10.0, "y": 20.0})
+        assert loaded.insert({"x": 10.0, "y": 20.0}) == pending_id + 1
         loaded.compact()
         assert loaded.n_rows == 1_002
+        assert pending_id in loaded.range_query(
+            Rectangle({"y": Interval(699.0, 701.0)})
+        )
+
+    def test_subset_index_with_tombstones_and_pending_round_trips(self, tmp_path):
+        """The full CRUD state of a subset-scoped index survives a save/load:
+        tombstones stay deleted, pending rows stay pending, ids are kept."""
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.0, 100.0, size=2_000)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=2_000)})
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
+        ]
+        subset = np.arange(500, 1_500, dtype=np.int64)
+        index = COAXIndex(table, groups=groups, row_ids=subset)
+        index.delete_batch(np.arange(500, 600, dtype=np.int64))
+        index.insert_batch({"x": [50.0, 60.0], "y": [100.2, 700.0]})
+        index.update_batch(
+            np.array([700], dtype=np.int64), {"x": [42.0], "y": [84.1]}
+        )
+        loaded = load_index(save_index(index, tmp_path / "crud.npz"))
+        assert loaded.n_tombstoned == index.n_tombstoned
+        assert loaded.n_pending == index.n_pending
+        assert loaded.n_live == index.n_live
+        probes = (
+            Rectangle({"x": Interval(41.9, 42.1)}),
+            Rectangle({"y": Interval(699.0, 701.0)}),
+            Rectangle({"x": Interval(10.0, 60.0)}),
+            Rectangle(),
+        )
+        for query in probes:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(index.range_query(query)),
+            )
+        # Compaction after the round trip reclaims identically.
+        loaded.compact()
+        index.compact()
+        for query in probes:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(index.range_query(query)),
+            )
+
+    def test_tombstones_round_trip_as_format_v3(self, tmp_path):
+        """Deleted rows stay deleted across a save/load without compaction."""
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0.0, 100.0, size=1_000)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=1_000)})
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
+        ]
+        index = COAXIndex(table, groups=groups)
+        doomed = rng.choice(1_000, size=150, replace=False).astype(np.int64)
+        index.delete_batch(doomed)
+        path = save_index(index, tmp_path / "tomb.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            assert "__tombstone__" in archive.files
+            meta = archive["__meta__"]
+        assert "3" in str(meta)  # format_version 3
+        loaded = load_index(path)
+        assert loaded.n_tombstoned == 150
+        assert loaded.n_live == 850
+        everything = Rectangle()
+        assert np.array_equal(
+            np.sort(loaded.range_query(everything)),
+            np.sort(index.range_query(everything)),
+        )
+        loaded.compact()
+        assert loaded.n_tombstoned == 0
+        assert loaded.n_live == 850
+
+    def test_clean_index_saves_without_tombstone_section(self, airline_coax, tmp_path):
+        path = save_index(airline_coax, tmp_path / "clean_tomb.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            assert "__tombstone__" not in archive.files
+            assert "__row_ids__" not in archive.files  # aligned index
+
+    def test_delta_restore_does_not_reevaluate_models(self, tmp_path, monkeypatch):
+        """Format v3 archives carry the per-model routing masks, so loading
+        pending rows never runs an FD model (the old restore was
+        O(pending x models))."""
+        rng = np.random.default_rng(6)
+        x = rng.uniform(0.0, 100.0, size=800)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=800)})
+        model = LinearFDModel(2.0, 0.0, 1.5, 1.5)
+        groups = [FDGroup(predictor="x", dependents=("y",), models={"y": model})]
+        index = COAXIndex(table, groups=groups)
+        index.insert_batch({"x": rng.uniform(0, 100, 50), "y": rng.uniform(0, 300, 50)})
+        path = save_index(index, tmp_path / "masks.npz")
+        calls = {"n": 0}
+        original = LinearFDModel.within_margin
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(LinearFDModel, "within_margin", counting)
+        loaded = load_index(path)
+        # The build partitions the table (counted), but restoring the
+        # 50 pending rows must not add a single model evaluation per row.
+        build_only = calls["n"]
+        assert loaded.n_pending == 50
+        fresh = COAXIndex(table, groups=groups)
+        assert calls["n"] - build_only == build_only  # second build, same count
+        assert fresh.n_rows == loaded.n_rows
+        assert loaded.delta.per_model_inlier_counts == index.delta.per_model_inlier_counts
+
+    def test_legacy_v2_archive_loads(self, tmp_path):
+        """A format-v2 archive (no tombstones, no per-model masks) loads and
+        re-derives the delta routing bookkeeping once."""
+        import json
+
+        rng = np.random.default_rng(7)
+        x = rng.uniform(0.0, 100.0, size=600)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=600)})
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)})
+        ]
+        index = COAXIndex(table, groups=groups)
+        index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
+        path = save_index(index, tmp_path / "v3.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        meta["format_version"] = 2
+        meta.pop("n_tombstoned", None)
+        meta.pop("n_live", None)
+        arrays = {
+            key: value
+            for key, value in arrays.items()
+            if not key.startswith("delta::model::")
+            and key not in ("__tombstone__", "__row_ids__")
+        }
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        legacy_path = tmp_path / "v2.npz"
+        with legacy_path.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = load_index(legacy_path)
+        assert loaded.n_pending == 2
+        assert loaded.n_tombstoned == 0
+        assert loaded.delta.per_model_inlier_counts == index.delta.per_model_inlier_counts
+        everything = Rectangle()
+        assert np.array_equal(
+            np.sort(loaded.range_query(everything)),
+            np.sort(index.range_query(everything)),
+        )
 
     def test_compacted_index_saves_without_delta_section(self, tmp_path):
         rng = np.random.default_rng(2)
