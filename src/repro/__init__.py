@@ -51,9 +51,26 @@ from repro.indexes import (
     available_indexes,
     create_index,
 )
-from repro.core import COAXConfig, COAXIndex, DeltaStore, QueryResult, translate_query
+from repro.core import (
+    COAXConfig,
+    COAXIndex,
+    DeltaStore,
+    EngineConfig,
+    QueryResult,
+    ShardedCOAX,
+    translate_query,
+)
 from repro.data.sql import parse_where
-from repro.io import load_csv, load_index, load_npz, save_csv, save_index, save_npz
+from repro.io import (
+    UnsupportedFormatError,
+    load_csv,
+    load_engine,
+    load_index,
+    load_npz,
+    save_csv,
+    save_index,
+    save_npz,
+)
 from repro.stats.profile import TableProfile, profile_table
 
 __version__ = "1.0.0"
@@ -86,12 +103,16 @@ __all__ = [
     "create_index",
     "COAXConfig",
     "COAXIndex",
+    "EngineConfig",
+    "ShardedCOAX",
     "DeltaStore",
     "QueryResult",
     "translate_query",
     "parse_where",
     "save_index",
     "load_index",
+    "load_engine",
+    "UnsupportedFormatError",
     "load_csv",
     "save_csv",
     "load_npz",

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     fig8,
     headline,
     read_path,
+    scale,
     table1,
     theory,
     updates,
@@ -36,6 +37,7 @@ EXPERIMENTS = {
     "updates": (updates.run, "Updates — insert throughput and latency under writes"),
     "read_path": (read_path.run, "Read path — sequential vs batch query execution"),
     "crud": (crud.run, "CRUD — delete/update throughput and post-compaction latency"),
+    "scale": (scale.run, "Scale — sharded scatter-gather execution and shard pruning"),
 }
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "fig8",
     "headline",
     "read_path",
+    "scale",
     "table1",
     "theory",
     "updates",

@@ -9,7 +9,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig
+from repro.core.config import COAXConfig, EngineConfig
+from repro.core.engine import ShardedCOAX
 from repro.data.queries import QueryWorkload
 from repro.data.table import Table
 from repro.indexes.base import MultidimensionalIndex
@@ -26,6 +27,7 @@ __all__ = [
     "time_workload",
     "run_comparison",
     "default_index_specs",
+    "sharded_index_specs",
 ]
 
 
@@ -232,11 +234,17 @@ def default_index_specs(
     rtree_capacity: int = 10,
     column_files_cells: int = 8,
     include_full_scan: bool = True,
+    engine_shards: Optional[int] = None,
+    engine_workers: int = 1,
 ) -> List[IndexSpec]:
     """The competitor set of Figure 6: COAX, R-Tree, Full Grid, Full Scan.
 
     Column Files is included as well since Figures 7 and 8 need it; drivers
-    that do not want a competitor simply filter the returned list.
+    that do not want a competitor simply filter the returned list.  With
+    ``engine_shards`` set a ``ShardedCOAX`` engine spec with that shard
+    count (and ``engine_workers`` scatter threads) joins the set, so any
+    comparison driver can put the sharded engine next to the flat indexes
+    without special-casing it.
     """
     config = coax_config or COAXConfig()
     specs = [
@@ -251,6 +259,46 @@ def default_index_specs(
             lambda table: ColumnFilesIndex(table, cells_per_dim=column_files_cells),
         ),
     ]
+    if engine_shards is not None:
+        specs.extend(
+            sharded_index_specs(
+                shard_counts=(engine_shards,),
+                workers=engine_workers,
+                coax_config=config,
+            )
+        )
     if include_full_scan:
         specs.append(IndexSpec("Full Scan", lambda table: FullScanIndex(table)))
     return specs
+
+
+def sharded_index_specs(
+    *,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    workers: int = 1,
+    coax_config: Optional[COAXConfig] = None,
+    partitioning: str = "range",
+) -> List[IndexSpec]:
+    """One ``ShardedCOAX`` spec per shard count, sharing the COAX config.
+
+    ``workers`` is the harness-level parallelism knob: it sizes the
+    engine's scatter/build/compact pool for every spec returned (the
+    NumPy kernels release the GIL, so query batches genuinely overlap
+    shards when the hardware has the cores).
+    """
+    config = coax_config or COAXConfig()
+    return [
+        IndexSpec(
+            f"ShardedCOAX[s={n_shards},w={workers}]",
+            lambda table, n=n_shards: ShardedCOAX(
+                table,
+                config=EngineConfig(
+                    n_shards=n,
+                    partitioning=partitioning,
+                    workers=workers,
+                    coax=config,
+                ),
+            ),
+        )
+        for n_shards in shard_counts
+    ]

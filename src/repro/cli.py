@@ -10,16 +10,19 @@ Usage::
     python -m repro.cli query-bench --smoke --export BENCH_read.json
     python -m repro.cli crud --deletes 10000 --export BENCH_crud.json
     python -m repro.cli crud --smoke
+    python -m repro.cli scale-bench --shards 1 2 4 8 --workers 1 4 --export BENCH_scale.json
+    python -m repro.cli scale-bench --smoke
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
 in :mod:`repro.bench.experiments`.  ``update-bench`` is the command for the
 delta-store update benchmark (an alias of the ``updates`` experiment id);
 ``query-bench`` runs the read-path benchmark (``read_path``); ``crud`` runs
-the delete/update benchmark against a delete-aware full-scan oracle.  For
-the latter two, ``--smoke`` is the quick CI variant that asserts the batch
-paths beat their sequential loops, and ``--export`` writes the JSON
-artifact.
+the delete/update benchmark against a delete-aware full-scan oracle;
+``scale-bench`` runs the sharded-engine scaling benchmark (``scale``) over
+a ``--shards`` x ``--workers`` grid.  ``--smoke`` is the quick CI variant
+of each (asserting the batch/sharded paths hold their guarantees), and
+``--export`` writes the JSON artifact.
 """
 
 from __future__ import annotations
@@ -36,7 +39,11 @@ from repro.bench.export import export_json
 __all__ = ["main", "build_parser", "run_experiment"]
 
 #: Command spellings accepted in addition to the experiment registry ids.
-COMMAND_ALIASES = {"update-bench": "updates", "query-bench": "read_path"}
+COMMAND_ALIASES = {
+    "update-bench": "updates",
+    "query-bench": "read_path",
+    "scale-bench": "scale",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--updates", type=int, default=None, help="update-stream size (crud)"
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        help="shard counts to sweep (scale-bench)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker-pool sizes to sweep (scale-bench)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="quick CI variant: small data, asserts batch >= sequential (query-bench)",
@@ -96,6 +117,8 @@ def _run_experiment(
     updates: Optional[int] = None,
     batch_size: Optional[int] = None,
     batch_sizes: Optional[Sequence[int]] = None,
+    shards: Optional[Sequence[int]] = None,
+    workers: Optional[Sequence[int]] = None,
     smoke: bool = False,
 ):
     """Run one experiment by id (or alias), returning its result object."""
@@ -115,6 +138,8 @@ def _run_experiment(
         "n_updates": updates,
         "batch_size": batch_size,
         "batch_sizes": batch_sizes,
+        "shard_counts": shards,
+        "worker_counts": workers,
         "smoke": smoke or None,
     }
     for parameter, value in forwarded.items():
@@ -134,6 +159,8 @@ def run_experiment(
     updates: Optional[int] = None,
     batch_size: Optional[int] = None,
     batch_sizes: Optional[Sequence[int]] = None,
+    shards: Optional[Sequence[int]] = None,
+    workers: Optional[Sequence[int]] = None,
     smoke: bool = False,
 ) -> str:
     """Run one experiment by id (or alias) and return its formatted table."""
@@ -147,6 +174,8 @@ def run_experiment(
         updates=updates,
         batch_size=batch_size,
         batch_sizes=batch_sizes,
+        shards=shards,
+        workers=workers,
         smoke=smoke,
     ).table()
 
@@ -174,6 +203,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 updates=args.updates,
                 batch_size=args.batch_size,
                 batch_sizes=args.batch_sizes,
+                shards=args.shards,
+                workers=args.workers,
                 smoke=args.smoke,
             )
         except KeyError as exc:

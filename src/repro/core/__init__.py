@@ -9,8 +9,9 @@ plain rectangles and FD groups) and are combined by the index class.  The
 path is built from.
 """
 
-from repro.core.config import COAXConfig
+from repro.core.config import COAXConfig, EngineConfig
 from repro.core.delta import DeltaStore
+from repro.core.engine import ShardedCOAX
 from repro.core.query_translation import (
     translate_bounds_batch,
     translate_query,
@@ -29,6 +30,8 @@ from repro.core.coax import COAXIndex, COAXBuildReport
 
 __all__ = [
     "COAXConfig",
+    "EngineConfig",
+    "ShardedCOAX",
     "DeltaStore",
     "translate_query",
     "translate_query_batch",

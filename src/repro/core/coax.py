@@ -68,7 +68,33 @@ from repro.indexes.rtree import RTreeIndex
 from repro.indexes.uniform_grid import UniformGridIndex
 from repro.indexes.full_scan import FullScanIndex
 
-__all__ = ["COAXIndex", "COAXBuildReport"]
+__all__ = ["COAXIndex", "COAXBuildReport", "learn_groups"]
+
+
+def learn_groups(
+    table: Table,
+    detection: DetectionConfig,
+    dimensions: Sequence[str],
+) -> List[FDGroup]:
+    """Soft-FD detection and grouping over ``table`` (build-time entry point).
+
+    Shared by :class:`COAXIndex` (when no groups are given) and the sharded
+    engine, which learns the groups *once* over the full table and hands the
+    same models to every shard — per-shard detection would make the shards'
+    translation semantics diverge.
+    """
+    candidates = detect_soft_fds(table, config=detection, columns=dimensions)
+
+    def fit_pair(predictor: str, dependent: str) -> Optional[FDCandidate]:
+        return evaluate_pair(
+            table.column(predictor),
+            table.column(dependent),
+            predictor=predictor,
+            dependent=dependent,
+            config=detection,
+        )
+
+    return build_groups(candidates, fit_pair)
 
 
 @dataclass
@@ -218,18 +244,7 @@ class COAXIndex(MultidimensionalIndex):
     # ------------------------------------------------------------------
     def _detect_groups(self, table: Table, detection: DetectionConfig) -> List[FDGroup]:
         """Run soft-FD detection and grouping over the build table."""
-        candidates = detect_soft_fds(table, config=detection, columns=self._dimensions)
-
-        def fit_pair(predictor: str, dependent: str) -> Optional[FDCandidate]:
-            return evaluate_pair(
-                table.column(predictor),
-                table.column(dependent),
-                predictor=predictor,
-                dependent=dependent,
-                config=detection,
-            )
-
-        return build_groups(candidates, fit_pair)
+        return learn_groups(table, detection, self._dimensions)
 
     def _default_sort_dimension(self, indexed_dims: Tuple[str, ...]) -> str:
         """Pick the in-cell sorted attribute of the primary index.
@@ -302,6 +317,23 @@ class COAXIndex(MultidimensionalIndex):
     def partition(self) -> PartitionResult:
         """The inlier/outlier partition of the build data."""
         return self._partition
+
+    @property
+    def primary_box(self) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+        """Bounding box of the inlier (primary-index) rows; ``None`` if empty.
+
+        A conservative hull: incremental compaction only grows it and
+        tombstones do not shrink it until a reclaiming compaction rebuilds
+        it from survivors.  The sharded engine prunes whole shards against
+        it.
+        """
+        return self._primary_box
+
+    @property
+    def outlier_box(self) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+        """Bounding box of the outlier rows; ``None`` if empty (same hull
+        semantics as :attr:`primary_box`)."""
+        return self._outlier_box
 
     @property
     def build_report(self) -> COAXBuildReport:
@@ -446,6 +478,47 @@ class COAXIndex(MultidimensionalIndex):
             primary_box=self._primary_box,
             outlier_box=self._outlier_box,
         )
+        ids, qids = self.batch_scatter_flat(
+            queries,
+            np.arange(n_queries, dtype=np.int64),
+            bounds,
+            translated_bounds,
+            use_primary,
+            use_outlier,
+            n_live,
+        )
+        return merge_flat_row_ids(ids, qids, n_queries)
+
+    def batch_scatter_flat(
+        self,
+        queries: Sequence[Rectangle],
+        slots: np.ndarray,
+        bounds,
+        translated_bounds,
+        use_primary: np.ndarray,
+        use_outlier: np.ndarray,
+        n_live: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Execute a pre-planned columnar sub-batch, returning flat streams.
+
+        The execution core shared by :meth:`batch_range_query` and the
+        sharded engine's scatter step.  ``slots`` selects the sub-batch out
+        of ``queries``; ``bounds`` / ``translated_bounds`` and the planner
+        flags are positionally aligned with ``slots`` (the caller has
+        already translated and planned, so nothing is re-derived here —
+        the engine pays batch translation once for all shards).  Returns
+        ``(row_ids, sub_qids)`` where ``sub_qids[j]`` indexes into
+        ``slots``; the caller owns the fused-key merge, so a scatter over
+        many shards merges once globally instead of once per shard.
+
+        Statistics are recorded exactly like :meth:`batch_range_query`;
+        ``rows_matched`` uses the flat stream length, which equals the
+        merged count because the primary, outlier and pending result sets
+        are disjoint by construction (disjoint row-id coverage, and a
+        pending id that also exists in the main structures is tombstoned
+        there).
+        """
+        n_sub = len(slots)
         rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
         cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
 
@@ -455,38 +528,36 @@ class COAXIndex(MultidimensionalIndex):
         # structures fall back to their rectangle-level batch entry point.
         id_parts: List[np.ndarray] = []
         qid_parts: List[np.ndarray] = []
-        all_qids = np.arange(n_queries, dtype=np.int64)
+        all_qids = np.arange(n_sub, dtype=np.int64)
         ids, counts = self._primary.batch_flat_from_bounds(
-            translated_bounds, n_queries, use_primary, int(use_primary.sum())
+            translated_bounds, n_sub, use_primary, int(use_primary.sum())
         )
         id_parts.append(ids)
         qid_parts.append(np.repeat(all_qids, counts))
         if isinstance(self._outlier, SortedCellGridIndex):
             ids, counts = self._outlier.batch_flat_from_bounds(
-                bounds, n_queries, use_outlier, int(use_outlier.sum())
+                bounds, n_sub, use_outlier, int(use_outlier.sum())
             )
             id_parts.append(ids)
             qid_parts.append(np.repeat(all_qids, counts))
         else:
             outlier_slots = np.flatnonzero(use_outlier)
             if len(outlier_slots):
-                batch = [queries[i] for i in outlier_slots]
+                batch = [queries[slots[i]] for i in outlier_slots]
                 ids, counts = self._outlier.batch_range_query_flat(batch)
                 id_parts.append(ids)
                 qid_parts.append(np.repeat(outlier_slots, counts))
 
-        # One delta-store pass for every rectangle of the batch.
+        # One delta-store pass for every rectangle of the sub-batch.
         if self._delta.n_pending:
-            pending_results = self._delta.scan_batch(queries)
+            pending_results = self._delta.scan_batch([queries[i] for i in slots])
             id_parts.append(np.concatenate(pending_results))
             qid_parts.append(
                 np.repeat(all_qids, [len(part) for part in pending_results])
             )
 
-        results = merge_flat_row_ids(
-            np.concatenate(id_parts), np.concatenate(qid_parts), n_queries
-        )
-        total_matched = int(sum(len(result) for result in results))
+        flat_ids = np.concatenate(id_parts)
+        flat_qids = np.concatenate(qid_parts)
         rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
         cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
         # Every live (non-empty) query of the batch examines the whole
@@ -495,10 +566,10 @@ class COAXIndex(MultidimensionalIndex):
         self.stats.record_batch(
             n_live,
             rows_examined=rows_after - rows_before + self._delta.n_pending * n_live,
-            rows_matched=total_matched,
+            rows_matched=int(len(flat_ids)),
             cells_visited=cells_after - cells_before,
         )
-        return results
+        return flat_ids, flat_qids
 
     def translated_query(self, query: Rectangle) -> Rectangle:
         """The rewritten query the primary index receives (for inspection)."""
@@ -537,18 +608,22 @@ class COAXIndex(MultidimensionalIndex):
         are immediately visible to queries, and are folded into the main
         structures by :meth:`compact` — automatically once the configured
         ``auto_compact_threshold`` is reached.
+
+        Mutation entry point: holds the single-writer lock for the whole
+        batch (see the concurrency contract in :mod:`repro.indexes.base`).
         """
-        columns = coerce_batch(batch, tuple(self._table.schema))
-        n_new = len(next(iter(columns.values()))) if columns else 0
-        row_ids = self._next_row_id + np.arange(n_new, dtype=np.int64)
-        if n_new == 0:
+        with self._write_lock:
+            columns = coerce_batch(batch, tuple(self._table.schema))
+            n_new = len(next(iter(columns.values()))) if columns else 0
+            row_ids = self._next_row_id + np.arange(n_new, dtype=np.int64)
+            if n_new == 0:
+                return row_ids
+            self._delta.append_batch(columns, row_ids)
+            # Claim the ids only after the append succeeded: a batch that
+            # blows up mid-routing must not permanently burn its id range.
+            self._next_row_id += n_new
+            self._maybe_auto_compact()
             return row_ids
-        self._delta.append_batch(columns, row_ids)
-        # Claim the ids only after the append succeeded: a batch that blows
-        # up mid-routing must not permanently burn its id range.
-        self._next_row_id += n_new
-        self._maybe_auto_compact()
-        return row_ids
 
     def _maybe_auto_compact(self) -> None:
         """Compact when either configured trigger (pending count or
@@ -585,15 +660,19 @@ class COAXIndex(MultidimensionalIndex):
         inserts never reuse them); the physical space is reclaimed by the
         next :meth:`compact`, which triggers automatically once
         ``COAXConfig.auto_compact_tombstone_fraction`` is exceeded.
+
+        Mutation entry point: holds the single-writer lock for the whole
+        batch (see the concurrency contract in :mod:`repro.indexes.base`).
         """
-        row_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
-        if len(row_ids) == 0:
-            return 0
-        deleted = self._delta.delete_rows(row_ids)
-        deleted += self._delete_main_rows(row_ids)
-        if deleted:
-            self._maybe_auto_compact()
-        return int(deleted)
+        with self._write_lock:
+            row_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
+            if len(row_ids) == 0:
+                return 0
+            deleted = self._delta.delete_rows(row_ids)
+            deleted += self._delete_main_rows(row_ids)
+            if deleted:
+                self._maybe_auto_compact()
+            return int(deleted)
 
     def delete_rows(self, row_ids: np.ndarray, *, assume_unique: bool = False) -> int:
         """Generic tombstone entry point (see the base class).
@@ -607,10 +686,16 @@ class COAXIndex(MultidimensionalIndex):
         return self.delete_batch(row_ids)
 
     def delete_where(self, query: Rectangle) -> np.ndarray:
-        """Delete every record matching ``query``; returns their row ids."""
-        matches = self.range_query(query)
-        self.delete_batch(matches)
-        return matches
+        """Delete every record matching ``query``; returns their row ids.
+
+        Mutation entry point: the lock spans the query *and* the delete,
+        so no concurrent mutation can slip between finding the matches
+        and tombstoning them.
+        """
+        with self._write_lock:
+            matches = self.range_query(query)
+            self.delete_batch(matches)
+            return matches
 
     def _delete_main_rows(self, row_ids: np.ndarray) -> int:
         """Tombstone main-structure rows on the facade and both sub-indexes.
@@ -645,29 +730,33 @@ class COAXIndex(MultidimensionalIndex):
         raise ``KeyError`` (a partial update never applies silently);
         duplicate ids in one batch raise ``ValueError``.  Returns
         ``row_ids`` unchanged, mirroring :meth:`insert_batch`.
+
+        Mutation entry point: holds the single-writer lock for the whole
+        batch (see the concurrency contract in :mod:`repro.indexes.base`).
         """
-        columns = coerce_batch(batch, tuple(self._table.schema))
-        row_ids = np.asarray(row_ids, dtype=np.int64)
-        n_new = len(next(iter(columns.values()))) if columns else 0
-        if n_new != len(row_ids):
-            raise ValueError(
-                f"update batch has {n_new} rows for {len(row_ids)} row ids"
-            )
-        if n_new == 0:
+        with self._write_lock:
+            columns = coerce_batch(batch, tuple(self._table.schema))
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+            n_new = len(next(iter(columns.values()))) if columns else 0
+            if n_new != len(row_ids):
+                raise ValueError(
+                    f"update batch has {n_new} rows for {len(row_ids)} row ids"
+                )
+            if n_new == 0:
+                return row_ids
+            if len(np.unique(row_ids)) != len(row_ids):
+                raise ValueError("update batch contains duplicate row ids")
+            live = self._live_ids_mask(row_ids)
+            if not live.all():
+                missing = row_ids[~live]
+                raise KeyError(
+                    f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
+                )
+            self._delta.delete_rows(row_ids)
+            self._delete_main_rows(row_ids)
+            self._delta.append_batch(columns, row_ids)
+            self._maybe_auto_compact()
             return row_ids
-        if len(np.unique(row_ids)) != len(row_ids):
-            raise ValueError("update batch contains duplicate row ids")
-        live = self._live_ids_mask(row_ids)
-        if not live.all():
-            missing = row_ids[~live]
-            raise KeyError(
-                f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
-            )
-        self._delta.delete_rows(row_ids)
-        self._delete_main_rows(row_ids)
-        self._delta.append_batch(columns, row_ids)
-        self._maybe_auto_compact()
-        return row_ids
 
     def compact(self) -> "COAXIndex":
         """Fold the delta store into the main structures in place.
@@ -686,20 +775,24 @@ class COAXIndex(MultidimensionalIndex):
         recomputed from live rows.  Row ids are preserved either way —
         compaction never renumbers.  Returns ``self`` so existing
         ``index = index.compact()`` call sites keep working.
+
+        Mutation entry point: holds the single-writer lock for the whole
+        fold (see the concurrency contract in :mod:`repro.indexes.base`).
         """
-        if self._delta.n_pending == 0 and self._n_tombstoned == 0:
+        with self._write_lock:
+            if self._delta.n_pending == 0 and self._n_tombstoned == 0:
+                return self
+            if self.rows_aligned and self._n_tombstoned == 0:
+                pending_ids = self._delta.row_ids.copy()
+                pending_inliers = self._delta.inlier_mask.copy()
+                pending_model_counts = self._delta.per_model_inlier_counts
+                self._compact_incremental(
+                    pending_ids, pending_inliers, pending_model_counts
+                )
+            else:
+                self._compact_reclaim()
+            self._delta.clear()
             return self
-        if self.rows_aligned and self._n_tombstoned == 0:
-            pending_ids = self._delta.row_ids.copy()
-            pending_inliers = self._delta.inlier_mask.copy()
-            pending_model_counts = self._delta.per_model_inlier_counts
-            self._compact_incremental(
-                pending_ids, pending_inliers, pending_model_counts
-            )
-        else:
-            self._compact_reclaim()
-        self._delta.clear()
-        return self
 
     def _pending_tail_table(self) -> Table:
         """Tail table spanning ids ``[table.n_rows, next_row_id)``.
@@ -810,9 +903,14 @@ class COAXIndex(MultidimensionalIndex):
         )
         stats = self.stats
         next_row_id = self._next_row_id
+        # The lock identity must survive the rebuild: concurrent readers
+        # and the sharded engine hold references to *this* lock, and the
+        # current thread is inside it right now.
+        write_lock = self._write_lock
         self.__dict__.update(fresh.__dict__)
         self.stats = stats
         self._next_row_id = next_row_id
+        self._write_lock = write_lock
 
     # ------------------------------------------------------------------
     # Memory accounting

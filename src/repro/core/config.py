@@ -1,4 +1,4 @@
-"""Configuration of the COAX index."""
+"""Configuration of the COAX index and the sharded execution engine."""
 
 from __future__ import annotations
 
@@ -7,10 +7,13 @@ from typing import Optional, Tuple
 
 from repro.fd.detection import DetectionConfig
 
-__all__ = ["COAXConfig"]
+__all__ = ["COAXConfig", "EngineConfig"]
 
 #: Index types that may serve as the outlier index.
 OUTLIER_INDEX_CHOICES: Tuple[str, ...] = ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan")
+
+#: Partitioning schemes the sharded engine supports.
+PARTITIONING_CHOICES: Tuple[str, ...] = ("range", "hash")
 
 
 @dataclass(frozen=True)
@@ -72,3 +75,41 @@ class COAXConfig:
             raise ValueError(
                 "auto_compact_tombstone_fraction must be in (0, 1] (or None)"
             )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs of the sharded scatter-gather engine (``ShardedCOAX``).
+
+    The engine splits the table into ``n_shards`` horizontal partitions,
+    each backed by its own :class:`~repro.core.coax.COAXIndex` built with
+    the shared ``coax`` configuration, and scatters queries over a thread
+    pool of ``workers`` (the NumPy kernels release the GIL; ``workers=1``
+    is a strictly serial fallback with no pool at all).
+    """
+
+    #: Number of horizontal partitions.
+    n_shards: int = 4
+    #: ``"range"`` partitions on quantile boundaries of one attribute (best
+    #: pruning for range workloads); ``"hash"`` spreads rows round-robin by
+    #: row id (best write balance, no pruning structure).
+    partitioning: str = "range"
+    #: Attribute the range partitioner splits on; ``None`` picks the
+    #: predictor of the largest FD group (the attribute query translation
+    #: concentrates constraints on, so translated queries prune shards).
+    partition_dimension: Optional[str] = None
+    #: Scatter/build/compact thread-pool size; 1 disables the pool.
+    workers: int = 1
+    #: Configuration every per-shard COAX index is built with.
+    coax: COAXConfig = field(default_factory=COAXConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.partitioning not in PARTITIONING_CHOICES:
+            raise ValueError(
+                f"partitioning must be one of {PARTITIONING_CHOICES}, "
+                f"got {self.partitioning!r}"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")

@@ -121,6 +121,11 @@ class DeltaStore:
         self._model_masks: Dict[str, np.ndarray] = {
             name: np.empty(self._capacity, dtype=bool) for name in self._model_names
         }
+        # Incremental bounding box of everything ever appended since the
+        # last clear() (``None`` while empty).  Deletes do not shrink it —
+        # it is a *conservative* hull, exactly what engine-level shard
+        # pruning needs: a query missing the box can match no pending row.
+        self._box: Optional[Tuple[Dict[str, float], Dict[str, float]]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -167,6 +172,17 @@ class DeltaStore:
             name: int(np.count_nonzero(mask[: self._size]))
             for name, mask in self._model_masks.items()
         }
+
+    @property
+    def box(self) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+        """Conservative ``(lows, highs)`` hull of the buffered records.
+
+        Maintained incrementally by :meth:`append_batch` and reset by
+        :meth:`clear`; in-place deletes leave it untouched, so it may
+        over-cover but never under-cover the live pending rows.  ``None``
+        while nothing is buffered.
+        """
+        return None if self._size == 0 else self._box
 
     def model_mask(self, name: str) -> np.ndarray:
         """Active prefix of one model's margin mask (a view, do not mutate)."""
@@ -263,6 +279,16 @@ class DeltaStore:
                 model_masks[name], dtype=bool
             )
         self._size = stop
+        if self._box is None:
+            self._box = (
+                {name: float(columns[name].min()) for name in self._schema},
+                {name: float(columns[name].max()) for name in self._schema},
+            )
+        else:
+            lows, highs = self._box
+            for name in self._schema:
+                lows[name] = min(lows[name], float(columns[name].min()))
+                highs[name] = max(highs[name], float(columns[name].max()))
         return inlier_mask
 
     def delete_rows(self, row_ids: np.ndarray) -> int:
@@ -299,6 +325,7 @@ class DeltaStore:
     def clear(self) -> None:
         """Drop every buffered record (capacity is kept for reuse)."""
         self._size = 0
+        self._box = None
 
     # ------------------------------------------------------------------
     # Reads

@@ -1,0 +1,873 @@
+"""Sharded scatter-gather execution engine over per-shard COAX indexes.
+
+The paper's correlation-aware design keeps each query cheap; this module
+makes the *system* scale the way partitioned learned indexes (Flood,
+Tsunami) do in production: the table is split into ``n_shards`` horizontal
+partitions, each backed by its own :class:`~repro.core.coax.COAXIndex`
+over a shard-local table, behind the same
+:class:`~repro.indexes.base.MultidimensionalIndex` API — every bench,
+example and test that speaks that API runs unchanged against the engine.
+
+Design pillars
+--------------
+
+* **Global-id mapping.**  The library-wide invariant *row id == table
+  position* is preserved at the global level through an explicit
+  global-id ↔ (shard, local position) mapping (``_shard_of`` /
+  ``_local_of`` / per-shard ``_global_of``).  Each shard keeps the same
+  invariant locally, so the mapping only ever *appends*: COAX never
+  renumbers local ids, hence a global id resolves to the same (shard,
+  local) pair for the lifetime of the record.
+* **Partitioning.**  ``range`` partitioning splits on quantile boundaries
+  of one attribute — by default the predictor of the largest FD group,
+  the attribute query translation concentrates constraints on, so
+  translated queries align with the partition boundaries and prune
+  shards.  ``hash`` partitioning spreads rows round-robin by global id
+  for write balance.  Rows are never migrated between shards: an update
+  that moves a row's partition key out of its shard's nominal range just
+  grows that shard's bounding boxes, which keeps pruning conservative
+  instead of requiring cross-shard moves.
+* **Shard pruning.**  A shard is dispatched only when the FD-translated
+  rectangle intersects its primary (inlier) bounding box, or the original
+  rectangle intersects its outlier box or its pending-delta box — the
+  same empty / no-inlier / bounding-box rules of
+  :func:`repro.core.planner.plan_query`, lifted to whole shards; skipped
+  shards are counted in ``QueryStats.shards_pruned``.  The three boxes
+  are conservative hulls (they grow with inserts and shrink only when a
+  shard compaction rebuilds them from survivors), so pruning can hide no
+  live row.
+* **Scatter/gather.**  ``batch_range_query`` plans and translates the
+  whole batch once (columnar bound matrices), scatters each shard's
+  surviving sub-batch across a thread pool (the NumPy kernels release the
+  GIL; ``workers=1`` falls back to a strictly serial loop), and gathers
+  with the existing fused-key merge
+  (:func:`repro.core.results.merge_flat_row_ids`).  Results are
+  bit-identical to an unsharded COAX index over the same data.
+* **Independent per-shard compaction.**  Every shard carries its own
+  delta store, tombstones and auto-compaction triggers, so reclaim work
+  is amortised shard by shard as writes land instead of a stop-the-world
+  pass; :meth:`ShardedCOAX.compact` forces all shards (in parallel when
+  ``workers > 1``) and ``compact(shard=s)`` exactly one.
+* **Concurrency.**  The engine is a single-writer structure: mutation
+  entry points hold the engine lock, per-shard work additionally holds
+  the shard's lock, and scatter workers take the shard lock around each
+  query — concurrent readers can never observe a half-applied batch (see
+  the contract in :mod:`repro.indexes.base`).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.core.coax import COAXBuildReport, COAXIndex, learn_groups
+from repro.core.config import EngineConfig
+from repro.core.delta import BatchLike, coerce_batch
+from repro.core.planner import batch_overlaps_box, plan_query_flags
+from repro.core.query_translation import (
+    translate_bounds_batch,
+    translate_query,
+    translated_predictor_interval,
+)
+from repro.core.results import merge_flat_row_ids, merge_row_ids
+from repro.data.predicates import Rectangle, batch_bounds
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.indexes.base import IndexBuildError, MultidimensionalIndex, QueryStats
+
+__all__ = ["ShardedCOAX"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _stats_snapshot(stats: QueryStats) -> Tuple[int, int, int, int, int]:
+    """Immutable copy of the counters a shard task may advance."""
+    return (
+        stats.queries,
+        stats.rows_examined,
+        stats.rows_matched,
+        stats.cells_visited,
+        stats.nodes_visited,
+    )
+
+
+def _stats_delta(before: Tuple[int, int, int, int, int], stats: QueryStats) -> QueryStats:
+    """Counter advance of one shard between a snapshot and now."""
+    return QueryStats(
+        queries=stats.queries - before[0],
+        rows_examined=stats.rows_examined - before[1],
+        rows_matched=stats.rows_matched - before[2],
+        cells_visited=stats.cells_visited - before[3],
+        nodes_visited=stats.nodes_visited - before[4],
+    )
+
+
+class ShardedCOAX(MultidimensionalIndex):
+    """Scatter-gather facade over ``n_shards`` independent COAX indexes.
+
+    Implements the :class:`MultidimensionalIndex` API (queries return
+    *global* row ids, bit-identical to an unsharded ``COAXIndex`` over the
+    same data) plus the full COAX CRUD surface — ``insert_batch`` /
+    ``delete_batch`` / ``update_batch`` / ``compact`` — routed per shard
+    through the global-id mapping.
+    """
+
+    name = "sharded_coax"
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        config: Optional[EngineConfig] = None,
+        groups: Optional[Sequence[FDGroup]] = None,
+        dimensions: Optional[Sequence[str]] = None,
+    ) -> None:
+        config = config if config is not None else EngineConfig()
+        self._config = config
+        self._table = table
+        self._dimensions = tuple(dimensions) if dimensions else tuple(table.schema)
+        for dim in self._dimensions:
+            if dim not in table.schema:
+                raise IndexBuildError(f"dimension {dim!r} is not in the table schema")
+        self.stats = QueryStats()
+        self._write_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+        # The FD groups are learned ONCE over the full table and shared by
+        # every shard: per-shard detection could fit different models and
+        # make the shards' query-translation semantics diverge.
+        if groups is None:
+            learned = learn_groups(table, config.coax.detection, self._dimensions)
+        else:
+            learned = list(groups)
+        if config.coax.max_groups is not None:
+            learned = learned[: config.coax.max_groups]
+        self._groups: List[FDGroup] = [
+            group
+            for group in learned
+            if all(attr in self._dimensions for attr in group.attributes)
+        ]
+
+        # Partitioning scheme: quantile boundaries for range, id modulo for
+        # hash.  Boundaries are fixed at build time; later inserts are
+        # routed against them, so shards stay balanced for stationary
+        # streams and pruning stays correct (boxes, not nominal ranges,
+        # decide visibility) for drifting ones.
+        self._partition_dim: Optional[str] = None
+        self._boundaries = np.empty(0, dtype=np.float64)
+        if config.partitioning == "range":
+            self._partition_dim = (
+                config.partition_dimension or self._default_partition_dimension()
+            )
+            if self._partition_dim not in self._dimensions:
+                raise IndexBuildError(
+                    f"partition dimension {self._partition_dim!r} must be one of the "
+                    f"indexed dimensions {self._dimensions}"
+                )
+            if config.n_shards > 1 and table.n_rows:
+                fractions = np.arange(1, config.n_shards) / config.n_shards
+                self._boundaries = np.quantile(
+                    table.column(self._partition_dim), fractions
+                )
+            else:
+                self._boundaries = np.zeros(config.n_shards - 1, dtype=np.float64)
+
+        # Scatter the build rows and construct one COAX index per shard —
+        # in parallel when workers > 1 (each build is independent NumPy
+        # work over its own partition).
+        n_rows = table.n_rows
+        assignment = self._route(table.columns(), np.arange(n_rows, dtype=np.int64))
+        shard_global_ids = [
+            np.flatnonzero(assignment == shard_no).astype(np.int64)
+            for shard_no in range(config.n_shards)
+        ]
+
+        def build_shard(global_ids: np.ndarray) -> COAXIndex:
+            return COAXIndex(
+                table.take(global_ids),
+                config=config.coax,
+                groups=self._groups,
+                dimensions=self._dimensions,
+            )
+
+        self._shards: List[COAXIndex] = self._map_shards(build_shard, shard_global_ids)
+
+        # Global-id ↔ (shard, local position) mapping.  ``_global_of[s]``
+        # is indexed by shard-local row id (== local table position, the
+        # per-shard invariant) and only ever appends, because local ids
+        # are never renumbered or reused.
+        self._shard_of = assignment.astype(np.int64)
+        self._local_of = np.empty(n_rows, dtype=np.int64)
+        for shard_no, global_ids in enumerate(shard_global_ids):
+            self._local_of[global_ids] = np.arange(len(global_ids), dtype=np.int64)
+        self._global_of: List[np.ndarray] = [ids.copy() for ids in shard_global_ids]
+        self._next_global_id = int(n_rows)
+
+    # ------------------------------------------------------------------
+    # Build helpers
+    # ------------------------------------------------------------------
+    def _default_partition_dimension(self) -> str:
+        """Predictor of the largest FD group, else the first dimension.
+
+        Mirrors ``COAXIndex._default_sort_dimension``: translated queries
+        concentrate their constraints on that predictor, so range
+        boundaries on it give the planner-style pruning real bite.
+        """
+        for group in sorted(self._groups, key=lambda g: -g.n_attributes):
+            if group.predictor in self._dimensions:
+                return group.predictor
+        return self._dimensions[0]
+
+    def _route(
+        self, columns: Mapping[str, np.ndarray], global_ids: np.ndarray
+    ) -> np.ndarray:
+        """Shard number for every row of a (build or insert) batch."""
+        if self._config.partitioning == "range" and self._config.n_shards > 1:
+            values = np.asarray(columns[self._partition_dim], dtype=np.float64)
+            return np.searchsorted(self._boundaries, values, side="right").astype(
+                np.int64
+            )
+        if self._config.n_shards == 1:
+            return np.zeros(len(global_ids), dtype=np.int64)
+        return np.asarray(global_ids, dtype=np.int64) % self._config.n_shards
+
+    def _map_shards(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        """Run ``fn`` over ``items`` — on the worker pool when configured.
+
+        Order-preserving either way, so scatter results line up with their
+        shard numbers regardless of completion order.
+        """
+        items = list(items)
+        if self._config.workers > 1 and len(items) > 1:
+            return list(self._ensure_executor().map(fn, items))
+        return [fn(item) for item in items]
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The lazily created scatter pool (``workers`` threads)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._config.workers,
+                thread_name_prefix="sharded-coax",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; queries stay usable
+        serially afterwards, and the pool is recreated on demand)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedCOAX":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration (shards, partitioning, workers)."""
+        return self._config
+
+    @property
+    def n_shards(self) -> int:
+        """Number of horizontal partitions."""
+        return self._config.n_shards
+
+    @property
+    def workers(self) -> int:
+        """Scatter/build/compact thread-pool size (1 = serial)."""
+        return self._config.workers
+
+    @property
+    def shards(self) -> Tuple[COAXIndex, ...]:
+        """The per-shard COAX indexes, in shard order."""
+        return tuple(self._shards)
+
+    @property
+    def groups(self) -> Tuple[FDGroup, ...]:
+        """The FD groups shared by every shard."""
+        return tuple(self._groups)
+
+    @property
+    def partition_dimension(self) -> Optional[str]:
+        """Attribute the range partitioner splits on (``None`` for hash)."""
+        return self._partition_dim
+
+    @property
+    def shard_boundaries(self) -> np.ndarray:
+        """Range-partition boundaries (``n_shards - 1`` ascending values)."""
+        return self._boundaries
+
+    @property
+    def shard_reports(self) -> List[COAXBuildReport]:
+        """Per-shard build reports, in shard order."""
+        return [shard.build_report for shard in self._shards]
+
+    @property
+    def n_rows(self) -> int:
+        """Records covered by the main structures (live and tombstoned)."""
+        return int(sum(shard.n_rows for shard in self._shards))
+
+    @property
+    def n_live(self) -> int:
+        """Covered records that are not tombstoned."""
+        return int(sum(shard.n_live for shard in self._shards))
+
+    @property
+    def n_tombstoned(self) -> int:
+        """Covered records marked deleted but not yet reclaimed."""
+        return int(sum(shard.n_tombstoned for shard in self._shards))
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Tombstoned share of the covered rows across all shards."""
+        n_rows = self.n_rows
+        return self.n_tombstoned / n_rows if n_rows else 0.0
+
+    @property
+    def tombstone_mask(self) -> Optional[np.ndarray]:
+        """Tombstones live per shard; the facade keeps no global bitmap."""
+        return None
+
+    @property
+    def n_pending(self) -> int:
+        """Inserted records still sitting in some shard's delta store."""
+        return int(sum(shard.n_pending for shard in self._shards))
+
+    @property
+    def n_pending_primary(self) -> int:
+        """Pending records the learned models route to a primary index."""
+        return int(sum(shard.n_pending_primary for shard in self._shards))
+
+    @property
+    def n_pending_outlier(self) -> int:
+        """Pending records violating some margin (outlier-bound)."""
+        return int(sum(shard.n_pending_outlier for shard in self._shards))
+
+    @property
+    def next_row_id(self) -> int:
+        """Global row id the next inserted record will be assigned."""
+        return self._next_global_id
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Global row ids covered by the main structures (sorted)."""
+        parts = [
+            self._global_of[shard_no][shard.row_ids]
+            for shard_no, shard in enumerate(self._shards)
+            if shard.n_rows
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def live_row_ids(self) -> np.ndarray:
+        """Global row ids of covered records that are still live (sorted)."""
+        parts = [
+            self._global_of[shard_no][shard.live_row_ids()]
+            for shard_no, shard in enumerate(self._shards)
+            if shard.n_live
+        ]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.sort(np.concatenate(parts))
+
+    def rows_live(self, row_ids: np.ndarray) -> np.ndarray:
+        """Which of ``row_ids`` are covered and not tombstoned (per shard)."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        mask = np.zeros(len(row_ids), dtype=bool)
+        known = (row_ids >= 0) & (row_ids < self._next_global_id)
+        if not known.any():
+            return mask
+        known_ids = row_ids[known]
+        shard_ids = self._shard_of[known_ids]
+        known_mask = np.zeros(len(known_ids), dtype=bool)
+        for shard_no in np.unique(shard_ids):
+            routed = shard_ids == shard_no
+            known_mask[routed] = self._shards[shard_no].rows_live(
+                self._local_of[known_ids[routed]]
+            )
+        mask[known] = known_mask
+        return mask
+
+    def positions_of(self, row_ids: np.ndarray) -> np.ndarray:
+        """Covered ids pass through: global row id == global table position."""
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if len(row_ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        covered = np.zeros(len(row_ids), dtype=bool)
+        known = (row_ids >= 0) & (row_ids < self._next_global_id)
+        if known.any():
+            known_ids = row_ids[known]
+            shard_ids = self._shard_of[known_ids]
+            known_covered = np.zeros(len(known_ids), dtype=bool)
+            for shard_no in np.unique(shard_ids):
+                routed = shard_ids == shard_no
+                known_covered[routed] = np.isin(
+                    self._local_of[known_ids[routed]],
+                    self._shards[shard_no].row_ids,
+                )
+            covered[known] = known_covered
+        return row_ids[covered]
+
+    def column(self, name: str) -> np.ndarray:
+        """Not provided: record data lives in the shard-local tables."""
+        raise NotImplementedError(
+            "ShardedCOAX keeps no global column copies; read shard.column() "
+            "through the global-id mapping instead"
+        )
+
+    # ------------------------------------------------------------------
+    # Shard pruning
+    # ------------------------------------------------------------------
+    def _scalar_visit_mask(self, query: Rectangle, translated: Rectangle) -> List[bool]:
+        """Which shards one query must visit (planner rules per shard).
+
+        A shard is visible when the FD-translated rectangle intersects its
+        primary box, or the original rectangle intersects its outlier box
+        or (when it has pending rows) its delta-store box.  Everything
+        else is pruned — correct because the three boxes jointly cover
+        every live record of the shard.
+        """
+        primary_possible = not translated.is_empty and not any(
+            translated_predictor_interval(query, group).is_empty
+            for group in self._groups
+        )
+        visits: List[bool] = []
+        for shard in self._shards:
+            visible = False
+            if primary_possible and shard.primary_box is not None:
+                visible = translated.overlaps_box(*shard.primary_box)
+            if not visible and shard.outlier_box is not None:
+                visible = query.overlaps_box(*shard.outlier_box)
+            if not visible and shard.n_pending:
+                box = shard.delta.box
+                visible = box is not None and query.overlaps_box(*box)
+            visits.append(visible)
+        return visits
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rectangle) -> np.ndarray:
+        """Global row ids of records matching ``query`` exactly.
+
+        Scatter-gather over the visible shards; bit-identical (ids and
+        order) to an unsharded COAX index over the same data.
+        """
+        if query.is_empty:
+            return np.empty(0, dtype=np.int64)
+        translated = translate_query(query, self._groups)
+        visits = self._scalar_visit_mask(query, translated)
+        gathered = QueryStats()
+        parts: List[np.ndarray] = []
+        for shard_no, visible in enumerate(visits):
+            if not visible:
+                continue
+            shard = self._shards[shard_no]
+            # Snapshot and delta both inside the shard lock: a concurrent
+            # reader advancing the same shard's counters must not be
+            # double-counted into this query's delta.
+            with shard.write_lock:
+                before = _stats_snapshot(shard.stats)
+                local_ids = shard.range_query(query)
+                parts.append(self._global_of[shard_no][local_ids])
+                gathered.merge(_stats_delta(before, shard.stats))
+        merged = merge_row_ids(parts)
+        with self._stats_lock:
+            self.stats.record(
+                rows_examined=gathered.rows_examined,
+                rows_matched=len(merged),
+                cells_visited=gathered.cells_visited,
+                nodes_visited=gathered.nodes_visited,
+                shards_pruned=len(self._shards) - sum(visits),
+            )
+        return merged
+
+    def batch_range_query(self, queries: Sequence[Rectangle]) -> List[np.ndarray]:
+        """Global row ids for every query of a batch (scatter-gather).
+
+        The whole batch is translated and planned once over its columnar
+        bound matrices; each shard receives a single batched call covering
+        exactly the queries that survive its bounding-box pruning, those
+        calls run on the worker pool (serially when ``workers=1``), and
+        the per-shard flat results are gathered with the fused-key merge.
+        Results are positionally aligned and identical to
+        ``[range_query(q) for q in queries]`` — and to the same batch on
+        an unsharded COAX index.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+        bounds = batch_bounds(queries)
+        live = np.ones(n_queries, dtype=bool)
+        for lows, highs in bounds.values():
+            live &= lows <= highs
+        n_live = int(live.sum())
+        if n_live == 0:
+            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+        translated_bounds, no_inlier = translate_bounds_batch(
+            bounds, n_queries, self._groups
+        )
+
+        # Per-shard visibility masks: the batch form of the scalar pruning
+        # rule, evaluated as whole-batch array ops.  Each task carries the
+        # shard's pre-sliced bound matrices and planner flags, so the
+        # shard executes without re-deriving any of them.
+        tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        shards_pruned = 0
+        for shard_no, shard in enumerate(self._shards):
+            use_primary, use_outlier = plan_query_flags(
+                bounds,
+                translated_bounds,
+                no_inlier,
+                n_queries,
+                primary_box=shard.primary_box,
+                outlier_box=shard.outlier_box,
+            )
+            visible = use_primary | use_outlier
+            if shard.n_pending:
+                visible |= live & batch_overlaps_box(bounds, n_queries, shard.delta.box)
+            shards_pruned += int(np.count_nonzero(live & ~visible))
+            slots = np.flatnonzero(visible)
+            if len(slots):
+                tasks.append((shard_no, slots, use_primary[slots], use_outlier[slots]))
+
+        def run_shard(
+            task: Tuple[int, np.ndarray, np.ndarray, np.ndarray],
+        ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+            shard_no, slots, use_primary, use_outlier = task
+            shard = self._shards[shard_no]
+            sub_bounds = {
+                dim: (lows[slots], highs[slots])
+                for dim, (lows, highs) in bounds.items()
+            }
+            sub_translated = {
+                dim: (lows[slots], highs[slots])
+                for dim, (lows, highs) in translated_bounds.items()
+            }
+            # Snapshot and delta both inside the shard lock (see
+            # range_query): concurrent readers must not double-count each
+            # other's per-shard work.
+            with shard.write_lock:
+                before = _stats_snapshot(shard.stats)
+                local_ids, sub_qids = shard.batch_scatter_flat(
+                    queries,
+                    slots,
+                    sub_bounds,
+                    sub_translated,
+                    use_primary,
+                    use_outlier,
+                    len(slots),
+                )
+                global_ids = self._global_of[shard_no][local_ids]
+                delta = _stats_delta(before, shard.stats)
+            return global_ids, slots[sub_qids], delta
+
+        scattered = self._map_shards(run_shard, tasks)
+
+        gathered = QueryStats()
+        id_parts: List[np.ndarray] = []
+        qid_parts: List[np.ndarray] = []
+        for global_ids, qids, delta in scattered:
+            gathered.merge(delta)
+            if len(global_ids):
+                id_parts.append(global_ids)
+                qid_parts.append(qids)
+        if id_parts:
+            results = merge_flat_row_ids(
+                np.concatenate(id_parts), np.concatenate(qid_parts), n_queries
+            )
+        else:
+            results = [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+        total_matched = int(sum(len(result) for result in results))
+        with self._stats_lock:
+            self.stats.record_batch(
+                n_live,
+                rows_examined=gathered.rows_examined,
+                rows_matched=total_matched,
+                cells_visited=gathered.cells_visited,
+                nodes_visited=gathered.nodes_visited,
+                shards_pruned=shards_pruned,
+            )
+        return results
+
+    def _range_query_positions(self, query: Rectangle) -> np.ndarray:
+        """Positions equal global row ids (the engine-wide invariant)."""
+        return self.range_query(query)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, record: Mapping[str, float]) -> int:
+        """Insert one record, returning its assigned global row id."""
+        return int(self.insert_batch([record])[0])
+
+    def insert_batch(self, batch: BatchLike) -> np.ndarray:
+        """Insert a batch, routing every row to its shard; returns global ids.
+
+        Same accepted forms as :meth:`COAXIndex.insert_batch`.  The batch
+        is split by the partitioner and lands in each shard's delta store
+        with one call per touched shard; a shard whose auto-compaction
+        trigger fires compacts independently (local ids survive, so the
+        global mapping is untouched).  Mutation entry point: holds the
+        engine lock, and each shard's lock around the shard append plus
+        its mapping extension.
+        """
+        with self._write_lock:
+            columns = coerce_batch(batch, tuple(self._table.schema))
+            n_new = len(next(iter(columns.values()))) if columns else 0
+            global_ids = self._next_global_id + np.arange(n_new, dtype=np.int64)
+            if n_new == 0:
+                return global_ids
+            assignment = self._route(columns, global_ids)
+            local_ids = np.empty(n_new, dtype=np.int64)
+            for shard_no in np.unique(assignment):
+                routed = assignment == shard_no
+                shard = self._shards[shard_no]
+                sub_columns = {name: array[routed] for name, array in columns.items()}
+                # The shard append and the mapping extension must be one
+                # atomic step for concurrent readers holding this shard's
+                # lock: a pending row visible to a scatter worker always
+                # has its global id resolvable.
+                with shard.write_lock:
+                    local_ids[routed] = shard.insert_batch(sub_columns)
+                    self._global_of[shard_no] = np.concatenate(
+                        [self._global_of[shard_no], global_ids[routed]]
+                    )
+            self._shard_of = np.concatenate([self._shard_of, assignment])
+            self._local_of = np.concatenate([self._local_of, local_ids])
+            self._next_global_id += n_new
+            return global_ids
+
+    # ------------------------------------------------------------------
+    # Deletes and in-place updates
+    # ------------------------------------------------------------------
+    def delete(self, row_id: int) -> bool:
+        """Delete one record by global row id; ``True`` if it was live."""
+        return self.delete_batch(np.array([row_id], dtype=np.int64)) == 1
+
+    def delete_batch(self, row_ids: np.ndarray) -> int:
+        """Delete records by global row id; returns how many were live.
+
+        Ids are grouped per shard through the mapping and each shard
+        receives one local batch delete (idempotent, unknown ids skipped,
+        per-shard auto-compaction may fire).  Mutation entry point: holds
+        the engine lock for the whole batch.
+        """
+        with self._write_lock:
+            row_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
+            if len(row_ids) == 0:
+                return 0
+            known = row_ids[(row_ids >= 0) & (row_ids < self._next_global_id)]
+            if len(known) == 0:
+                return 0
+            deleted = 0
+            shard_ids = self._shard_of[known]
+            for shard_no in np.unique(shard_ids):
+                local = self._local_of[known[shard_ids == shard_no]]
+                deleted += self._shards[shard_no].delete_batch(local)
+            return int(deleted)
+
+    def delete_rows(self, row_ids: np.ndarray, *, assume_unique: bool = False) -> int:
+        """Generic tombstone entry point; routes through the full engine
+        delete so the facade and the shards can never diverge."""
+        del assume_unique
+        return self.delete_batch(row_ids)
+
+    def delete_where(self, query: Rectangle) -> np.ndarray:
+        """Delete every record matching ``query``; returns their global ids.
+
+        Mutation entry point: the engine lock spans the query *and* the
+        delete, so no concurrent mutation can slip between finding the
+        matches and tombstoning them.
+        """
+        with self._write_lock:
+            matches = self.range_query(query)
+            self.delete_batch(matches)
+            return matches
+
+    def update_batch(self, row_ids: np.ndarray, batch: BatchLike) -> np.ndarray:
+        """Replace live records in place, preserving their global row ids.
+
+        Semantics of :meth:`COAXIndex.update_batch`: unknown or deleted
+        ids raise ``KeyError`` *before anything is applied* (liveness is
+        checked across every touched shard first), duplicates raise
+        ``ValueError``.  Rows stay in their original shard even when a
+        range-partitioned update moves the partition key — the shard's
+        bounding boxes grow to cover the new values, so pruning stays
+        correct without cross-shard migration.
+        """
+        with self._write_lock:
+            columns = coerce_batch(batch, tuple(self._table.schema))
+            row_ids = np.asarray(row_ids, dtype=np.int64)
+            n_new = len(next(iter(columns.values()))) if columns else 0
+            if n_new != len(row_ids):
+                raise ValueError(
+                    f"update batch has {n_new} rows for {len(row_ids)} row ids"
+                )
+            if n_new == 0:
+                return row_ids
+            if len(np.unique(row_ids)) != len(row_ids):
+                raise ValueError("update batch contains duplicate row ids")
+            known = (row_ids >= 0) & (row_ids < self._next_global_id)
+            if not known.all():
+                missing = row_ids[~known]
+                raise KeyError(
+                    f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
+                )
+            shard_ids = self._shard_of[row_ids]
+            local_ids = self._local_of[row_ids]
+            touched = np.unique(shard_ids)
+            live = np.zeros(n_new, dtype=bool)
+            for shard_no in touched:
+                routed = shard_ids == shard_no
+                live[routed] = self._shards[shard_no]._live_ids_mask(local_ids[routed])
+            if not live.all():
+                missing = row_ids[~live]
+                raise KeyError(
+                    f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
+                )
+            for shard_no in touched:
+                routed = shard_ids == shard_no
+                sub_columns = {name: array[routed] for name, array in columns.items()}
+                self._shards[shard_no].update_batch(local_ids[routed], sub_columns)
+            return row_ids
+
+    def compact(self, shard: Optional[int] = None) -> "ShardedCOAX":
+        """Fold delta stores and reclaim tombstones — per shard.
+
+        With ``shard`` given, exactly that shard compacts (the scheduling
+        primitive for amortised maintenance); otherwise every shard
+        compacts, in parallel on the worker pool when ``workers > 1``.
+        Stop-the-world only ever happens per shard: queries against other
+        shards proceed concurrently (each compaction holds only its own
+        shard's lock).  Returns ``self``.
+        """
+        with self._write_lock:
+            if shard is not None:
+                self._shards[shard].compact()
+                return self
+            self._map_shards(lambda s: s.compact(), self._shards)
+            return self
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def directory_bytes(self) -> int:
+        """Shard directories plus the global-id mapping arrays."""
+        return int(sum(self.memory_breakdown().values()))
+
+    def data_bytes(self) -> int:
+        """Bytes of record data across the shard-local tables."""
+        return int(sum(shard.data_bytes() for shard in self._shards))
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Directory bytes per component (shards plus the mapping)."""
+        breakdown = {
+            f"shard{shard_no}": shard.directory_bytes()
+            for shard_no, shard in enumerate(self._shards)
+        }
+        breakdown["mapping"] = (
+            self._shard_of.nbytes
+            + self._local_of.nbytes
+            + int(sum(array.nbytes for array in self._global_of))
+        )
+        return breakdown
+
+    # ------------------------------------------------------------------
+    # Persistence support (format v4; see repro.io.persistence)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_shards(
+        cls,
+        shards: Sequence[COAXIndex],
+        *,
+        config: EngineConfig,
+        groups: Sequence[FDGroup],
+        dimensions: Sequence[str],
+        global_of: Sequence[np.ndarray],
+        next_global_id: int,
+        boundaries: np.ndarray,
+        partition_dimension: Optional[str],
+    ) -> "ShardedCOAX":
+        """Assemble an engine from restored shards plus their mapping.
+
+        Used by the v4 archive loader and by :meth:`from_index`; validates
+        that the mapping covers every global id exactly once before
+        trusting it.
+        """
+        shards = list(shards)
+        if len(shards) != config.n_shards:
+            raise ValueError(
+                f"engine config expects {config.n_shards} shards, got {len(shards)}"
+            )
+        global_of = [np.asarray(ids, dtype=np.int64) for ids in global_of]
+        total = int(sum(len(ids) for ids in global_of))
+        if total != next_global_id:
+            raise ValueError(
+                f"shard mapping covers {total} global ids, expected {next_global_id}"
+            )
+        self = cls.__new__(cls)
+        self._config = config
+        # The facade table only carries the schema for insert coercion;
+        # record data lives in the shard-local tables.
+        self._table = shards[0].table if shards else None
+        self._dimensions = tuple(dimensions)
+        self.stats = QueryStats()
+        self._write_lock = threading.RLock()
+        self._stats_lock = threading.Lock()
+        self._executor = None
+        self._groups = list(groups)
+        self._partition_dim = partition_dimension
+        self._boundaries = np.asarray(boundaries, dtype=np.float64)
+        self._shards = shards
+        self._shard_of = np.empty(next_global_id, dtype=np.int64)
+        self._local_of = np.empty(next_global_id, dtype=np.int64)
+        seen = np.zeros(next_global_id, dtype=bool)
+        for shard_no, ids in enumerate(global_of):
+            if seen[ids].any():
+                raise ValueError("shard mapping assigns some global id twice")
+            seen[ids] = True
+            self._shard_of[ids] = shard_no
+            self._local_of[ids] = np.arange(len(ids), dtype=np.int64)
+        self._global_of = global_of
+        self._next_global_id = int(next_global_id)
+        return self
+
+    @classmethod
+    def from_index(cls, index: COAXIndex, *, workers: int = 1) -> "ShardedCOAX":
+        """Wrap an existing (e.g. legacy-archive) COAX index as one shard.
+
+        The shard's local ids are the global ids, so the mapping is the
+        identity; this is how format v1–v3 archives load into the engine.
+        """
+        config = EngineConfig(
+            n_shards=1, partitioning="hash", workers=workers, coax=index.config
+        )
+        return cls._from_shards(
+            [index],
+            config=config,
+            groups=list(index.groups),
+            dimensions=index.dimensions,
+            global_of=[np.arange(index.next_row_id, dtype=np.int64)],
+            next_global_id=index.next_row_id,
+            boundaries=np.empty(0, dtype=np.float64),
+            partition_dimension=None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedCOAX(n_shards={self.n_shards}, workers={self.workers}, "
+            f"partitioning={self._config.partitioning!r}, n_rows={self.n_rows})"
+        )

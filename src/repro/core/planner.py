@@ -34,6 +34,7 @@ __all__ = [
     "plan_query",
     "plan_queries",
     "plan_query_flags",
+    "batch_overlaps_box",
     "bounding_box_of_rows",
     "merge_boxes",
 ]
@@ -156,6 +157,24 @@ def _batch_misses_box(
             continue
         misses |= (highs < box_lows[dim]) | (lows > box_highs[dim])
     return misses
+
+
+def batch_overlaps_box(
+    bounds: BoundsMap,
+    n_queries: int,
+    box: Optional[Tuple[Dict[str, float], Dict[str, float]]],
+) -> np.ndarray:
+    """Mask of queries whose rectangle intersects an axis-aligned box.
+
+    The vectorized counterpart of :meth:`Rectangle.overlaps_box` over a
+    columnar query batch, shared by the sharded engine's per-shard pruning.
+    A ``None`` box (an empty row set) overlaps nothing.  NaN box bounds
+    (dead slots in a partially reclaimed shard) compare as overlapping, so
+    pruning stays conservative.
+    """
+    if box is None:
+        return np.zeros(n_queries, dtype=bool)
+    return ~_batch_misses_box(bounds, n_queries, box)
 
 
 def plan_query_flags(

@@ -6,9 +6,34 @@ merge primary- and outlier-index results with a plain union (Figure 1).
 Every index also accounts for its *directory* memory (the structure on top
 of the data: boundaries, cell offsets, tree nodes, model parameters)
 separately from the data itself, which is what Figure 8 plots on its x axis.
+
+Concurrency contract
+--------------------
+
+Indexes are not free-threaded data structures; they follow a
+*single-writer* discipline instead:
+
+* Every index owns a reentrant ``write_lock``.  Mutation entry points of
+  the compound structures (``COAXIndex.insert_batch`` / ``delete_batch`` /
+  ``update_batch`` / ``compact`` and the ``ShardedCOAX`` facade) acquire
+  it for the whole batch, so two concurrent mutators serialise and no
+  mutation can interleave with another half-way.
+* Readers in the mutating thread need no locking (a mutation entry point
+  never yields mid-batch).  Readers in *other* threads — the sharded
+  engine's scatter workers overlapping queries with background shard
+  maintenance — take the target's ``write_lock`` around the query, which
+  guarantees they observe either the pre-batch or the post-batch state of
+  a shard, never a half-applied insert/delete/compaction.
+* The primitive per-structure operations (``delete_rows``,
+  ``_append_rows``, absorb paths) do **not** lock themselves: they are
+  always reached from an entry point that already holds the lock, and
+  locking them individually would only hide torn multi-structure updates
+  instead of preventing them.
 """
 
 from __future__ import annotations
+
+import threading
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -53,6 +78,10 @@ class QueryStats:
     * ``cells_visited`` / ``nodes_visited`` count directory work: every
       enumerated grid cell (empty or not) respectively every tree node
       touched.
+    * ``shards_pruned`` counts whole sub-indexes skipped by engine-level
+      bounding-box pruning: the sharded engine increments it once per
+      (query, shard) pair it never dispatched.  Unsharded indexes leave it
+      at zero.
     """
 
     queries: int = 0
@@ -60,6 +89,7 @@ class QueryStats:
     rows_matched: int = 0
     cells_visited: int = 0
     nodes_visited: int = 0
+    shards_pruned: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -68,6 +98,7 @@ class QueryStats:
         self.rows_matched = 0
         self.cells_visited = 0
         self.nodes_visited = 0
+        self.shards_pruned = 0
 
     def record(
         self,
@@ -76,6 +107,7 @@ class QueryStats:
         rows_matched: int = 0,
         cells_visited: int = 0,
         nodes_visited: int = 0,
+        shards_pruned: int = 0,
     ) -> None:
         """Accumulate the work of one query."""
         self.record_batch(
@@ -84,6 +116,7 @@ class QueryStats:
             rows_matched=rows_matched,
             cells_visited=cells_visited,
             nodes_visited=nodes_visited,
+            shards_pruned=shards_pruned,
         )
 
     def record_batch(
@@ -94,6 +127,7 @@ class QueryStats:
         rows_matched: int = 0,
         cells_visited: int = 0,
         nodes_visited: int = 0,
+        shards_pruned: int = 0,
     ) -> None:
         """Accumulate the aggregate work of ``n_queries`` logical queries.
 
@@ -106,6 +140,28 @@ class QueryStats:
         self.rows_matched += rows_matched
         self.cells_visited += cells_visited
         self.nodes_visited += nodes_visited
+        self.shards_pruned += shards_pruned
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Accumulate another stats object into this one; returns ``self``.
+
+        Every counter is summed — including ``queries``, so merging the
+        stats of disjoint sub-indexes that each answered their own logical
+        queries keeps the per-query averages meaningful.  Callers
+        aggregating *fan-out* work (one logical query scattered over many
+        shards) should merge the per-shard deltas into a scratch
+        ``QueryStats`` and then :meth:`record_batch` the merged counters
+        with the *logical* query count, exactly what the sharded engine's
+        gather step does — ``queries`` must count logical queries once,
+        never once per shard visited.
+        """
+        self.queries += other.queries
+        self.rows_examined += other.rows_examined
+        self.rows_matched += other.rows_matched
+        self.cells_visited += other.cells_visited
+        self.nodes_visited += other.nodes_visited
+        self.shards_pruned += other.shards_pruned
+        return self
 
     @property
     def mean_rows_examined(self) -> float:
@@ -155,6 +211,10 @@ class MultidimensionalIndex(ABC):
         # delete, so delete-free indexes pay nothing on the read path).
         self._tombstone: Optional[np.ndarray] = None
         self._n_tombstoned = 0
+        # Single-writer lock (see the module docstring's concurrency
+        # contract).  Reentrant: mutation entry points nest (insert ->
+        # auto-compact -> compact) without re-acquisition deadlocks.
+        self._write_lock = threading.RLock()
         self.stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -200,6 +260,17 @@ class MultidimensionalIndex(ABC):
         if self._tombstone is None:
             return self._row_ids
         return self._row_ids[~self._tombstone]
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """Reentrant single-writer lock of this index.
+
+        Mutation entry points hold it for the whole batch; cross-thread
+        readers that must not observe a half-applied mutation (the sharded
+        engine's scatter workers) take it around their query.  See the
+        module docstring for the full contract.
+        """
+        return self._write_lock
 
     @property
     def dimensions(self) -> tuple:

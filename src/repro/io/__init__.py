@@ -7,12 +7,19 @@
   with schema inference for CSV headers.
 """
 
-from repro.io.persistence import load_index, save_index
+from repro.io.persistence import (
+    UnsupportedFormatError,
+    load_engine,
+    load_index,
+    save_index,
+)
 from repro.io.datasets import load_csv, load_npz, save_csv, save_npz
 
 __all__ = [
     "save_index",
     "load_index",
+    "load_engine",
+    "UnsupportedFormatError",
     "load_csv",
     "save_csv",
     "load_npz",

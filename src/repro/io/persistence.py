@@ -1,4 +1,4 @@
-"""Saving and loading COAX indexes.
+"""Saving and loading COAX indexes and sharded engines.
 
 A COAX index is cheap to rebuild from its learned state: the FD groups (a
 handful of model parameters per group), the configuration, and the data
@@ -24,10 +24,24 @@ nothing but NumPy:
   present when rows were deleted), one boolean per saved table row, so
   deleted-but-not-yet-compacted rows stay deleted across a round trip.
 
+Format version 4 is the *sharded* archive written for a
+:class:`~repro.core.engine.ShardedCOAX`: an engine-level header (shard
+count, partitioning scheme and boundaries, worker count, the shared groups
+and COAX configuration, the next global row id) plus one complete
+per-shard section — every key of the flat format under a ``shard<j>::``
+prefix, extended with ``shard<j>::__global_of__``, the local-position →
+global-row-id half of the engine's mapping (the other half is derived on
+load).  Each shard round-trips exactly like a flat index: its delta store,
+tombstones and id coverage survive un-compacted.
+
 Version 1 archives (no delta section) load fine: the delta store starts
 empty, exactly the state version 1 guaranteed by compacting before save.
 Version 2 archives (no tombstones, no per-model masks) also load; their
 delta routing masks are trusted and the per-model masks re-derived once.
+:func:`load_engine` additionally wraps any version 1–3 archive into a
+1-shard engine, so engine deployments can adopt old flat archives
+directly.  Unsupported versions raise the typed
+:class:`UnsupportedFormatError` carrying the supported-version list.
 """
 
 from __future__ import annotations
@@ -35,26 +49,56 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig
+from repro.core.config import COAXConfig, EngineConfig
+from repro.core.engine import ShardedCOAX
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig
 from repro.fd.bucketing import BucketingConfig
 from repro.fd.groups import FDGroup
 from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
 
-__all__ = ["save_index", "load_index", "FORMAT_VERSION", "SUPPORTED_VERSIONS"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "load_engine",
+    "UnsupportedFormatError",
+    "FORMAT_VERSION",
+    "SHARDED_FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+]
 
-#: Bump when the on-disk layout changes incompatibly.
+#: Version written for flat (single COAX index) archives.
 FORMAT_VERSION = 3
 
+#: Version written for sharded-engine archives.
+SHARDED_FORMAT_VERSION = 4
+
 #: Versions this build can read (2 added the delta-store section, 3 the
-#: tombstone bitmap, the live-row count and the per-model routing masks).
-SUPPORTED_VERSIONS = (1, 2, 3)
+#: tombstone bitmap, the live-row count and the per-model routing masks,
+#: 4 the sharded-engine archive).
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
+
+
+class UnsupportedFormatError(ValueError):
+    """An archive declares a format version this build cannot read.
+
+    Subclasses ``ValueError`` so pre-existing ``except ValueError``
+    handlers keep working; carries the offending and the supported
+    versions as attributes for programmatic handling.
+    """
+
+    def __init__(self, version, supported=SUPPORTED_VERSIONS) -> None:
+        self.version = version
+        self.supported = tuple(supported)
+        super().__init__(
+            f"unsupported format version {version!r} "
+            f"(this build reads versions {list(self.supported)})"
+        )
 
 
 def _model_to_dict(model) -> Dict:
@@ -139,20 +183,17 @@ def _config_from_dict(payload: Dict) -> COAXConfig:
     return COAXConfig(detection=detection, **remaining)
 
 
-def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
-    """Persist a COAX index (data + learned state + delta store) to ``path`` (.npz).
+def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Flat-format ``(meta, arrays)`` of one COAX index (no file I/O).
 
-    Pending (inserted but not compacted) records are stored alongside the
-    main columns with their assigned row ids and routing mask, so loading
-    restores the exact pre-save state — including what is pending.
-    Returns the path written.
+    Shared by the flat save path and the per-shard sections of a sharded
+    archive.  Only the covered rows are stored (dead table slots a
+    reclaiming compaction left behind cost nothing on disk);
+    ``__row_ids__`` records their original ids so loading can scatter them
+    back to their table positions — row ids survive a round trip even for
+    subset-scoped indexes, which format v2 had to fold-and-renumber
+    instead.
     """
-    path = Path(path)
-    # Only the covered rows are stored (dead table slots a reclaiming
-    # compaction left behind cost nothing on disk); ``__row_ids__`` records
-    # their original ids so loading can scatter them back to their table
-    # positions — row ids survive a round trip even for subset-scoped
-    # indexes, which format v2 had to fold-and-renumber instead.
     table = index.table.take(index.row_ids)
     pending = index.n_pending > 0
     next_row_id = int(index.next_row_id)
@@ -180,53 +221,30 @@ def save_index(index: COAXIndex, path: Union[str, Path]) -> Path:
             arrays[f"delta::{key}"] = array
     if tombstone is not None:
         arrays["__tombstone__"] = tombstone.copy()
-    arrays["__meta__"] = np.array(json.dumps(meta))
-    with path.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    return path
+    return meta, arrays
 
 
-def load_index(path: Union[str, Path]) -> COAXIndex:
-    """Load a COAX index previously written by :func:`save_index`.
-
-    The table is restored from the stored columns and the index is rebuilt
-    with the stored groups and configuration (no re-detection), so the
-    loaded index partitions and answers queries exactly like the saved one.
-    Pending delta-store records (format version 2+) are restored
-    un-compacted — without re-evaluating any FD model when the archive
-    carries the per-model masks (version 3) — and tombstoned rows (version
-    3) come back deleted, ready for the next compaction to reclaim.
-    """
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        if "__meta__" not in archive:
-            raise ValueError(f"{path} is not a COAX index archive (missing __meta__)")
-        meta = json.loads(str(archive["__meta__"]))
-        version = meta.get("format_version")
-        if version not in SUPPORTED_VERSIONS:
-            raise ValueError(
-                f"unsupported format version {version!r} "
-                f"(this build reads {SUPPORTED_VERSIONS})"
-            )
-        columns = {name: archive[f"column::{name}"] for name in meta["schema"]}
-        delta_payload: Dict[str, np.ndarray] = {}
-        if meta.get("n_pending"):
-            prefix = "delta::"
-            delta_payload = {
-                key[len(prefix):]: archive[key]
-                for key in archive.files
-                if key.startswith(prefix)
-            }
-        tombstone = (
-            np.asarray(archive["__tombstone__"], dtype=bool)
-            if "__tombstone__" in archive
-            else None
-        )
-        row_ids = (
-            np.asarray(archive["__row_ids__"], dtype=np.int64)
-            if "__row_ids__" in archive
-            else None
-        )
+def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXIndex:
+    """Rebuild one COAX index from a flat-format ``(meta, arrays)`` pair."""
+    columns = {name: arrays[f"column::{name}"] for name in meta["schema"]}
+    delta_payload: Dict[str, np.ndarray] = {}
+    if meta.get("n_pending"):
+        prefix = "delta::"
+        delta_payload = {
+            key[len(prefix):]: array
+            for key, array in arrays.items()
+            if key.startswith(prefix)
+        }
+    tombstone = (
+        np.asarray(arrays["__tombstone__"], dtype=bool)
+        if "__tombstone__" in arrays
+        else None
+    )
+    row_ids = (
+        np.asarray(arrays["__row_ids__"], dtype=np.int64)
+        if "__row_ids__" in arrays
+        else None
+    )
     groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
     config = _config_from_dict(meta["config"])
     if row_ids is None:
@@ -266,3 +284,153 @@ def load_index(path: Union[str, Path]) -> COAXIndex:
     if next_row_id is not None:
         index._next_row_id = int(next_row_id)
     return index
+
+
+def save_index(
+    index: Union[COAXIndex, ShardedCOAX], path: Union[str, Path]
+) -> Path:
+    """Persist an index (data + learned state + delta store) to ``path`` (.npz).
+
+    A plain :class:`COAXIndex` is written as a flat format-3 archive;
+    a :class:`ShardedCOAX` engine as a format-4 sharded archive holding
+    one complete flat section per shard plus the engine header and the
+    global-id mapping.  Pending (inserted but not compacted) records are
+    stored alongside the main columns with their assigned row ids and
+    routing mask either way, so loading restores the exact pre-save state
+    — including what is pending.  Returns the path written.
+    """
+    path = Path(path)
+    # The snapshot is assembled under the index's single-writer lock: a
+    # mutation landing between two shard sections (or between a shard
+    # section and its mapping array) would otherwise produce a torn
+    # archive that fails — or worse, passes — validation on load.
+    if isinstance(index, ShardedCOAX):
+        with index.write_lock:
+            engine_config = index.config
+            shard_metas = []
+            arrays: Dict[str, np.ndarray] = {}
+            for shard_no, shard in enumerate(index.shards):
+                shard_meta, shard_arrays = _index_payload(shard)
+                shard_metas.append(shard_meta)
+                prefix = f"shard{shard_no}::"
+                for key, array in shard_arrays.items():
+                    arrays[prefix + key] = array
+                arrays[prefix + "__global_of__"] = np.asarray(
+                    index._global_of[shard_no], dtype=np.int64
+                )
+            meta = {
+                "format_version": SHARDED_FORMAT_VERSION,
+                "engine": {
+                    "n_shards": engine_config.n_shards,
+                    "partitioning": engine_config.partitioning,
+                    "partition_dimension": index.partition_dimension,
+                    "workers": engine_config.workers,
+                    "boundaries": [float(b) for b in index.shard_boundaries],
+                    "dimensions": list(index.dimensions),
+                    "config": _config_to_dict(engine_config.coax),
+                    "groups": [_group_to_dict(group) for group in index.groups],
+                    "next_global_id": int(index.next_row_id),
+                },
+                "shards": shard_metas,
+            }
+    else:
+        with index.write_lock:
+            meta, arrays = _index_payload(index)
+    arrays["__meta__"] = np.array(json.dumps(meta))
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def _restore_engine(
+    meta: Dict,
+    arrays: Mapping[str, np.ndarray],
+    *,
+    workers: Optional[int] = None,
+) -> ShardedCOAX:
+    """Rebuild a sharded engine from a format-4 archive's contents."""
+    engine_meta = meta["engine"]
+    shards: List[COAXIndex] = []
+    global_of: List[np.ndarray] = []
+    for shard_no, shard_meta in enumerate(meta["shards"]):
+        prefix = f"shard{shard_no}::"
+        shard_arrays = {
+            key[len(prefix):]: array
+            for key, array in arrays.items()
+            if key.startswith(prefix)
+        }
+        global_of.append(np.asarray(shard_arrays.pop("__global_of__"), dtype=np.int64))
+        shards.append(_restore_flat_index(shard_meta, shard_arrays))
+    config = EngineConfig(
+        n_shards=int(engine_meta["n_shards"]),
+        partitioning=engine_meta["partitioning"],
+        partition_dimension=engine_meta.get("partition_dimension"),
+        workers=int(workers if workers is not None else engine_meta.get("workers", 1)),
+        coax=_config_from_dict(engine_meta["config"]),
+    )
+    groups = [_group_from_dict(item) for item in engine_meta["groups"]]
+    return ShardedCOAX._from_shards(
+        shards,
+        config=config,
+        groups=groups,
+        dimensions=engine_meta["dimensions"],
+        global_of=global_of,
+        next_global_id=int(engine_meta["next_global_id"]),
+        boundaries=np.asarray(engine_meta.get("boundaries", []), dtype=np.float64),
+        partition_dimension=engine_meta.get("partition_dimension"),
+    )
+
+
+def _read_archive(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Materialise an archive's header and arrays, validating the version."""
+    with np.load(path, allow_pickle=False) as archive:
+        if "__meta__" not in archive:
+            raise ValueError(f"{path} is not a COAX index archive (missing __meta__)")
+        meta = json.loads(str(archive["__meta__"]))
+        version = meta.get("format_version")
+        if version not in SUPPORTED_VERSIONS:
+            raise UnsupportedFormatError(version)
+        arrays = {key: archive[key] for key in archive.files if key != "__meta__"}
+    return meta, arrays
+
+
+def load_index(path: Union[str, Path]) -> Union[COAXIndex, ShardedCOAX]:
+    """Load an index previously written by :func:`save_index`.
+
+    Format 1–3 archives come back as a :class:`COAXIndex`, format 4
+    archives as a :class:`ShardedCOAX` engine (use :func:`load_engine` to
+    always receive an engine).  The table is restored from the stored
+    columns and each index is rebuilt with the stored groups and
+    configuration (no re-detection), so the loaded index partitions and
+    answers queries exactly like the saved one.  Pending delta-store
+    records (format version 2+) are restored un-compacted — without
+    re-evaluating any FD model when the archive carries the per-model
+    masks (version 3+) — and tombstoned rows (version 3+) come back
+    deleted, ready for the next compaction to reclaim.  Unsupported
+    versions raise :class:`UnsupportedFormatError`.
+    """
+    meta, arrays = _read_archive(Path(path))
+    if meta["format_version"] == SHARDED_FORMAT_VERSION:
+        return _restore_engine(meta, arrays)
+    return _restore_flat_index(meta, arrays)
+
+
+def load_engine(
+    path: Union[str, Path], *, workers: Optional[int] = None
+) -> ShardedCOAX:
+    """Load any supported archive as a sharded engine.
+
+    Format 4 archives restore natively (``workers`` overrides the saved
+    pool size — a deployment knob, not part of the data); format 1–3 flat
+    archives are wrapped into a 1-shard engine whose shard is the loaded
+    COAX index, so legacy archives adopt the engine API without
+    conversion.
+    """
+    meta, arrays = _read_archive(Path(path))
+    if meta["format_version"] == SHARDED_FORMAT_VERSION:
+        engine = _restore_engine(meta, arrays, workers=workers)
+    else:
+        engine = ShardedCOAX.from_index(
+            _restore_flat_index(meta, arrays), workers=workers or 1
+        )
+    return engine

@@ -33,7 +33,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
-            "read_path", "crud",
+            "read_path", "crud", "scale",
         }
 
 

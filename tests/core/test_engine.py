@@ -1,0 +1,451 @@
+"""Tests for the sharded scatter-gather engine (``ShardedCOAX``).
+
+The engine is a pure execution-layer refactor: for any shard count,
+worker count and partitioning scheme, every query — scalar or batch,
+before or after arbitrary interleaved CRUD, across a format-v4 save/load
+round trip — must return exactly what one unsharded ``COAXIndex`` over
+the same data returns.  The property tests drive that oracle equivalence;
+dedicated tests pin the mapping invariants, the pruning counters, the
+concurrency contract and the persistence surface.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.coax import COAXIndex
+from repro.core.config import EngineConfig
+from repro.core.engine import ShardedCOAX
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
+from repro.io.persistence import load_engine, load_index, save_index
+
+#: Shard/worker grid the satellite property test runs (7 shards is prime
+#: on purpose: uneven partitions, some possibly empty after deletes).
+ENGINE_GRID = [(1, 1), (1, 4), (2, 1), (2, 4), (7, 1), (7, 4)]
+
+PROBES = [
+    Rectangle({"x": Interval(10.0, 60.0)}),
+    Rectangle({"y": Interval(30.0, 130.0)}),
+    Rectangle({"x": Interval(0.0, 100.0), "y": Interval(-1e6, 1e6)}),
+    Rectangle({"y": Interval(150.0, 220.0)}),  # dependent-only: translated
+    Rectangle({"x": Interval(5.0, 1.0)}),  # empty
+    Rectangle({"x": Interval(1e6, 2e6)}),  # misses every shard box
+    Rectangle(),
+]
+
+
+def linear_groups():
+    return [
+        FDGroup(
+            predictor="x",
+            dependents=("y",),
+            models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+        )
+    ]
+
+
+def linear_table(seed: int, n: int = 400) -> Table:
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = 2.0 * x + rng.uniform(-1.0, 1.0, size=n)
+    flip = rng.random(n) < 0.15
+    y[flip] = rng.uniform(0.0, 250.0, size=int(flip.sum()))
+    return Table({"x": x, "y": y})
+
+
+def build_engine(table: Table, n_shards: int, workers: int, **kwargs) -> ShardedCOAX:
+    return ShardedCOAX(
+        table,
+        config=EngineConfig(n_shards=n_shards, workers=workers, **kwargs),
+        groups=linear_groups(),
+    )
+
+
+def stats_tuple(stats):
+    return (
+        stats.queries,
+        stats.rows_examined,
+        stats.rows_matched,
+        stats.cells_visited,
+        stats.nodes_visited,
+        stats.shards_pruned,
+    )
+
+
+def assert_engine_matches_oracle(engine: ShardedCOAX, oracle: COAXIndex, queries):
+    """Results bit-identical to the oracle; engine batch == engine scalar
+    including every ``QueryStats`` counter."""
+    expected = [oracle.range_query(query) for query in queries]
+    engine.stats.reset()
+    scalar = [engine.range_query(query) for query in queries]
+    scalar_stats = stats_tuple(engine.stats)
+    engine.stats.reset()
+    batch = engine.batch_range_query(queries)
+    batch_stats = stats_tuple(engine.stats)
+    for position, (want, got_scalar, got_batch) in enumerate(
+        zip(expected, scalar, batch)
+    ):
+        assert np.array_equal(want, got_scalar), ("scalar", position)
+        assert np.array_equal(want, got_batch), ("batch", position)
+    assert scalar_stats == batch_stats
+    return batch_stats
+
+
+class TestConstruction:
+    def test_range_partitioning_covers_every_row_once(self):
+        table = linear_table(0)
+        engine = build_engine(table, 4, 1)
+        assert engine.n_shards == 4
+        assert engine.partition_dimension == "x"
+        assert len(engine.shard_boundaries) == 3
+        assert np.all(np.diff(engine.shard_boundaries) >= 0)
+        covered = np.sort(np.concatenate([s.row_ids for s in engine.shards]))
+        assert len(covered) == table.n_rows  # locally, every shard is dense
+        assert np.array_equal(np.sort(engine.row_ids), np.arange(table.n_rows))
+        # Quantile boundaries give near-even shard sizes.
+        sizes = [shard.n_rows for shard in engine.shards]
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_hash_partitioning_spreads_by_row_id(self):
+        table = linear_table(1)
+        engine = build_engine(table, 3, 1, partitioning="hash")
+        assert engine.partition_dimension is None
+        for global_id in (0, 1, 2, 5, 399):
+            shard_no = int(engine._shard_of[global_id])
+            assert shard_no == global_id % 3
+
+    def test_mapping_round_trips_every_global_id(self):
+        table = linear_table(2)
+        engine = build_engine(table, 7, 1)
+        for shard_no, shard in enumerate(engine.shards):
+            locals_ = np.arange(shard.n_rows, dtype=np.int64)
+            globals_ = engine._global_of[shard_no][locals_]
+            assert np.all(engine._shard_of[globals_] == shard_no)
+            assert np.array_equal(engine._local_of[globals_], locals_)
+
+    def test_more_shards_than_rows_tolerated(self):
+        table = linear_table(3, n=5)
+        engine = build_engine(table, 7, 1)
+        assert engine.n_rows == 5
+        assert np.array_equal(
+            np.sort(engine.range_query(Rectangle())), np.arange(5, dtype=np.int64)
+        )
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(n_shards=0)
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+        with pytest.raises(ValueError):
+            EngineConfig(partitioning="modulo")
+
+    def test_shared_groups_across_shards(self):
+        engine = build_engine(linear_table(4), 3, 1)
+        for shard in engine.shards:
+            assert [g.predictor for g in shard.groups] == ["x"]
+
+
+class TestPruning:
+    def test_missed_boxes_are_pruned_and_counted(self):
+        table = linear_table(5)
+        engine = build_engine(table, 4, 1)
+        engine.stats.reset()
+        # x in [0, 10] lives entirely in the first range shard.
+        hits = engine.range_query(Rectangle({"x": Interval(0.0, 10.0)}))
+        expected = table.select(Rectangle({"x": Interval(0.0, 10.0)}))
+        assert np.array_equal(np.sort(hits), expected)
+        assert engine.stats.shards_pruned >= 2
+        assert engine.stats.queries == 1
+
+    def test_unsharded_indexes_never_touch_the_counter(self):
+        oracle = COAXIndex(linear_table(6), groups=linear_groups())
+        oracle.range_query(Rectangle({"x": Interval(0.0, 10.0)}))
+        assert oracle.stats.shards_pruned == 0
+
+    def test_pruning_cannot_hide_pending_rows(self):
+        table = linear_table(7)
+        engine = build_engine(table, 4, 1)
+        # Insert far outside every build-time bounding box.
+        row_id = engine.insert({"x": 1_000.0, "y": 5_000.0})
+        hits = engine.range_query(Rectangle({"x": Interval(900.0, 1_100.0)}))
+        assert hits.tolist() == [row_id]
+        # After compaction the row lives in a main structure; still found.
+        engine.compact()
+        hits = engine.range_query(Rectangle({"x": Interval(900.0, 1_100.0)}))
+        assert hits.tolist() == [row_id]
+
+
+class TestSingleShardParity:
+    def test_one_shard_engine_equals_flat_coax(self):
+        table = linear_table(8)
+        oracle = COAXIndex(table, groups=linear_groups())
+        engine = build_engine(table, 1, 1)
+        batch = {"x": [10.0, 20.0], "y": [20.1, 700.0]}
+        assert np.array_equal(oracle.insert_batch(batch), engine.insert_batch(batch))
+        assert_engine_matches_oracle(engine, oracle, PROBES)
+        assert engine.n_pending == oracle.n_pending
+        assert engine.n_live == oracle.n_live
+
+
+class TestEquivalenceProperty:
+    """Satellite: 1/2/7 shards x 1/4 workers, interleaved CRUD, stats
+    parity, and a v4 save/load round trip — all bit-identical to the
+    unsharded COAX oracle.
+
+    ``QueryStats`` parity here means: (a) engine batch and engine scalar
+    execution leave identical counters, (b) counters are invariant to the
+    worker count (parallel scatter is deterministic), and (c) ``queries``
+    and ``rows_matched`` equal the oracle's.  ``rows_examined`` /
+    ``cells_visited`` legitimately differ from the oracle's in either
+    direction: per-shard quantile grids draw different cell boundaries
+    (usually fewer candidates), while engine-level pruning skips whole
+    shards including their pending scans.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_interleaved_crud_matches_oracle(self, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        table = linear_table(seed)
+        oracle = COAXIndex(table, groups=linear_groups())
+        engines = {
+            (shards, workers): build_engine(table, shards, workers)
+            for shards, workers in ENGINE_GRID
+        }
+        reference_ids = set(range(table.n_rows))
+        try:
+            for round_no in range(3):
+                k = int(rng.integers(5, 60))
+                bx = rng.uniform(0.0, 100.0, size=k)
+                by = 2.0 * bx + rng.uniform(-10.0, 10.0, size=k)
+                expected_ids = oracle.insert_batch({"x": bx, "y": by})
+                reference_ids.update(int(i) for i in expected_ids)
+                live = np.array(sorted(reference_ids), dtype=np.int64)
+                doomed = rng.choice(
+                    live, size=min(len(live), int(rng.integers(1, 50))), replace=False
+                )
+                reference_ids.difference_update(int(i) for i in doomed)
+                survivors = np.array(sorted(reference_ids), dtype=np.int64)
+                targets = np.unique(
+                    rng.choice(
+                        survivors,
+                        size=min(len(survivors), int(rng.integers(1, 30))),
+                        replace=False,
+                    )
+                )
+                ux = rng.uniform(0.0, 100.0, size=len(targets))
+                uy = 2.0 * ux + rng.uniform(-10.0, 10.0, size=len(targets))
+                deleted_oracle = oracle.delete_batch(doomed)
+                oracle.update_batch(targets, {"x": ux, "y": uy})
+                if round_no == 1:
+                    oracle.compact()
+                per_shardcount_stats = {}
+                for (shards, workers), engine in engines.items():
+                    got_ids = engine.insert_batch({"x": bx, "y": by})
+                    assert np.array_equal(got_ids, expected_ids), (shards, workers)
+                    assert engine.delete_batch(doomed) == deleted_oracle
+                    engine.update_batch(targets, {"x": ux, "y": uy})
+                    if round_no == 1:
+                        engine.compact()
+                    engine_stats = assert_engine_matches_oracle(
+                        engine, oracle, PROBES
+                    )
+                    # Worker count must not change any counter.
+                    key = shards
+                    if key in per_shardcount_stats:
+                        assert per_shardcount_stats[key] == engine_stats, (
+                            shards,
+                            workers,
+                        )
+                    per_shardcount_stats[key] = engine_stats
+                    assert engine.n_pending == oracle.n_pending, (shards, workers)
+                    assert engine.n_live == oracle.n_live, (shards, workers)
+                # Logical-query and matched counters agree with the oracle.
+                oracle.stats.reset()
+                oracle.batch_range_query(PROBES)
+                for shards, stats in per_shardcount_stats.items():
+                    assert stats[0] == oracle.stats.queries, shards
+                    assert stats[2] == oracle.stats.rows_matched, shards
+            # Format v4 round trip of the final (un-compacted) CRUD state.
+            engine = engines[(7, 4)]
+            path = tmp_path_factory.mktemp("engine") / "engine.coax.npz"
+            loaded = load_index(save_index(engine, path))
+            assert isinstance(loaded, ShardedCOAX)
+            assert loaded.n_shards == 7
+            assert loaded.next_row_id == oracle.next_row_id
+            assert loaded.n_pending == oracle.n_pending
+            assert loaded.n_live == oracle.n_live
+            assert_engine_matches_oracle(loaded, oracle, PROBES)
+            loaded.compact()
+            oracle_copy_results = [oracle.range_query(q) for q in PROBES]
+            for want, got in zip(
+                oracle_copy_results, [loaded.range_query(q) for q in PROBES]
+            ):
+                assert np.array_equal(want, got)
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+
+class TestConcurrency:
+    def test_write_lock_exposed_everywhere(self):
+        table = linear_table(9)
+        engine = build_engine(table, 2, 1)
+        assert engine.write_lock is engine.write_lock
+        for shard in engine.shards:
+            assert shard.write_lock is shard.write_lock
+
+    def test_concurrent_inserts_serialise(self):
+        table = linear_table(10)
+        engine = build_engine(table, 4, 2)
+        n_threads, per_thread = 4, 25
+        errors = []
+
+        def writer(thread_no: int):
+            rng = np.random.default_rng(thread_no)
+            try:
+                for _ in range(per_thread):
+                    x = rng.uniform(0.0, 100.0, size=3)
+                    engine.insert_batch({"x": x, "y": 2.0 * x})
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        total_new = n_threads * per_thread * 3
+        assert engine.next_row_id == table.n_rows + total_new
+        # Every id assigned exactly once and every record visible.
+        assert len(engine.range_query(Rectangle())) == table.n_rows + total_new
+        engine.close()
+
+    def test_readers_during_compaction_see_consistent_state(self):
+        table = linear_table(11)
+        engine = build_engine(table, 2, 2)
+        x = np.random.default_rng(0).uniform(0.0, 100.0, size=200)
+        engine.insert_batch({"x": x, "y": 2.0 * x})
+        everything = Rectangle()
+        expected = len(engine.range_query(everything))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    assert len(engine.range_query(everything)) == expected
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(5):
+                engine.compact()
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        engine.close()
+
+
+class TestEnginePersistence:
+    def test_v4_round_trip_preserves_crud_state(self, tmp_path):
+        table = linear_table(12)
+        engine = build_engine(table, 3, 1)
+        engine.insert_batch({"x": [10.0, 50.0], "y": [20.2, 700.0]})
+        engine.delete_batch(np.arange(0, 100, 7, dtype=np.int64))
+        engine.update_batch(np.array([200], dtype=np.int64), {"x": [42.0], "y": [84.1]})
+        path = save_index(engine, tmp_path / "engine.npz")
+        loaded = load_index(path)
+        assert isinstance(loaded, ShardedCOAX)
+        assert loaded.n_shards == engine.n_shards
+        assert loaded.partition_dimension == engine.partition_dimension
+        assert np.allclose(loaded.shard_boundaries, engine.shard_boundaries)
+        assert loaded.n_pending == engine.n_pending
+        assert loaded.n_tombstoned == engine.n_tombstoned
+        for query in PROBES:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(engine.range_query(query)),
+            )
+        # Insert routing keeps working against the restored boundaries.
+        assert loaded.insert({"x": 50.0, "y": 100.0}) == engine.next_row_id
+
+    def test_load_engine_wraps_flat_archives(self, tmp_path):
+        table = linear_table(13)
+        index = COAXIndex(table, groups=linear_groups())
+        index.insert_batch({"x": [10.0], "y": [700.0]})
+        path = save_index(index, tmp_path / "flat.npz")
+        engine = load_engine(path, workers=2)
+        assert isinstance(engine, ShardedCOAX)
+        assert engine.n_shards == 1
+        assert engine.workers == 2
+        assert engine.n_pending == index.n_pending
+        for query in PROBES:
+            assert np.array_equal(
+                np.sort(engine.range_query(query)),
+                np.sort(index.range_query(query)),
+            )
+
+    def test_load_engine_workers_override_on_v4(self, tmp_path):
+        engine = build_engine(linear_table(14), 2, 1)
+        path = save_index(engine, tmp_path / "engine.npz")
+        assert load_engine(path).workers == 1
+        assert load_engine(path, workers=4).workers == 4
+
+
+class TestDelegatedAPI:
+    def test_delete_where_and_rows_live(self):
+        table = linear_table(15)
+        engine = build_engine(table, 3, 1)
+        box = Rectangle({"x": Interval(0.0, 20.0)})
+        doomed = engine.delete_where(box)
+        assert len(doomed) > 0
+        assert not engine.rows_live(doomed).any()
+        assert len(engine.range_query(box)) == 0
+        # delete_rows routes through the same path (idempotent).
+        assert engine.delete_rows(doomed) == 0
+
+    def test_update_batch_is_atomic_across_shards(self):
+        table = linear_table(16)
+        engine = build_engine(table, 4, 1)
+        engine.delete(5)
+        before = {
+            int(i): engine.rows_live(np.array([i], dtype=np.int64))[0]
+            for i in range(10)
+        }
+        with pytest.raises(KeyError):
+            # id 5 is dead: nothing of the batch may apply, on any shard.
+            engine.update_batch(
+                np.array([0, 5], dtype=np.int64),
+                {"x": [1.0, 2.0], "y": [2.0, 4.0]},
+            )
+        hits = engine.range_query(Rectangle({"x": Interval(0.9, 1.1)}))
+        assert 0 not in hits.tolist()
+        for i, was_live in before.items():
+            assert engine.rows_live(np.array([i], dtype=np.int64))[0] == was_live
+
+    def test_directory_bytes_include_mapping(self):
+        engine = build_engine(linear_table(17), 2, 1)
+        breakdown = engine.memory_breakdown()
+        assert set(breakdown) == {"shard0", "shard1", "mapping"}
+        assert engine.directory_bytes() == sum(breakdown.values())
+
+    def test_column_is_not_global(self):
+        engine = build_engine(linear_table(18), 2, 1)
+        with pytest.raises(NotImplementedError):
+            engine.column("x")

@@ -40,6 +40,38 @@ class TestQueryStats:
         assert stats.queries == 0
         assert stats.mean_rows_examined == 0.0
 
+    def test_merge_sums_every_counter(self):
+        left = QueryStats(
+            queries=2,
+            rows_examined=10,
+            rows_matched=3,
+            cells_visited=4,
+            nodes_visited=1,
+            shards_pruned=2,
+        )
+        right = QueryStats(
+            queries=1,
+            rows_examined=5,
+            rows_matched=2,
+            cells_visited=6,
+            nodes_visited=0,
+            shards_pruned=3,
+        )
+        merged = left.merge(right)
+        assert merged is left  # accumulates in place, returns self
+        assert (left.queries, left.rows_examined, left.rows_matched) == (3, 15, 5)
+        assert (left.cells_visited, left.nodes_visited, left.shards_pruned) == (10, 1, 5)
+        # The other operand is untouched.
+        assert right.queries == 1 and right.rows_examined == 5
+
+    def test_merge_then_reset_clears_shards_pruned(self):
+        stats = QueryStats()
+        stats.merge(QueryStats(shards_pruned=7))
+        stats.record(shards_pruned=1)
+        assert stats.shards_pruned == 8
+        stats.reset()
+        assert stats.shards_pruned == 0
+
 
 class TestRegistry:
     def test_known_indexes_registered(self):

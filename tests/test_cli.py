@@ -91,3 +91,38 @@ class TestQueryBench:
         payload = json.loads(target.read_text())
         assert payload["experiment"] == "read_path"
         assert payload["rows"]
+
+
+class TestScaleBench:
+    def test_alias_resolves_in_smoke_mode(self):
+        text = run_experiment(
+            "scale-bench",
+            rows=3_000,
+            queries=24,
+            shards=[1, 2],
+            workers=[1],
+            smoke=True,
+        )
+        assert "ShardedCOAX" in text and "COAX (unsharded)" in text
+        assert "crud" in text
+        assert "shards_pruned_per_q" in text
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["scale-bench", "--smoke", "--shards", "1", "4", "--workers", "1", "2"]
+        )
+        assert args.smoke is True
+        assert args.shards == [1, 4]
+        assert args.workers == [1, 2]
+
+    def test_export_writes_json(self, tmp_path):
+        target = tmp_path / "scale.json"
+        assert main(
+            ["scale-bench", "--rows", "3000", "--queries", "16", "--smoke",
+             "--shards", "1", "2", "--workers", "1", "--export", str(target)]
+        ) == 0
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["experiment"] == "scale"
+        assert payload["rows"]

@@ -6,13 +6,22 @@ import numpy as np
 import pytest
 
 from repro.core.coax import COAXIndex
+from repro.core.config import EngineConfig
+from repro.core.engine import ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.queries import WorkloadConfig, generate_knn_queries
 from repro.data.table import Table
 from repro.fd.groups import FDGroup
 from repro.fd.model import LinearFDModel, SplineFDModel
 from repro.io.datasets import encode_categories, load_csv, load_npz, save_csv, save_npz
-from repro.io.persistence import FORMAT_VERSION, load_index, save_index
+from repro.io.persistence import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    UnsupportedFormatError,
+    load_engine,
+    load_index,
+    save_index,
+)
 
 
 class TestIndexPersistence:
@@ -297,6 +306,28 @@ class TestIndexPersistence:
         with pytest.raises(ValueError):
             load_index(path)
 
+    def test_unsupported_version_error_is_typed(self, airline_coax, tmp_path):
+        """A future version raises the typed error naming what IS readable."""
+        import json
+
+        path = save_index(airline_coax, tmp_path / "future.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        meta["format_version"] = 99
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        future_path = tmp_path / "v99.npz"
+        with future_path.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        for loader in (load_index, load_engine):
+            with pytest.raises(UnsupportedFormatError) as excinfo:
+                loader(future_path)
+            assert excinfo.value.version == 99
+            assert excinfo.value.supported == tuple(SUPPORTED_VERSIONS)
+            for version in SUPPORTED_VERSIONS:
+                assert str(version) in str(excinfo.value)
+            assert isinstance(excinfo.value, ValueError)  # back-compat
+
     def test_unserialisable_model_rejected(self):
         from repro.io.persistence import _model_from_dict, _model_to_dict
 
@@ -307,6 +338,112 @@ class TestIndexPersistence:
             _model_to_dict(WeirdModel())
         with pytest.raises(ValueError):
             _model_from_dict({"kind": "mystery"})
+
+
+class TestFormatVersionMatrix:
+    """Every supported on-disk version loads — via ``load_index`` into its
+    natural type and via ``load_engine`` always into a sharded engine
+    (v1–v3 become a 1-shard engine)."""
+
+    @pytest.fixture(scope="class")
+    def fixture_state(self, tmp_path_factory):
+        """One CRUD-laden index plus one archive per format version."""
+        import json
+
+        rng = np.random.default_rng(21)
+        x = rng.uniform(0.0, 100.0, size=800)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=800)})
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+            )
+        ]
+        index = COAXIndex(table, groups=groups)
+        index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
+        base = tmp_path_factory.mktemp("versions")
+        paths = {}
+        # v3: what save_index writes for a flat index today.
+        paths[3] = save_index(index, base / "v3.npz")
+        with np.load(paths[3], allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        # v2: no per-model masks, no tombstones, no row-id section.
+        v2_meta = dict(meta, format_version=2)
+        v2_meta.pop("n_tombstoned", None)
+        v2_meta.pop("n_live", None)
+        v2_arrays = {
+            key: value
+            for key, value in arrays.items()
+            if not key.startswith("delta::model::")
+            and key not in ("__tombstone__", "__row_ids__", "__meta__")
+        }
+        v2_arrays["__meta__"] = np.array(json.dumps(v2_meta))
+        paths[2] = base / "v2.npz"
+        with paths[2].open("wb") as handle:
+            np.savez_compressed(handle, **v2_arrays)
+        # v1: no delta section at all — the archive of a compacted index.
+        v1_meta = dict(v2_meta, format_version=1, n_pending=0)
+        v1_meta.pop("next_row_id", None)
+        v1_arrays = {
+            key: value
+            for key, value in v2_arrays.items()
+            if not key.startswith("delta::") and key != "__meta__"
+        }
+        v1_arrays["__meta__"] = np.array(json.dumps(v1_meta))
+        paths[1] = base / "v1.npz"
+        with paths[1].open("wb") as handle:
+            np.savez_compressed(handle, **v1_arrays)
+        # v4: the sharded engine over the same data and delta state.
+        engine = ShardedCOAX(
+            table, config=EngineConfig(n_shards=3, workers=1), groups=groups
+        )
+        engine.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
+        paths[4] = save_index(engine, base / "v4.npz")
+        return index, engine, paths
+
+    PROBES = (
+        Rectangle({"x": Interval(10.0, 60.0)}),
+        Rectangle({"y": Interval(699.0, 701.0)}),
+        Rectangle(),
+    )
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    def test_load_index_returns_natural_type(self, fixture_state, version):
+        index, engine, paths = fixture_state
+        loaded = load_index(paths[version])
+        reference = engine if version == 4 else index
+        if version == 4:
+            assert isinstance(loaded, ShardedCOAX) and loaded.n_shards == 3
+        else:
+            assert isinstance(loaded, COAXIndex)
+        if version >= 2:
+            assert loaded.n_pending == reference.n_pending
+        for query in self.PROBES:
+            expected = np.sort(reference.range_query(query))
+            if version == 1:
+                # v1 carries no delta section: only the build rows load.
+                expected = expected[expected < 800]
+            assert np.array_equal(np.sort(loaded.range_query(query)), expected)
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    def test_load_engine_always_returns_engine(self, fixture_state, version):
+        index, engine, paths = fixture_state
+        loaded = load_engine(paths[version])
+        assert isinstance(loaded, ShardedCOAX)
+        assert loaded.n_shards == (3 if version == 4 else 1)
+        reference = engine if version == 4 else index
+        for query in self.PROBES:
+            expected = np.sort(reference.range_query(query))
+            if version == 1:
+                expected = expected[expected < 800]
+            assert np.array_equal(np.sort(loaded.range_query(query)), expected)
+        # The wrapped engine stays fully usable: CRUD plus compaction.
+        new_id = loaded.insert({"x": 5.0, "y": 10.0})
+        assert new_id == loaded.next_row_id - 1
+        assert loaded.delete(new_id)
+        loaded.compact()
 
 
 class TestCSV:
