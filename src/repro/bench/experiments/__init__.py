@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     ablations,
     appendix_g,
     crud,
+    drift,
     fig4,
     fig6,
     fig7,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "read_path": (read_path.run, "Read path — sequential vs batch query execution"),
     "crud": (crud.run, "CRUD — delete/update throughput and post-compaction latency"),
     "scale": (scale.run, "Scale — sharded scatter-gather execution and shard pruning"),
+    "drift": (drift.run, "Drift — frozen vs adaptive FD models on a drifting stream"),
 }
 
 __all__ = [
@@ -45,6 +47,7 @@ __all__ = [
     "ablations",
     "appendix_g",
     "crud",
+    "drift",
     "fig4",
     "fig6",
     "fig7",

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bench.experiments.datasets import airline_table, osm_table, standard_workloads
+from repro.bench.harness import count_mismatches, time_batched_queries
 from repro.bench.reporting import ExperimentResult
 from repro.core.coax import COAXIndex
 from repro.core.config import COAXConfig
@@ -55,32 +56,6 @@ def _time_sequential(
         results = [index.range_query(query) for query in queries]
         best = min(best, time.perf_counter() - start)
     return best, results
-
-
-def _time_batched(
-    index: MultidimensionalIndex, queries: Sequence, batch_size: int, repeats: int
-) -> Tuple[float, List[np.ndarray]]:
-    """Best-of-``repeats`` wall clock plus results of batched execution."""
-    queries = list(queries)
-    best = np.inf
-    results: List[np.ndarray] = []
-    for _ in range(max(repeats, 1)):
-        run_results: List[np.ndarray] = []
-        start = time.perf_counter()
-        for begin in range(0, len(queries), batch_size):
-            run_results.extend(
-                index.batch_range_query(queries[begin : begin + batch_size])
-            )
-        best = min(best, time.perf_counter() - start)
-        results = run_results
-    return best, results
-
-
-def _mismatches(left: List[np.ndarray], right: List[np.ndarray]) -> int:
-    """Number of queries whose two result arrays differ."""
-    return sum(
-        0 if np.array_equal(a, b) else 1 for a, b in zip(left, right)
-    )
 
 
 def _bench_index(
@@ -116,8 +91,8 @@ def _bench_index(
             }
         )
         for batch_size in batch_sizes:
-            batch_seconds, batch_results = _time_batched(index, queries, batch_size, repeats)
-            mismatched = _mismatches(seq_results, batch_results)
+            batch_seconds, batch_results = time_batched_queries(index, queries, batch_size, repeats)
+            mismatched = count_mismatches(seq_results, batch_results)
             speedup = seq_seconds / max(batch_seconds, 1e-9)
             best[workload_name] = max(best.get(workload_name, 0.0), speedup)
             rows.append(

@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bench.experiments.datasets import airline_table, standard_workloads
+from repro.bench.harness import count_mismatches, time_batched_queries
 from repro.bench.reporting import ExperimentResult
 from repro.core.coax import COAXIndex
 from repro.core.config import COAXConfig, EngineConfig
@@ -67,28 +68,6 @@ DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
 
 #: K of the KNN query generator (matches the standard workloads).
 K_NEIGHBOURS = 200
-
-
-def _time_batched(index, queries: Sequence, batch_size: int, repeats: int):
-    """Best-of-``repeats`` wall clock plus results of batched execution."""
-    queries = list(queries)
-    best = np.inf
-    results: List[np.ndarray] = []
-    for _ in range(max(repeats, 1)):
-        run_results: List[np.ndarray] = []
-        start = time.perf_counter()
-        for begin in range(0, len(queries), batch_size):
-            run_results.extend(
-                index.batch_range_query(queries[begin : begin + batch_size])
-            )
-        best = min(best, time.perf_counter() - start)
-        results = run_results
-    return best, results
-
-
-def _mismatches(left: List[np.ndarray], right: List[np.ndarray]) -> int:
-    """Number of queries whose two result arrays differ."""
-    return sum(0 if np.array_equal(a, b) else 1 for a, b in zip(left, right))
 
 
 def _crud_phase(
@@ -152,7 +131,7 @@ def _crud_phase(
             engine.compact()
         expected = oracle.batch_range_query(probes)
         got = engine.batch_range_query(probes)
-        mismatched += _mismatches(expected, got)
+        mismatched += count_mismatches(expected, got)
         checked += len(probes)
     engine.close()
     if mismatched:
@@ -240,7 +219,7 @@ def run(
     }
     oracle_results: Dict[str, List[np.ndarray]] = {}
     for workload_name, queries in workloads.items():
-        oracle_seconds, oracle_result = _time_batched(oracle, queries, batch_size, repeats)
+        oracle_seconds, oracle_result = time_batched_queries(oracle, queries, batch_size, repeats)
         oracle_results[workload_name] = oracle_result
         rows.append(
             {
@@ -282,8 +261,8 @@ def run(
         build_seconds = time.perf_counter() - build_start
         for workload_name, queries in workloads.items():
             engine.stats.reset()
-            seconds, results = _time_batched(engine, queries, batch_size, repeats)
-            mismatched = _mismatches(oracle_results[workload_name], results)
+            seconds, results = time_batched_queries(engine, queries, batch_size, repeats)
+            mismatched = count_mismatches(oracle_results[workload_name], results)
             if mismatched:
                 raise AssertionError(
                     f"sharded results diverged from the unsharded oracle on "

@@ -25,6 +25,9 @@ __all__ = [
     "ComparisonRow",
     "execute_workload",
     "time_workload",
+    "time_batched_queries",
+    "count_mismatches",
+    "drive_insert_stream",
     "run_comparison",
     "default_index_specs",
     "sharded_index_specs",
@@ -165,6 +168,87 @@ def time_workload(
         samples.append(time.perf_counter() - start)
         total_results += len(matches)
     return TimingResult.from_samples(samples, total_results)
+
+
+def time_batched_queries(
+    index: MultidimensionalIndex,
+    queries: Sequence,
+    batch_size: int,
+    repeats: int,
+) -> "tuple[float, List[np.ndarray]]":
+    """Best-of-``repeats`` wall clock plus results of batched execution.
+
+    The timing core shared by the read-path, scale and drift experiment
+    drivers: the whole workload runs through ``batch_range_query`` in
+    batches of ``batch_size``, ``repeats`` times, and the minimum total
+    wall clock is reported together with the (repeat-invariant) results
+    so the caller can verify them against an oracle.
+    """
+    queries = list(queries)
+    best = np.inf
+    results: List[np.ndarray] = []
+    for _ in range(max(repeats, 1)):
+        run_results: List[np.ndarray] = []
+        start = time.perf_counter()
+        for begin in range(0, len(queries), batch_size):
+            run_results.extend(
+                index.batch_range_query(queries[begin : begin + batch_size])
+            )
+        best = min(best, time.perf_counter() - start)
+        results = run_results
+    return best, results
+
+
+def count_mismatches(
+    left: Sequence[np.ndarray], right: Sequence[np.ndarray]
+) -> int:
+    """Number of positionally aligned result pairs that differ.
+
+    The oracle-verification primitive of the read-path, scale and drift
+    drivers: every benchmark compares its result lists element-for-element
+    through this one definition of equality.
+    """
+    return sum(
+        0 if np.array_equal(a, b) else 1 for a, b in zip(left, right)
+    )
+
+
+def drive_insert_stream(
+    index,
+    batches: Sequence[Dict[str, np.ndarray]],
+    *,
+    compact_every: Optional[int] = None,
+) -> Dict[str, float]:
+    """Feed an insert stream (e.g. a drifting workload) into an index.
+
+    The write-side counterpart of :func:`execute_workload`: every batch
+    goes through ``insert_batch`` and, when ``compact_every`` is set, the
+    index compacts after each that many batches (and once at the end of
+    the stream) — the cadence at which adaptive model maintenance gets to
+    act.  Works for anything with the COAX CRUD surface (``COAXIndex``,
+    ``ShardedCOAX``).  Returns ``{"rows_inserted", "seconds",
+    "compactions"}`` so drivers can report write throughput alongside
+    their query numbers.
+    """
+    if compact_every is not None and compact_every < 1:
+        raise ValueError("compact_every must be at least 1 (or None)")
+    rows_inserted = 0
+    compactions = 0
+    start = time.perf_counter()
+    for batch_no, batch in enumerate(batches, start=1):
+        ids = index.insert_batch(batch)
+        rows_inserted += len(ids)
+        if compact_every is not None and batch_no % compact_every == 0:
+            index.compact()
+            compactions += 1
+    if compact_every is not None and len(batches) % compact_every != 0:
+        index.compact()
+        compactions += 1
+    return {
+        "rows_inserted": float(rows_inserted),
+        "seconds": time.perf_counter() - start,
+        "compactions": float(compactions),
+    }
 
 
 def run_comparison(

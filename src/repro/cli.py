@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli crud --smoke
     python -m repro.cli scale-bench --shards 1 2 4 8 --workers 1 4 --export BENCH_scale.json
     python -m repro.cli scale-bench --smoke
+    python -m repro.cli drift-bench --export BENCH_drift.json
+    python -m repro.cli drift-bench --smoke
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
@@ -20,9 +22,11 @@ delta-store update benchmark (an alias of the ``updates`` experiment id);
 ``query-bench`` runs the read-path benchmark (``read_path``); ``crud`` runs
 the delete/update benchmark against a delete-aware full-scan oracle;
 ``scale-bench`` runs the sharded-engine scaling benchmark (``scale``) over
-a ``--shards`` x ``--workers`` grid.  ``--smoke`` is the quick CI variant
-of each (asserting the batch/sharded paths hold their guarantees), and
-``--export`` writes the JSON artifact.
+a ``--shards`` x ``--workers`` grid; ``drift-bench`` runs the drifting
+insert stream comparing frozen vs adaptive FD models (``drift``), every
+result verified against a full-scan oracle.  ``--smoke`` is the quick CI
+variant of each (asserting the batch/sharded/adaptive paths hold their
+guarantees), and ``--export`` writes the JSON artifact.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ COMMAND_ALIASES = {
     "update-bench": "updates",
     "query-bench": "read_path",
     "scale-bench": "scale",
+    "drift-bench": "drift",
 }
 
 

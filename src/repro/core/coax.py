@@ -62,6 +62,7 @@ from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig, FDCandidate, detect_soft_fds, evaluate_pair
 from repro.fd.groups import FDGroup, build_groups
+from repro.fd.maintenance import REFIT, REUSE, MaintenanceManager
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, register_index
 from repro.indexes.grid_file import SortedCellGridIndex
 from repro.indexes.rtree import RTreeIndex
@@ -227,6 +228,17 @@ class COAXIndex(MultidimensionalIndex):
         self._delta = DeltaStore(tuple(table.schema), self._groups)
         self._next_row_id = int(table.n_rows)
 
+        # ------------------------------------------------------------------
+        # 6. Drift-aware model maintenance (optional; see fd.maintenance).
+        # ------------------------------------------------------------------
+        self._maintenance: Optional[MaintenanceManager] = None
+        if config.maintenance.enabled and self._groups:
+            self._maintenance = MaintenanceManager(
+                self._groups,
+                config.maintenance,
+                partition.per_model_inlier_fraction,
+            )
+
         self._report = COAXBuildReport(
             n_rows=self.n_rows,
             groups=list(self._groups),
@@ -349,6 +361,11 @@ class COAXIndex(MultidimensionalIndex):
     def delta(self) -> DeltaStore:
         """The columnar delta store holding not-yet-compacted inserts."""
         return self._delta
+
+    @property
+    def maintenance(self) -> Optional[MaintenanceManager]:
+        """Drift monitors of the learned models (``None`` when disabled)."""
+        return self._maintenance
 
     @property
     def next_row_id(self) -> int:
@@ -622,8 +639,24 @@ class COAXIndex(MultidimensionalIndex):
             # Claim the ids only after the append succeeded: a batch that
             # blows up mid-routing must not permanently burn its id range.
             self._next_row_id += n_new
+            self._observe_pending_tail(columns, n_new)
             self._maybe_auto_compact()
             return row_ids
+
+    def _observe_pending_tail(self, columns: Mapping[str, np.ndarray], n_new: int) -> None:
+        """Stream a just-appended batch into the drift monitors.
+
+        The delta store has already recorded every per-model margin mask
+        for routing; the monitors read the batch's slice of those buffers,
+        so maintenance never re-evaluates a model on the write path.
+        """
+        if self._maintenance is None or n_new == 0:
+            return
+        masks = {
+            name: self._delta.model_mask(name)[-n_new:]
+            for name in self._maintenance.model_names
+        }
+        self._maintenance.observe_batch(columns, masks)
 
     def _maybe_auto_compact(self) -> None:
         """Compact when either configured trigger (pending count or
@@ -755,6 +788,7 @@ class COAXIndex(MultidimensionalIndex):
             self._delta.delete_rows(row_ids)
             self._delete_main_rows(row_ids)
             self._delta.append_batch(columns, row_ids)
+            self._observe_pending_tail(columns, n_new)
             self._maybe_auto_compact()
             return row_ids
 
@@ -776,13 +810,49 @@ class COAXIndex(MultidimensionalIndex):
         compaction never renumbers.  Returns ``self`` so existing
         ``index = index.compact()`` call sites keep working.
 
+        With drift-aware maintenance enabled
+        (``COAXConfig.maintenance.enabled``), compaction first consults the
+        model monitors: *reuse* keeps the fast paths above untouched,
+        *remargin* widens the affected models' margins in place (bands
+        only grow, so existing primary rows stay covered — no structural
+        work), and *refit* replaces the models from their refreshed
+        posteriors and re-partitions the affected rows through the
+        reclaiming rebuild.
+
         Mutation entry point: holds the single-writer lock for the whole
         fold (see the concurrency contract in :mod:`repro.indexes.base`).
         """
         with self._write_lock:
-            if self._delta.n_pending == 0 and self._n_tombstoned == 0:
+            refresh = REUSE
+            refit_groups: Optional[List[FDGroup]] = None
+            if self._maintenance is not None:
+                outcome = self._maintenance.refresh(self._groups)
+                refresh = outcome.action
+                if refresh == REFIT:
+                    # Refitted margins may shrink, so the groups are only
+                    # adopted together with the re-partition — the rebuild
+                    # below consumes them, and the monitors reset only
+                    # after it commits: a failed rebuild leaves the old
+                    # models, structures AND monitor state fully
+                    # consistent.
+                    refit_groups = list(outcome.groups)
+                elif refresh != REUSE:
+                    # Widened margins are safe to adopt immediately: every
+                    # primary-index record inside the old band is inside
+                    # the new one too.
+                    self._adopt_groups(outcome.groups)
+                    self._maintenance.commit(outcome)
+            if (
+                self._delta.n_pending == 0
+                and self._n_tombstoned == 0
+                and refresh != REFIT
+            ):
                 return self
-            if self.rows_aligned and self._n_tombstoned == 0:
+            if (
+                self.rows_aligned
+                and self._n_tombstoned == 0
+                and refresh != REFIT
+            ):
                 pending_ids = self._delta.row_ids.copy()
                 pending_inliers = self._delta.inlier_mask.copy()
                 pending_model_counts = self._delta.per_model_inlier_counts
@@ -790,9 +860,55 @@ class COAXIndex(MultidimensionalIndex):
                     pending_ids, pending_inliers, pending_model_counts
                 )
             else:
-                self._compact_reclaim()
+                self._compact_reclaim(groups=refit_groups)
+                if refresh == REFIT:
+                    self._maintenance.commit(outcome)
             self._delta.clear()
+            if self._maintenance is not None and refresh != REUSE:
+                # The refreshed band's baseline follows the partition
+                # fractions the fold just recomputed (reclaim) or merged
+                # (incremental), so the next epoch's reactive triggers
+                # compare against the band actually being monitored —
+                # identically on both compaction paths.
+                self._maintenance.rebind(
+                    self._groups, self._partition.per_model_inlier_fraction
+                )
             return self
+
+    def _adopt_groups(self, groups: Sequence[FDGroup]) -> None:
+        """Switch to refreshed FD models (same ``predictor->dependent`` set).
+
+        Only sound for *monotonically widened* margins (or together with a
+        re-partition, which the reclaiming rebuild handles itself via its
+        ``groups`` argument): future routing, translation and planning
+        immediately use the new models, while already-routed pending rows
+        keep their recorded masks (conservative: stale narrower margins
+        can only send a row to the outlier index, where every query finds
+        it without any model).
+        """
+        self._groups = list(groups)
+        self._delta.set_groups(self._groups)
+        self._report = replace(self._report, groups=list(self._groups))
+
+    def apply_refresh(self, groups: Sequence[FDGroup]) -> None:
+        """Adopt externally *widened* models (engine-coordinated re-margin).
+
+        The sharded engine owns ONE shared maintenance manager and pushes
+        the refreshed groups to every shard through this entry point, so
+        all shards keep identical translation semantics.  Only sound for
+        monotonically widened margins — no structural work is done; a
+        refit (margins may shrink, rows must move) goes through the
+        engine's transactional :meth:`_build_reclaimed` /
+        :meth:`_swap_reclaimed` protocol instead.
+        """
+        with self._write_lock:
+            self._adopt_groups(
+                [
+                    group
+                    for group in groups
+                    if all(attr in self._dimensions for attr in group.attributes)
+                ]
+            )
 
     def _pending_tail_table(self) -> Table:
         """Tail table spanning ids ``[table.n_rows, next_row_id)``.
@@ -864,19 +980,37 @@ class COAXIndex(MultidimensionalIndex):
             per_model_inlier_fraction=dict(per_model),
         )
 
-    def _compact_reclaim(self) -> None:
+    def _compact_reclaim(self, groups: Optional[Sequence[FDGroup]] = None) -> None:
         """Rebuild over the survivors with the learned groups, keeping ids.
 
-        Used whenever tombstones exist or the index covers a table subset:
-        tombstoned rows are dropped from every structure (directories,
-        partition, bounding boxes and the per-index column copies are all
-        recomputed from live rows only), updated pending rows are written
-        back to their original table positions, and new pending rows land
-        at ``position == id`` in the extended table — so every surviving
-        record keeps the row id it has always had.  Dead positions stay in
-        the backing table as uncovered slots; every index structure and
-        column copy is rebuilt without them, which is where the memory and
-        scan cost of deleted rows actually lived.
+        Used whenever tombstones exist, the index covers a table subset, or
+        a model refit requires a re-partition (``groups`` then carries the
+        refitted models): tombstoned rows are dropped from every structure
+        (directories, partition, bounding boxes and the per-index column
+        copies are all recomputed from live rows only), updated pending
+        rows are written back to their original table positions, and new
+        pending rows land at ``position == id`` in the extended table — so
+        every surviving record keeps the row id it has always had.  Dead
+        positions stay in the backing table as uncovered slots; every index
+        structure and column copy is rebuilt without them, which is where
+        the memory and scan cost of deleted rows actually lived.
+
+        Exception-safe: the fresh index (including any refitted groups) is
+        fully built *before* anything on ``self`` changes, so a failed
+        rebuild leaves the index exactly as it was — structures, groups
+        and delta store all still mutually consistent.
+        """
+        self._swap_reclaimed(self._build_reclaimed(groups))
+
+    def _build_reclaimed(
+        self, groups: Optional[Sequence[FDGroup]] = None
+    ) -> "COAXIndex":
+        """Phase 1 of a reclaiming rebuild: construct the fresh index.
+
+        Pure with respect to ``self`` — nothing is mutated, so a failure
+        here (allocation, outlier-index build, ...) is harmless.  The
+        engine's coordinated refit uses this directly to prepare every
+        shard before committing any of them.
         """
         pending_ids = self._delta.row_ids.copy()
         n_rows = self._table.n_rows
@@ -894,23 +1028,38 @@ class COAXIndex(MultidimensionalIndex):
             columns[name] = np.concatenate([base, tail])
         combined = Table(columns)
         survivors = np.union1d(self.live_row_ids(), pending_ids)
-        fresh = COAXIndex(
+        return COAXIndex(
             combined,
             config=self._config,
-            groups=self._groups,
+            groups=list(groups) if groups is not None else self._groups,
             row_ids=survivors,
             dimensions=self._dimensions,
         )
+
+    def _swap_reclaimed(self, fresh: "COAXIndex") -> None:
+        """Phase 2 of a reclaiming rebuild: adopt the fresh index's state.
+
+        Nothing here allocates or can meaningfully fail — the commit step
+        of the build-then-swap protocol.
+        """
         stats = self.stats
         next_row_id = self._next_row_id
         # The lock identity must survive the rebuild: concurrent readers
         # and the sharded engine hold references to *this* lock, and the
-        # current thread is inside it right now.
+        # current thread is inside it right now.  The maintenance manager
+        # survives too — its monitors keep their streamed statistics and
+        # just follow the rebuilt index's model objects and baselines.
         write_lock = self._write_lock
+        maintenance = self._maintenance
         self.__dict__.update(fresh.__dict__)
         self.stats = stats
         self._next_row_id = next_row_id
         self._write_lock = write_lock
+        self._maintenance = maintenance
+        if maintenance is not None:
+            maintenance.rebind(
+                self._groups, self._partition.per_model_inlier_fraction
+            )
 
     # ------------------------------------------------------------------
     # Memory accounting

@@ -7,13 +7,84 @@ from typing import Optional, Tuple
 
 from repro.fd.detection import DetectionConfig
 
-__all__ = ["COAXConfig", "EngineConfig"]
+__all__ = ["COAXConfig", "EngineConfig", "MaintenanceConfig"]
 
 #: Index types that may serve as the outlier index.
 OUTLIER_INDEX_CHOICES: Tuple[str, ...] = ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan")
 
 #: Partitioning schemes the sharded engine supports.
 PARTITIONING_CHOICES: Tuple[str, ...] = ("range", "hash")
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Refresh thresholds of drift-aware adaptive model maintenance.
+
+    When ``enabled``, every inserted batch is streamed into a per-model
+    :class:`~repro.fd.maintenance.ModelMonitor` (Bayesian posterior update
+    plus outside-margin and residual-drift tracking), and each compaction
+    consults the monitors to pick one of three refresh tiers per model:
+    *reuse* (today's fast incremental compact), *re-estimate margins*
+    (widen the band pre-emptively, no re-partition needed), or *refit*
+    (replace the model from the refreshed posterior and re-partition the
+    affected rows).  The escape prediction is Equation 9's mean first exit
+    time of a drifting Brownian motion out of the margin band
+    (:func:`repro.stats.theory.mean_first_exit_time_with_drift`).
+
+    Disabled by default: the models then stay exactly as built, which is
+    the paper's (static) setting.
+    """
+
+    #: Master switch; everything below is inert when False.
+    enabled: bool = False
+    #: Minimum streamed observations per model before any refresh decision
+    #: (fewer observations always decide "reuse").
+    min_observations: int = 256
+    #: Residuals farther than this many margin-band widths from the line
+    #: are treated as outliers and excluded from the posterior/drift
+    #: statistics (the routing masks still count them as outside).
+    update_band_factor: float = 3.0
+    #: Re-estimate margins when the Equation-9 exit capacity drops below
+    #: this fraction of the driftless capacity (drift is about to push the
+    #: residual walk out of the band).
+    remargin_capacity_ratio: float = 0.5
+    #: Re-estimate margins when the streamed outside-margin fraction
+    #: exceeds the build-time baseline by this much.
+    remargin_outside_excess: float = 0.08
+    #: Refit + re-partition when the streamed outside-margin fraction
+    #: exceeds the build-time baseline by this much (the band has already
+    #: escaped; widening alone cannot recover the primary fraction).
+    refit_outside_excess: float = 0.25
+    #: Refit when the refreshed posterior slope differs from the current
+    #: model slope by this relative amount.
+    refit_slope_shift: float = 0.25
+    #: Refit when the refreshed posterior intercept moved by more than
+    #: this many margin-band widths (the line itself has drifted away).
+    refit_intercept_bands: float = 1.0
+    #: Symmetric margin width of refreshed models, in posterior noise
+    #: standard deviations (mirrors ``DetectionConfig.margin_sigmas``).
+    margin_sigmas: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.min_observations < 2:
+            raise ValueError("min_observations must be at least 2")
+        if self.update_band_factor <= 0:
+            raise ValueError("update_band_factor must be positive")
+        if not 0.0 < self.remargin_capacity_ratio <= 1.0:
+            raise ValueError("remargin_capacity_ratio must be in (0, 1]")
+        for name in (
+            "remargin_outside_excess",
+            "refit_outside_excess",
+            "refit_slope_shift",
+            "refit_intercept_bands",
+            "margin_sigmas",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.refit_outside_excess < self.remargin_outside_excess:
+            raise ValueError(
+                "refit_outside_excess must be at least remargin_outside_excess"
+            )
 
 
 @dataclass(frozen=True)
@@ -53,6 +124,9 @@ class COAXConfig:
     #: is tombstoned by deletes/updates (in ``(0, 1]``); ``None`` leaves
     #: tombstones in place until a manual :meth:`COAXIndex.compact`.
     auto_compact_tombstone_fraction: Optional[float] = None
+    #: Drift-aware adaptive model maintenance (disabled by default — the
+    #: learned models are then frozen at build time, the paper's setting).
+    maintenance: MaintenanceConfig = field(default_factory=MaintenanceConfig)
 
     def __post_init__(self) -> None:
         if self.primary_cells_per_dim < 1:

@@ -31,24 +31,61 @@ from repro.data.predicates import Rectangle
 from repro.data.table import Table
 from repro.fd.groups import FDGroup, per_model_inlier_masks
 
-__all__ = ["DeltaStore", "coerce_batch"]
+__all__ = ["DeltaStore", "NonFiniteBatchError", "coerce_batch"]
 
 #: Initial capacity (rows) of a freshly created delta store.
 INITIAL_CAPACITY = 256
 #: Geometric growth factor of the append buffers.
 GROWTH_FACTOR = 2.0
 
+def _column_hull(values: np.ndarray) -> Tuple[float, float]:
+    """NaN-safe ``(min, max)`` of one column for the incremental hull.
+
+    ``fmin``/``fmax`` ignore NaN unless every value is NaN, in which case
+    the hull falls back to the unbounded interval: the box may then
+    over-cover but can never under-cover live pending rows, which is the
+    one property shard pruning relies on.  (The insert path already
+    rejects non-finite values in :func:`coerce_batch`; this is the
+    backstop for direct ``append_batch`` callers.)
+    """
+    low = np.fmin.reduce(values)
+    high = np.fmax.reduce(values)
+    if np.isnan(low) or np.isnan(high):
+        return -np.inf, np.inf
+    return float(low), float(high)
+
+
 #: Anything accepted as an insert batch: a table, a column mapping, or a
 #: sequence of record dicts (the slow but convenient path).
 BatchLike = Union[Table, Mapping[str, np.ndarray], Sequence[Mapping[str, float]]]
+
+
+class NonFiniteBatchError(ValueError):
+    """An insert/update batch contains NaN or infinite values.
+
+    Record values must be finite: NaN is the library's dead-slot marker in
+    backing tables, and a NaN reaching the delta store's incremental hull
+    would poison every box comparison (NaN compares ``False``), letting
+    engine-level shard pruning skip shards that hold live pending rows.
+    Subclasses ``ValueError`` so pre-existing handlers keep working; the
+    offending attribute name is carried for programmatic handling.
+    """
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        super().__init__(
+            f"batch column {attribute!r} contains non-finite values "
+            "(NaN/inf record values are not supported)"
+        )
 
 
 def coerce_batch(batch: BatchLike, schema: Sequence[str]) -> Dict[str, np.ndarray]:
     """Normalise an insert batch to float64 column arrays in schema order.
 
     Raises ``ValueError`` when attributes are missing or column lengths
-    disagree; extra attributes are ignored so callers can pass richer
-    records.
+    disagree, and the typed :class:`NonFiniteBatchError` when any value is
+    NaN or infinite; extra attributes are ignored so callers can pass
+    richer records.
     """
     if isinstance(batch, Table):
         columns: Mapping[str, np.ndarray] = batch.columns()
@@ -62,7 +99,7 @@ def coerce_batch(batch: BatchLike, schema: Sequence[str]) -> Dict[str, np.ndarra
         if missing:
             raise ValueError(f"record is missing attributes: {missing}")
         try:
-            return {
+            columns = {
                 name: np.array(
                     [float(record[name]) for record in records], dtype=np.float64
                 )
@@ -83,6 +120,8 @@ def coerce_batch(batch: BatchLike, schema: Sequence[str]) -> Dict[str, np.ndarra
             raise ValueError(
                 f"batch column {name!r} has {len(array)} rows, expected {n_rows}"
             )
+        if not np.isfinite(array).all():
+            raise NonFiniteBatchError(name)
         arrays[name] = array
     return arrays
 
@@ -184,9 +223,36 @@ class DeltaStore:
         """
         return None if self._size == 0 else self._box
 
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        """``predictor->dependent`` names of the routed FD models."""
+        return self._model_names
+
     def model_mask(self, name: str) -> np.ndarray:
         """Active prefix of one model's margin mask (a view, do not mutate)."""
         return self._model_masks[name][: self._size]
+
+    def set_groups(self, groups: Sequence[FDGroup]) -> None:
+        """Swap in refreshed FD models for future routing decisions.
+
+        The model set must be unchanged (same ``predictor->dependent``
+        names) so the recorded per-model masks keep their meaning; only
+        the model parameters (slope, intercept, margins) may differ.
+        Masks already recorded stay as appended — routing a record by
+        stale (narrower) margins is conservative: it lands in the outlier
+        index, where every query finds it without any model.
+        """
+        names = tuple(
+            f"{group.predictor}->{dependent}"
+            for group in groups
+            for dependent in group.dependents
+        )
+        if names != self._model_names:
+            raise ValueError(
+                f"refreshed groups define models {list(names)}, "
+                f"expected {list(self._model_names)}"
+            )
+        self._groups = tuple(groups)
 
     def column(self, name: str) -> np.ndarray:
         """Active prefix of one buffered column (a view, do not mutate)."""
@@ -280,15 +346,17 @@ class DeltaStore:
             )
         self._size = stop
         if self._box is None:
+            batch_hull = {name: _column_hull(columns[name]) for name in self._schema}
             self._box = (
-                {name: float(columns[name].min()) for name in self._schema},
-                {name: float(columns[name].max()) for name in self._schema},
+                {name: hull[0] for name, hull in batch_hull.items()},
+                {name: hull[1] for name, hull in batch_hull.items()},
             )
         else:
             lows, highs = self._box
             for name in self._schema:
-                lows[name] = min(lows[name], float(columns[name].min()))
-                highs[name] = max(highs[name], float(columns[name].max()))
+                low, high = _column_hull(columns[name])
+                lows[name] = min(lows[name], low)
+                highs[name] = max(highs[name], high)
         return inlier_mask
 
     def delete_rows(self, row_ids: np.ndarray) -> int:
@@ -320,6 +388,11 @@ class DeltaStore:
             mask = self._model_masks[name]
             mask[:new_size] = mask[: self._size][keep]
         self._size = new_size
+        if new_size == 0:
+            # A drained buffer must drop its hull: the next append would
+            # otherwise union into the stale box and keep it permanently
+            # inflated, silently degrading engine-level shard pruning.
+            self._box = None
         return n_deleted
 
     def clear(self) -> None:

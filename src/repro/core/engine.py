@@ -59,13 +59,16 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from repro.core.coax import COAXBuildReport, COAXIndex, learn_groups
-from repro.core.config import EngineConfig
+from repro.core.config import COAXConfig, EngineConfig
 from repro.core.delta import BatchLike, coerce_batch
+from repro.fd.maintenance import REFIT, REUSE, MaintenanceManager
 from repro.core.planner import batch_overlaps_box, plan_query_flags
 from repro.core.query_translation import (
     translate_bounds_batch,
@@ -75,7 +78,7 @@ from repro.core.query_translation import (
 from repro.core.results import merge_flat_row_ids, merge_row_ids
 from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
-from repro.fd.groups import FDGroup
+from repro.fd.groups import FDGroup, per_model_inlier_masks
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, QueryStats
 
 __all__ = ["ShardedCOAX"]
@@ -153,6 +156,20 @@ class ShardedCOAX(MultidimensionalIndex):
             if all(attr in self._dimensions for attr in group.attributes)
         ]
 
+        # Drift-aware maintenance is engine-owned: ONE shared manager
+        # streams every insert and coordinates refreshes at engine-level
+        # compaction, while the per-shard indexes are built with
+        # maintenance disabled — a shard refreshing its own models
+        # independently would make the shards' translation semantics
+        # diverge.  All shards therefore keep identical groups forever.
+        self._maintenance: Optional[MaintenanceManager] = None
+        self._shard_config: COAXConfig = config.coax
+        if config.coax.maintenance.enabled:
+            self._shard_config = replace(
+                config.coax,
+                maintenance=replace(config.coax.maintenance, enabled=False),
+            )
+
         # Partitioning scheme: quantile boundaries for range, id modulo for
         # hash.  Boundaries are fixed at build time; later inserts are
         # routed against them, so shards stay balanced for stationary
@@ -190,12 +207,18 @@ class ShardedCOAX(MultidimensionalIndex):
         def build_shard(global_ids: np.ndarray) -> COAXIndex:
             return COAXIndex(
                 table.take(global_ids),
-                config=config.coax,
+                config=self._shard_config,
                 groups=self._groups,
                 dimensions=self._dimensions,
             )
 
         self._shards: List[COAXIndex] = self._map_shards(build_shard, shard_global_ids)
+        if config.coax.maintenance.enabled and self._groups:
+            self._maintenance = MaintenanceManager(
+                self._groups,
+                config.coax.maintenance,
+                self._aggregate_inlier_fractions(),
+            )
 
         # Global-id ↔ (shard, local position) mapping.  ``_global_of[s]``
         # is indexed by shard-local row id (== local table position, the
@@ -235,6 +258,27 @@ class ShardedCOAX(MultidimensionalIndex):
         if self._config.n_shards == 1:
             return np.zeros(len(global_ids), dtype=np.int64)
         return np.asarray(global_ids, dtype=np.int64) % self._config.n_shards
+
+    def _aggregate_inlier_fractions(self) -> Dict[str, float]:
+        """Engine-wide per-model inlier fractions (row-weighted over shards).
+
+        The build baseline the shared drift monitors compare the streamed
+        outside-margin fraction against.
+        """
+        totals: Dict[str, float] = {}
+        weights: Dict[str, float] = {}
+        for shard in self._shards:
+            n_rows = shard.n_rows
+            if not n_rows:
+                continue
+            for name, fraction in shard.partition.per_model_inlier_fraction.items():
+                totals[name] = totals.get(name, 0.0) + fraction * n_rows
+                weights[name] = weights.get(name, 0.0) + n_rows
+        return {
+            name: totals[name] / weights[name]
+            for name in totals
+            if weights[name] > 0
+        }
 
     def _map_shards(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
         """Run ``fn`` over ``items`` — on the worker pool when configured.
@@ -296,6 +340,15 @@ class ShardedCOAX(MultidimensionalIndex):
     def groups(self) -> Tuple[FDGroup, ...]:
         """The FD groups shared by every shard."""
         return tuple(self._groups)
+
+    @property
+    def maintenance(self) -> Optional[MaintenanceManager]:
+        """The engine-wide shared drift monitors (``None`` when disabled).
+
+        Shards never carry their own manager: refresh is coordinated here
+        so all shards keep identical groups.
+        """
+        return self._maintenance
 
     @property
     def partition_dimension(self) -> Optional[str]:
@@ -458,6 +511,20 @@ class ShardedCOAX(MultidimensionalIndex):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _maintenance_guard(self):
+        """Lock excluding queries from a coordinated model refresh.
+
+        With adaptive maintenance enabled, a full compaction can swap the
+        models *and* re-partition every shard; a query translating with
+        one generation of groups while shards execute another would lose
+        rows.  Readers therefore serialise against the engine lock — only
+        in the adaptive configuration; the default (frozen-model) engine
+        keeps its lock-free read path, because its groups never change.
+        """
+        if self._maintenance is not None:
+            return self._write_lock
+        return nullcontext()
+
     def range_query(self, query: Rectangle) -> np.ndarray:
         """Global row ids of records matching ``query`` exactly.
 
@@ -466,6 +533,10 @@ class ShardedCOAX(MultidimensionalIndex):
         """
         if query.is_empty:
             return np.empty(0, dtype=np.int64)
+        with self._maintenance_guard():
+            return self._range_query_locked(query)
+
+    def _range_query_locked(self, query: Rectangle) -> np.ndarray:
         translated = translate_query(query, self._groups)
         visits = self._scalar_visit_mask(query, translated)
         gathered = QueryStats()
@@ -509,6 +580,12 @@ class ShardedCOAX(MultidimensionalIndex):
         n_queries = len(queries)
         if n_queries == 0:
             return []
+        with self._maintenance_guard():
+            return self._batch_range_query_locked(queries, n_queries)
+
+    def _batch_range_query_locked(
+        self, queries: List[Rectangle], n_queries: int
+    ) -> List[np.ndarray]:
         bounds = batch_bounds(queries)
         live = np.ones(n_queries, dtype=bool)
         for lows, highs in bounds.values():
@@ -632,6 +709,7 @@ class ShardedCOAX(MultidimensionalIndex):
                 return global_ids
             assignment = self._route(columns, global_ids)
             local_ids = np.empty(n_new, dtype=np.int64)
+            masks = self._new_mask_gather(n_new)
             for shard_no in np.unique(assignment):
                 routed = assignment == shard_no
                 shard = self._shards[shard_no]
@@ -642,13 +720,67 @@ class ShardedCOAX(MultidimensionalIndex):
                 # has its global id resolvable.
                 with shard.write_lock:
                     local_ids[routed] = shard.insert_batch(sub_columns)
+                    self._gather_shard_masks(shard, routed, masks, sub_columns)
                     self._global_of[shard_no] = np.concatenate(
                         [self._global_of[shard_no], global_ids[routed]]
                     )
             self._shard_of = np.concatenate([self._shard_of, assignment])
             self._local_of = np.concatenate([self._local_of, local_ids])
             self._next_global_id += n_new
+            self._observe_columns(columns, masks)
             return global_ids
+
+    def _new_mask_gather(self, n_new: int) -> Optional[Dict[str, np.ndarray]]:
+        """Batch-order per-model mask buffers for the shared monitors.
+
+        ``None`` when maintenance is disabled — nothing is gathered then.
+        """
+        if self._maintenance is None:
+            return None
+        return {
+            name: np.empty(n_new, dtype=bool)
+            for name in self._maintenance.model_names
+        }
+
+    def _gather_shard_masks(
+        self,
+        shard: COAXIndex,
+        routed: np.ndarray,
+        masks: Optional[Dict[str, np.ndarray]],
+        sub_columns: Mapping[str, np.ndarray],
+    ) -> None:
+        """Scatter a shard's freshly recorded routing masks into batch order.
+
+        The shard's delta store just appended this sub-batch at its tail
+        and recorded one margin mask per model for routing; slicing those
+        buffers back means the shared monitors never re-evaluate a model
+        on the write path — same as the flat index's
+        ``_observe_pending_tail``.  The one exception: when the shard's
+        auto-compaction fired inside the write and drained its buffer,
+        the masks are re-derived for this sub-batch only.
+        """
+        if masks is None:
+            return
+        n_routed = int(np.count_nonzero(routed))
+        if n_routed == 0:
+            return
+        if shard.delta.n_pending >= n_routed:
+            for name, buffer in masks.items():
+                buffer[routed] = shard.delta.model_mask(name)[-n_routed:]
+        else:
+            computed = per_model_inlier_masks(self._groups, sub_columns)
+            for name, buffer in masks.items():
+                buffer[routed] = computed[name]
+
+    def _observe_columns(
+        self,
+        columns: Mapping[str, np.ndarray],
+        masks: Optional[Dict[str, np.ndarray]],
+    ) -> None:
+        """Stream a whole written batch into the shared drift monitors."""
+        if self._maintenance is None or masks is None:
+            return
+        self._maintenance.observe_batch(columns, masks)
 
     # ------------------------------------------------------------------
     # Deletes and in-place updates
@@ -738,10 +870,14 @@ class ShardedCOAX(MultidimensionalIndex):
                 raise KeyError(
                     f"cannot update unknown or deleted row ids: {missing.tolist()[:10]}"
                 )
+            masks = self._new_mask_gather(n_new)
             for shard_no in touched:
                 routed = shard_ids == shard_no
                 sub_columns = {name: array[routed] for name, array in columns.items()}
-                self._shards[shard_no].update_batch(local_ids[routed], sub_columns)
+                shard = self._shards[shard_no]
+                shard.update_batch(local_ids[routed], sub_columns)
+                self._gather_shard_masks(shard, routed, masks, sub_columns)
+            self._observe_columns(columns, masks)
             return row_ids
 
     def compact(self, shard: Optional[int] = None) -> "ShardedCOAX":
@@ -753,12 +889,63 @@ class ShardedCOAX(MultidimensionalIndex):
         Stop-the-world only ever happens per shard: queries against other
         shards proceed concurrently (each compaction holds only its own
         shard's lock).  Returns ``self``.
+
+        Drift-aware model refresh happens only on a *full* compaction: the
+        shared monitors decide once, and the refreshed groups are pushed
+        to every shard before the per-shard folds, so shards can never
+        disagree about the models.  A single-shard compact deliberately
+        never refreshes — it would have to touch every other shard too.
+
+        A refit is applied transactionally: every shard's re-partitioned
+        replacement is *built* first without mutating anything (in
+        parallel on the pool), and only when all builds succeeded are the
+        shards swapped and the engine's groups committed — a failure
+        during the build phase leaves the whole engine on the old models,
+        mutually consistent.  Queries exclude the refresh window through
+        :meth:`_maintenance_guard`.
         """
         with self._write_lock:
             if shard is not None:
                 self._shards[shard].compact()
                 return self
+            refreshed = False
+            if self._maintenance is not None:
+                outcome = self._maintenance.refresh(self._groups)
+                refreshed = outcome.action != REUSE
+                if outcome.action == REFIT:
+                    new_groups = list(outcome.groups)
+                    # Phase 1: pure builds, nothing mutated anywhere — a
+                    # failure leaves engine, shards and monitors on the
+                    # old generation, mutually consistent.
+                    prepared = self._map_shards(
+                        lambda s: s._build_reclaimed(new_groups), self._shards
+                    )
+                    # Phase 2: commit — swaps and bookkeeping only.
+                    for shard_index, fresh in zip(self._shards, prepared):
+                        with shard_index.write_lock:
+                            shard_index._swap_reclaimed(fresh)
+                            shard_index.delta.clear()
+                    self._groups = new_groups
+                    self._maintenance.commit(outcome)
+                elif refreshed:
+                    # Margins only widened: adoption is structure-free and
+                    # safe per shard (see COAXIndex.apply_refresh).
+                    self._groups = list(outcome.groups)
+                    self._map_shards(
+                        lambda s: s.apply_refresh(self._groups),
+                        self._shards,
+                    )
+                    self._maintenance.commit(outcome)
             self._map_shards(lambda s: s.compact(), self._shards)
+            if refreshed:
+                # The refreshed band's baseline follows the inlier
+                # fractions the shard folds just recomputed/merged — the
+                # engine-level analogue of the flat index's post-fold
+                # rebind, so both configurations damp the reactive
+                # triggers identically.
+                self._maintenance.rebind(
+                    self._groups, self._aggregate_inlier_fractions()
+                )
             return self
 
     # ------------------------------------------------------------------
@@ -832,6 +1019,28 @@ class ShardedCOAX(MultidimensionalIndex):
         self._partition_dim = partition_dimension
         self._boundaries = np.asarray(boundaries, dtype=np.float64)
         self._shards = shards
+        self._shard_config = shards[0].config
+        # Drift maintenance is strictly engine-owned: a shard refreshing
+        # its own models would diverge from the groups the engine
+        # translates batch queries with, silently losing rows.  A wrapped
+        # flat index's manager is therefore *promoted* to the engine (its
+        # monitor state survives) and stripped from the shard.
+        self._maintenance = None
+        if config.coax.maintenance.enabled and self._groups:
+            promoted = next(
+                (s.maintenance for s in shards if s.maintenance is not None),
+                None,
+            )
+            if promoted is not None:
+                for s in shards:
+                    s._maintenance = None
+                self._maintenance = promoted
+            else:
+                self._maintenance = MaintenanceManager(
+                    self._groups,
+                    config.coax.maintenance,
+                    self._aggregate_inlier_fractions(),
+                )
         self._shard_of = np.empty(next_global_id, dtype=np.int64)
         self._local_of = np.empty(next_global_id, dtype=np.int64)
         seen = np.zeros(next_global_id, dtype=bool)

@@ -21,6 +21,7 @@ __all__ = [
     "CorrelatedGroupSpec",
     "SyntheticDatasetSpec",
     "generate_correlated_dataset",
+    "generate_drifting_batches",
     "clustered_coordinates",
 ]
 
@@ -160,6 +161,69 @@ def generate_correlated_dataset(spec: SyntheticDatasetSpec) -> Tuple[Table, Dict
     for name, low, high in spec.independent_attributes:
         columns[name] = rng.uniform(low, high, size=spec.n_rows)
     return Table(columns), metadata
+
+
+def generate_drifting_batches(
+    spec: SyntheticDatasetSpec,
+    *,
+    n_batches: int,
+    rows_per_batch: int,
+    intercept_drift: float,
+    slope_drift: float = 0.0,
+    hold_fraction: float = 0.0,
+    seed: int | None = None,
+) -> List[Dict[str, np.ndarray]]:
+    """An insert stream whose correlated groups drift over the batches.
+
+    The workload model for adaptive-maintenance experiments: batch ``j``
+    is generated from ``spec`` with every dependent attribute's intercept
+    shifted by ``ramp(j) * intercept_drift`` (and its slope by
+    ``ramp(j) * slope_drift``), where ``ramp`` rises linearly from
+    ``1/n_batches`` to 1 over the first ``(1 - hold_fraction)`` share of
+    the stream and then *holds* at the final shift — the
+    ramp-then-stabilise shape of a regime change.  Independent attributes
+    and the outlier mechanism are untouched, so only the location of the
+    dependency moves, exactly what stale frozen margins cannot follow.
+
+    Returns one schema-complete column mapping per batch (ready for
+    ``insert_batch``); drift is constant within a batch and steps between
+    batches.  ``seed`` defaults to ``spec.seed + 1`` so the stream never
+    replays the build table.
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be at least 1")
+    if rows_per_batch < 1:
+        raise ValueError("rows_per_batch must be at least 1")
+    if not 0.0 <= hold_fraction < 1.0:
+        raise ValueError("hold_fraction must be in [0, 1)")
+    rng = np.random.default_rng(spec.seed + 1 if seed is None else seed)
+    ramp_batches = max(int(round(n_batches * (1.0 - hold_fraction))), 1)
+    batches: List[Dict[str, np.ndarray]] = []
+    for j in range(n_batches):
+        ramp = min(j + 1, ramp_batches) / ramp_batches
+        columns: Dict[str, np.ndarray] = {}
+        for group in spec.groups:
+            drifted = CorrelatedGroupSpec(
+                attributes=group.attributes,
+                slopes=tuple(
+                    slope + ramp * slope_drift for slope in group.slopes
+                ),
+                intercepts=tuple(
+                    intercept + ramp * intercept_drift
+                    for intercept in group.intercepts
+                ),
+                noise_scale=group.noise_scale,
+                outlier_fraction=group.outlier_fraction,
+                base_low=group.base_low,
+                base_high=group.base_high,
+                base_distribution=group.base_distribution,
+            )
+            group_columns, _ = _generate_group(drifted, rows_per_batch, rng)
+            columns.update(group_columns)
+        for name, low, high in spec.independent_attributes:
+            columns[name] = rng.uniform(low, high, size=rows_per_batch)
+        batches.append(columns)
+    return batches
 
 
 def clustered_coordinates(

@@ -45,8 +45,14 @@ class BayesianLinearRegression:
     ``sigma^2 ~ InverseGamma(a0, b0)``.
 
     The class keeps only sufficient statistics, so :meth:`update` supports
-    streaming/online refinement (used by COAX's insert path) and
-    :meth:`fit` is just "reset + update".
+    streaming/online refinement and :meth:`fit` is just "reset + update".
+    Build-time soft-FD detection fits models through :meth:`fit`; at run
+    time, :mod:`repro.fd.maintenance` streams every inserted batch into a
+    per-model instance via :meth:`update` so the refreshed posterior is
+    ready whenever drift forces a margin re-estimate or a model refit.
+    The mutable posterior state round-trips through
+    :meth:`sufficient_statistics` / :meth:`load_sufficient_statistics`
+    (how persistence carries monitor state across save/load).
     """
 
     def __init__(
@@ -84,6 +90,38 @@ class BayesianLinearRegression:
     def n_observations(self) -> float:
         """Total (possibly weighted) number of observations absorbed."""
         return self._n
+
+    #: Length of the flat state vector (precision 4, precision-mean 2,
+    #: y'y 1, observation count 1).
+    STATE_LENGTH = 8
+
+    def sufficient_statistics(self) -> np.ndarray:
+        """Flat copy of the mutable posterior state (for persistence).
+
+        The prior hyper-parameters are *not* included — they are
+        construction arguments, so a restored instance must be built with
+        the same prior before :meth:`load_sufficient_statistics`.
+        """
+        return np.concatenate(
+            [
+                self._precision.ravel(),
+                self._precision_mean,
+                [self._yty, self._n],
+            ]
+        ).astype(np.float64)
+
+    def load_sufficient_statistics(self, state: np.ndarray) -> None:
+        """Inverse of :meth:`sufficient_statistics`."""
+        state = np.asarray(state, dtype=np.float64).ravel()
+        if len(state) != self.STATE_LENGTH:
+            raise ValueError(
+                f"posterior state must have {self.STATE_LENGTH} entries, "
+                f"got {len(state)}"
+            )
+        self._precision = state[:4].reshape(2, 2).copy()
+        self._precision_mean = state[4:6].copy()
+        self._yty = float(state[6])
+        self._n = float(state[7])
 
     # ------------------------------------------------------------------
     # Learning

@@ -1,0 +1,609 @@
+"""Drift-aware adaptive maintenance of the learned soft-FD models.
+
+The paper's premise is that models learned at build time keep paying off at
+query time.  Under a drifting insert stream that stops being true: the
+linear relationship the model captured moves, the margin band no longer
+covers new records, translated queries widen or miss, and the
+primary/outlier split degrades.  The paper itself provides the two
+ingredients to close that loop — a Bayesian regression whose posterior "can
+help supporting updates on the index" (Section 5), and Equation 9's mean
+first exit time of a drifting Brownian motion out of the margin band
+(Theorem 7.2) — and this module wires them together:
+
+* a :class:`ModelMonitor` per ``predictor->dependent`` model streams every
+  inserted batch into a :class:`~repro.fd.bayesian.BayesianLinearRegression`
+  posterior and tracks the outside-margin fraction (cheap: the delta store
+  already records a per-model margin mask for every appended row) plus the
+  residual drift trend of the stream;
+* at every compaction the monitor turns those statistics into one of three
+  refresh tiers, predicted by Equation 9
+  (:func:`repro.stats.theory.mean_first_exit_time_with_drift`):
+
+  - **reuse** — the model still fits; compaction stays the fast incremental
+    fold it always was;
+  - **re-estimate margins** — drift is about to push the residual walk out
+    of the band (the exit capacity fell below the configured fraction of
+    the driftless ``eps^2/sigma^2``), so the margins are widened from the
+    observed residuals.  Widening is *monotone* (bands only grow), so every
+    record already in a primary index stays inside its band — no
+    re-partition is needed and correctness is untouched;
+  - **refit** — the band has effectively escaped (outside fraction way
+    above the build baseline, or the posterior line itself moved), so the
+    model is replaced by the refreshed posterior's line with fresh margins
+    and the affected rows are re-partitioned (margins may *shrink* here,
+    which is only sound together with a re-partition).
+
+:class:`MaintenanceManager` aggregates the per-model monitors behind the
+two calls the index layer needs: ``observe_batch`` on the write path and
+``refresh`` at compaction.  The sharded engine shares ONE manager across
+all shards and applies the refreshed groups to every shard in the same
+compaction, so the shards' translation semantics can never diverge.
+
+Only :class:`~repro.fd.model.LinearFDModel` is monitored; a group using a
+spline model is left untouched (its monitor always decides "reuse").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import MaintenanceConfig
+from repro.fd.bayesian import BayesianLinearRegression
+from repro.fd.groups import FDGroup
+from repro.fd.model import LinearFDModel
+from repro.stats.theory import (
+    expected_keys_per_segment,
+    mean_first_exit_time_with_drift,
+)
+
+__all__ = [
+    "ModelMonitor",
+    "MaintenanceManager",
+    "MaintenanceOutcome",
+    "RefreshDecision",
+    "REUSE",
+    "REMARGIN",
+    "REFIT",
+]
+
+#: The three refresh tiers, in increasing order of invasiveness.
+REUSE = "reuse"
+REMARGIN = "remargin"
+REFIT = "refit"
+
+#: Minimum *accepted* (near-band) observations before drift/posterior
+#: statistics are trusted; below this only the outside fraction can act.
+_MIN_TREND_OBSERVATIONS = 8
+
+#: Numerical floor for margins/scales so Equation 9 stays defined for
+#: degenerate (zero-width or noise-free) bands.
+_TINY = 1e-12
+
+
+@dataclass(frozen=True)
+class RefreshDecision:
+    """One model's refresh decision plus the statistics that produced it."""
+
+    model: str
+    action: str
+    #: Streamed observations since the last refresh (all rows).
+    n_streamed: int
+    #: Fraction of streamed rows outside the margin band.
+    outside_fraction: float
+    #: Build-time outside fraction (the data's inherent outlier share).
+    baseline_outside: float
+    #: Residual drift per streamed row (slope of the residual trend).
+    drift: float
+    #: Residual volatility around the drift trend.
+    sigma: float
+    #: Equation 9: expected rows before the residual walk exits the band.
+    exit_capacity: float
+    #: ``exit_capacity`` relative to the driftless ``eps^2/sigma^2``.
+    capacity_ratio: float
+
+    @property
+    def outside_excess(self) -> float:
+        """Outside fraction beyond the build-time baseline."""
+        return self.outside_fraction - self.baseline_outside
+
+
+@dataclass(frozen=True)
+class MaintenanceOutcome:
+    """Result of one :meth:`MaintenanceManager.refresh` pass."""
+
+    #: Most invasive action any model decided (drives the compaction path).
+    action: str
+    #: The groups to use from now on (unchanged objects when ``reuse``).
+    groups: Tuple[FDGroup, ...]
+    #: Per-model decisions keyed by ``predictor->dependent``.
+    decisions: Dict[str, RefreshDecision]
+
+
+class ModelMonitor:
+    """Streaming health monitor of one linear soft-FD model.
+
+    ``observe`` is called once per inserted batch with the predictor and
+    dependent columns plus the margin mask the delta store recorded; it
+    advances three groups of sufficient statistics:
+
+    * two Bayesian posteriors over (slope, intercept, noise): the *banded*
+      one is fed only with rows within ``update_band_factor`` band widths
+      of the current line, so a burst of genuine outliers cannot hijack a
+      refreshed model; the *wide* one absorbs every finite row and is the
+      refit fallback when the stream jumped so far that nothing lands
+      near the old line any more (the banded posterior is then empty);
+    * the residual drift trend — a least-squares line of residual against
+      stream position over the same near-band rows, giving the drift ``d``
+      and volatility ``sigma`` Equation 9 needs;
+    * the outside-margin counters over *all* rows (the observable that
+      says the band is already failing).
+
+    Everything is O(batch) NumPy work on data the insert path has already
+    materialised; no model is ever re-evaluated outside the delta store's
+    existing margin check.
+    """
+
+    #: Length of the flat persistence state vector: 4 counters/epoch + 5
+    #: trend sums + the two regressions' 8 sufficient statistics each.
+    STATE_LENGTH = 9 + 2 * BayesianLinearRegression.STATE_LENGTH
+
+    def __init__(self, name: str, model: LinearFDModel, baseline_outside: float) -> None:
+        self._name = name
+        self._model = model
+        self._baseline_outside = float(baseline_outside)
+        self._regression = BayesianLinearRegression()
+        self._wide_regression = BayesianLinearRegression()
+        self._n_streamed = 0
+        self._n_outside = 0
+        self._n_accepted = 0
+        # Residual-vs-stream-position trend sums (t is the running index
+        # of accepted observations within the current epoch).
+        self._sum_t = 0.0
+        self._sum_t2 = 0.0
+        self._sum_r = 0.0
+        self._sum_tr = 0.0
+        self._sum_r2 = 0.0
+        #: Completed refresh epochs (diagnostics only).
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """``predictor->dependent`` name of the monitored model."""
+        return self._name
+
+    @property
+    def model(self) -> LinearFDModel:
+        """The model currently monitored."""
+        return self._model
+
+    @property
+    def n_streamed(self) -> int:
+        """Rows streamed since the last refresh."""
+        return self._n_streamed
+
+    @property
+    def outside_fraction(self) -> float:
+        """Fraction of streamed rows outside the margin band."""
+        return self._n_outside / self._n_streamed if self._n_streamed else 0.0
+
+    @property
+    def posterior(self):
+        """Refreshed posterior summary of the streamed observations."""
+        return self._regression.posterior()
+
+    def _band_width(self) -> float:
+        return max(self._model.eps_lb + self._model.eps_ub, _TINY)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def observe(
+        self, x: np.ndarray, y: np.ndarray, inside_mask: np.ndarray
+    ) -> None:
+        """Absorb one inserted batch (vectorised, O(batch))."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        inside_mask = np.asarray(inside_mask, dtype=bool)
+        n = len(x)
+        if n == 0:
+            return
+        self._n_streamed += n
+        self._n_outside += int(n - np.count_nonzero(inside_mask))
+        residuals = self._model.residuals(x, y)
+        finite = np.isfinite(residuals)
+        if finite.any():
+            self._wide_regression.update(x[finite], y[finite])
+        accept = finite & (np.abs(residuals) <= self.accept_band())
+        n_accepted = int(np.count_nonzero(accept))
+        if n_accepted == 0:
+            return
+        self._regression.update(x[accept], y[accept])
+        t = self._n_accepted + np.arange(n_accepted, dtype=np.float64)
+        r = residuals[accept]
+        self._n_accepted += n_accepted
+        self._sum_t += float(t.sum())
+        self._sum_t2 += float((t * t).sum())
+        self._sum_r += float(r.sum())
+        self._sum_tr += float((t * r).sum())
+        self._sum_r2 += float((r * r).sum())
+
+    def accept_band(self) -> float:
+        """Residual magnitude up to which a row feeds the posterior."""
+        return self._config_band_factor * self._band_width()
+
+    # The band factor is configured per decision call; keep the last one
+    # seen so `accept_band` has a sensible default before any decide().
+    _config_band_factor: float = 3.0
+
+    def configure(self, config: MaintenanceConfig) -> None:
+        """Adopt the acceptance band factor of ``config``."""
+        self._config_band_factor = float(config.update_band_factor)
+
+    # ------------------------------------------------------------------
+    # Drift statistics and the decision
+    # ------------------------------------------------------------------
+    def drift_estimate(self) -> Tuple[float, float]:
+        """``(drift per row, volatility)`` of the residual trend.
+
+        A least-squares fit of residual against stream position over the
+        accepted observations; volatility is the RMS deviation around that
+        trend.  Returns ``(0, 0)`` while too few observations exist.
+        """
+        n = float(self._n_accepted)
+        if n < _MIN_TREND_OBSERVATIONS:
+            return 0.0, 0.0
+        sxx = self._sum_t2 - self._sum_t * self._sum_t / n
+        syy = self._sum_r2 - self._sum_r * self._sum_r / n
+        sxy = self._sum_tr - self._sum_t * self._sum_r / n
+        if sxx <= 0:
+            return 0.0, 0.0
+        drift = sxy / sxx
+        sse = max(syy - drift * sxy, 0.0)
+        sigma = float(np.sqrt(sse / max(n - 2.0, 1.0)))
+        return float(drift), sigma
+
+    def decide(self, config: MaintenanceConfig) -> RefreshDecision:
+        """Pick the refresh tier from the statistics streamed so far."""
+        self.configure(config)
+        drift, sigma = self.drift_estimate()
+        eps = max(self._band_width() / 2.0, _TINY)
+        effective_sigma = max(sigma, _TINY)
+        exit_capacity = mean_first_exit_time_with_drift(
+            eps, effective_sigma, drift
+        )
+        capacity_ratio = (
+            exit_capacity / expected_keys_per_segment(eps, effective_sigma)
+            if sigma > 0.0
+            else 1.0
+        )
+        decision = RefreshDecision(
+            model=self._name,
+            action=REUSE,
+            n_streamed=self._n_streamed,
+            outside_fraction=self.outside_fraction,
+            baseline_outside=self._baseline_outside,
+            drift=drift,
+            sigma=sigma,
+            exit_capacity=exit_capacity,
+            capacity_ratio=capacity_ratio,
+        )
+        if self._n_streamed < config.min_observations:
+            return decision
+        action = REUSE
+        if decision.outside_excess >= config.refit_outside_excess:
+            action = REFIT
+        elif self._n_accepted >= _MIN_TREND_OBSERVATIONS:
+            posterior = self._regression.posterior()
+            slope_shift = abs(posterior.slope - self._model.slope) / max(
+                abs(self._model.slope), _TINY
+            )
+            intercept_bands = abs(
+                posterior.intercept - self._model.intercept
+            ) / self._band_width()
+            if (
+                slope_shift >= config.refit_slope_shift
+                or intercept_bands >= config.refit_intercept_bands
+            ):
+                action = REFIT
+        if action == REUSE and (
+            capacity_ratio <= config.remargin_capacity_ratio
+            or decision.outside_excess >= config.remargin_outside_excess
+        ):
+            action = REMARGIN
+        return replace(decision, action=action)
+
+    # ------------------------------------------------------------------
+    # Refreshed models
+    # ------------------------------------------------------------------
+    def widened_model(self, config: MaintenanceConfig) -> LinearFDModel:
+        """Current line with margins grown to cover the streamed residuals.
+
+        The band extends to the observed residual mean plus/minus
+        ``margin_sigmas`` volatilities, but never shrinks — monotone
+        growth is what makes this tier safe without a re-partition.
+        """
+        n = float(max(self._n_accepted, 1))
+        mean = self._sum_r / n
+        _, sigma = self.drift_estimate()
+        half = config.margin_sigmas * max(sigma, _TINY)
+        eps_ub = max(self._model.eps_ub, mean + half)
+        eps_lb = max(self._model.eps_lb, -(mean - half))
+        return self._model.with_margins(eps_lb, eps_ub)
+
+    def refitted_model(self, config: MaintenanceConfig) -> LinearFDModel:
+        """Fresh model from the refreshed posterior (margins may shrink).
+
+        Only sound together with a re-partition of the affected rows: a
+        primary-index record outside the new band would otherwise be
+        missed by translated queries.
+
+        Prefers the outlier-robust banded posterior; when the stream
+        jumped so far that (almost) nothing landed near the old line, the
+        wide posterior over all rows is the fallback — its margins are
+        inflated by whatever outliers it swallowed, which the *next*
+        refresh epoch tightens again through the banded posterior.
+        """
+        if self._n_accepted >= _MIN_TREND_OBSERVATIONS:
+            posterior = self._regression.posterior()
+        else:
+            posterior = self._wide_regression.posterior()
+        band = max(config.margin_sigmas * posterior.noise_std, _TINY)
+        return LinearFDModel(posterior.slope, posterior.intercept, band, band)
+
+    def mark_refreshed(self, model: LinearFDModel) -> None:
+        """Start a new epoch monitoring ``model`` (counters reset)."""
+        self._model = model
+        self._regression.reset()
+        self._wide_regression.reset()
+        self._n_streamed = 0
+        self._n_outside = 0
+        self._n_accepted = 0
+        self._sum_t = self._sum_t2 = 0.0
+        self._sum_r = self._sum_tr = self._sum_r2 = 0.0
+        self.epoch += 1
+
+    def rebind(self, model: LinearFDModel, baseline_outside: float) -> None:
+        """Track a structurally rebuilt index without dropping statistics.
+
+        Used when a reclaiming compaction rebuilds the index with the
+        *same* models: the monitor keeps its streamed state but follows
+        the new model object and the re-computed build baseline.
+        """
+        self._model = model
+        self._baseline_outside = float(baseline_outside)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_vector(self) -> np.ndarray:
+        """Flat float64 state for an ``.npz`` archive."""
+        return np.concatenate(
+            [
+                [
+                    float(self._n_streamed),
+                    float(self._n_outside),
+                    float(self._n_accepted),
+                    self._sum_t,
+                    self._sum_t2,
+                    self._sum_r,
+                    self._sum_tr,
+                    self._sum_r2,
+                    float(self.epoch),
+                ],
+                self._regression.sufficient_statistics(),
+                self._wide_regression.sufficient_statistics(),
+            ]
+        )
+
+    def load_state_vector(self, state: np.ndarray) -> None:
+        """Inverse of :meth:`state_vector`."""
+        state = np.asarray(state, dtype=np.float64).ravel()
+        if len(state) != self.STATE_LENGTH:
+            raise ValueError(
+                f"monitor state must have {self.STATE_LENGTH} entries, "
+                f"got {len(state)}"
+            )
+        self._n_streamed = int(state[0])
+        self._n_outside = int(state[1])
+        self._n_accepted = int(state[2])
+        self._sum_t = float(state[3])
+        self._sum_t2 = float(state[4])
+        self._sum_r = float(state[5])
+        self._sum_tr = float(state[6])
+        self._sum_r2 = float(state[7])
+        self.epoch = int(state[8])
+        split = 9 + BayesianLinearRegression.STATE_LENGTH
+        self._regression.load_sufficient_statistics(state[9:split])
+        self._wide_regression.load_sufficient_statistics(state[split:])
+
+
+class MaintenanceManager:
+    """One :class:`ModelMonitor` per linear model of a group list.
+
+    The index layer calls :meth:`observe_batch` on every insert/update
+    (with the per-model masks the delta store recorded) and
+    :meth:`refresh` at compaction; everything else is plumbing so the
+    sharded engine can share a single manager across shards and
+    persistence can round-trip the monitor state.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[FDGroup],
+        config: MaintenanceConfig,
+        baseline_inlier_fraction: Mapping[str, float],
+    ) -> None:
+        self._config = config
+        self._monitors: Dict[str, ModelMonitor] = {}
+        for group in groups:
+            for dependent in group.dependents:
+                model = group.model_for(dependent)
+                if not isinstance(model, LinearFDModel):
+                    continue  # spline models are not maintained (yet)
+                name = f"{group.predictor}->{dependent}"
+                monitor = ModelMonitor(
+                    name, model, 1.0 - baseline_inlier_fraction.get(name, 1.0)
+                )
+                monitor.configure(config)
+                self._monitors[name] = monitor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> MaintenanceConfig:
+        """The refresh thresholds in effect."""
+        return self._config
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        """Names of the monitored models."""
+        return tuple(self._monitors)
+
+    def monitor(self, name: str) -> ModelMonitor:
+        """The monitor of one model."""
+        return self._monitors[name]
+
+    @property
+    def n_streamed(self) -> int:
+        """Rows streamed since the last refresh (max across models)."""
+        return max(
+            (monitor.n_streamed for monitor in self._monitors.values()),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming and refresh
+    # ------------------------------------------------------------------
+    def observe_batch(
+        self,
+        columns: Mapping[str, np.ndarray],
+        model_masks: Mapping[str, np.ndarray],
+    ) -> None:
+        """Stream one inserted batch into every monitored model.
+
+        ``model_masks`` are the per-model margin masks recorded for the
+        batch (the delta store computes them for routing anyway, so
+        monitoring adds no extra model evaluation).
+        """
+        for name, monitor in self._monitors.items():
+            predictor, dependent = name.split("->", 1)
+            monitor.observe(columns[predictor], columns[dependent], model_masks[name])
+
+    def decide(self) -> Dict[str, RefreshDecision]:
+        """Per-model refresh decisions without applying anything."""
+        return {
+            name: monitor.decide(self._config)
+            for name, monitor in self._monitors.items()
+        }
+
+    def refresh(self, groups: Sequence[FDGroup]) -> MaintenanceOutcome:
+        """Decide per model and build the refreshed groups — pure.
+
+        Models deciding ``remargin`` get monotonically widened margins;
+        models deciding ``refit`` are replaced by the refreshed
+        posterior's line (the caller must re-partition in that case —
+        the outcome's ``action`` is the most invasive tier decided).
+
+        Nothing is mutated here: the caller adopts the outcome's groups
+        (and completes any re-partition) and only then calls
+        :meth:`commit`, so a failed refit rebuild leaves the monitors —
+        like the index — exactly as they were.
+        """
+        decisions = self.decide()
+        overall = REUSE
+        if any(d.action == REFIT for d in decisions.values()):
+            overall = REFIT
+        elif any(d.action == REMARGIN for d in decisions.values()):
+            overall = REMARGIN
+        if overall == REUSE:
+            return MaintenanceOutcome(REUSE, tuple(groups), decisions)
+        refreshed_groups: List[FDGroup] = []
+        for group in groups:
+            models = dict(group.models)
+            changed = False
+            for dependent in group.dependents:
+                name = f"{group.predictor}->{dependent}"
+                decision = decisions.get(name)
+                if decision is None or decision.action == REUSE:
+                    continue
+                monitor = self._monitors[name]
+                if decision.action == REFIT:
+                    models[dependent] = monitor.refitted_model(self._config)
+                else:
+                    models[dependent] = monitor.widened_model(self._config)
+                changed = True
+            if changed:
+                refreshed_groups.append(
+                    FDGroup(
+                        predictor=group.predictor,
+                        dependents=group.dependents,
+                        models=models,
+                    )
+                )
+            else:
+                refreshed_groups.append(group)
+        return MaintenanceOutcome(overall, tuple(refreshed_groups), decisions)
+
+    def commit(self, outcome: MaintenanceOutcome) -> None:
+        """Start a new monitoring epoch for every refreshed model.
+
+        Call once the outcome's groups have actually been adopted (and
+        any refit re-partition has committed); the refreshed models'
+        monitors reset and start watching the new bands.
+        """
+        if outcome.action == REUSE:
+            return
+        models = {
+            f"{group.predictor}->{dependent}": group.model_for(dependent)
+            for group in outcome.groups
+            for dependent in group.dependents
+        }
+        for name, decision in outcome.decisions.items():
+            if decision.action == REUSE:
+                continue
+            monitor = self._monitors.get(name)
+            if monitor is not None:
+                monitor.mark_refreshed(models[name])
+
+    def rebind(
+        self,
+        groups: Sequence[FDGroup],
+        baseline_inlier_fraction: Mapping[str, float],
+    ) -> None:
+        """Follow a structural rebuild that kept the same model set."""
+        for group in groups:
+            for dependent in group.dependents:
+                name = f"{group.predictor}->{dependent}"
+                monitor = self._monitors.get(name)
+                model = group.model_for(dependent)
+                if monitor is not None and isinstance(model, LinearFDModel):
+                    monitor.rebind(
+                        model, 1.0 - baseline_inlier_fraction.get(name, 1.0)
+                    )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, np.ndarray]:
+        """Per-model flat state vectors, keyed by model name."""
+        return {
+            name: monitor.state_vector()
+            for name, monitor in self._monitors.items()
+        }
+
+    def load_state(self, payload: Mapping[str, np.ndarray]) -> None:
+        """Restore monitor state saved by :meth:`state`.
+
+        Models absent from ``payload`` keep their fresh state, so loading
+        an archive written before a model existed degrades gracefully.
+        """
+        for name, monitor in self._monitors.items():
+            if name in payload:
+                monitor.load_state_vector(payload[name])

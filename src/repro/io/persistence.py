@@ -34,14 +34,27 @@ global-row-id half of the engine's mapping (the other half is derived on
 load).  Each shard round-trips exactly like a flat index: its delta store,
 tombstones and id coverage survive un-compacted.
 
+Format version 5 (written for both layouts — flat archives without an
+``engine`` header, sharded archives with one) adds the drift-monitor state
+of adaptive model maintenance: when the saved index (or engine) carries a
+:class:`~repro.fd.maintenance.MaintenanceManager`, one flat float64 state
+vector per monitored model is stored under ``monitor::<name>`` — the two
+Bayesian posteriors' sufficient statistics plus the outside-margin and
+residual-drift counters — so a restored index resumes drift tracking
+exactly where the saved one left off.  Archives without monitor sections
+(maintenance disabled, or written by an older build) load with fresh
+monitors, which is exactly the state of a newly built adaptive index.
+
 Version 1 archives (no delta section) load fine: the delta store starts
 empty, exactly the state version 1 guaranteed by compacting before save.
 Version 2 archives (no tombstones, no per-model masks) also load; their
 delta routing masks are trusted and the per-model masks re-derived once.
-:func:`load_engine` additionally wraps any version 1–3 archive into a
-1-shard engine, so engine deployments can adopt old flat archives
-directly.  Unsupported versions raise the typed
-:class:`UnsupportedFormatError` carrying the supported-version list.
+Version 3 (flat) and 4 (sharded) archives predate the maintenance
+section and load with the models frozen, their historical behaviour.
+:func:`load_engine` additionally wraps any flat archive into a 1-shard
+engine, so engine deployments can adopt old flat archives directly.
+Unsupported versions raise the typed :class:`UnsupportedFormatError`
+carrying the supported-version list.
 """
 
 from __future__ import annotations
@@ -54,7 +67,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig, EngineConfig
+from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
 from repro.core.engine import ShardedCOAX
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig
@@ -72,16 +85,20 @@ __all__ = [
     "SUPPORTED_VERSIONS",
 ]
 
-#: Version written for flat (single COAX index) archives.
-FORMAT_VERSION = 3
+#: Version written for every archive (flat and sharded; the two layouts
+#: are distinguished by the presence of the ``engine`` header section).
+FORMAT_VERSION = 5
 
-#: Version written for sharded-engine archives.
-SHARDED_FORMAT_VERSION = 4
+#: Deprecated alias: since format 5 the version number no longer
+#: distinguishes the two layouts — check for the ``engine`` key in the
+#: archive header instead (the rule every loader here uses).
+SHARDED_FORMAT_VERSION = FORMAT_VERSION
 
 #: Versions this build can read (2 added the delta-store section, 3 the
 #: tombstone bitmap, the live-row count and the per-model routing masks,
-#: 4 the sharded-engine archive).
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+#: 4 the sharded-engine archive, 5 the drift-monitor state of adaptive
+#: model maintenance).
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 
 
 class UnsupportedFormatError(ValueError):
@@ -179,8 +196,15 @@ def _config_from_dict(payload: Dict) -> COAXConfig:
     detection_payload = dict(payload.get("detection", {}))
     bucketing_payload = dict(detection_payload.pop("bucketing", {}))
     detection = DetectionConfig(bucketing=BucketingConfig(**bucketing_payload), **detection_payload)
-    remaining = {key: value for key, value in payload.items() if key != "detection"}
-    return COAXConfig(detection=detection, **remaining)
+    # Archives written before format v5 carry no maintenance section; the
+    # default (disabled) configuration is exactly their behaviour.
+    maintenance = MaintenanceConfig(**dict(payload.get("maintenance", {})))
+    remaining = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("detection", "maintenance")
+    }
+    return COAXConfig(detection=detection, maintenance=maintenance, **remaining)
 
 
 def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
@@ -221,6 +245,11 @@ def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
             arrays[f"delta::{key}"] = array
     if tombstone is not None:
         arrays["__tombstone__"] = tombstone.copy()
+    if index.maintenance is not None:
+        # The monitor sections are self-describing (one ``monitor::<name>``
+        # array per monitored model); no header field is needed.
+        for name, state in index.maintenance.state().items():
+            arrays[f"monitor::{name}"] = state
     return meta, arrays
 
 
@@ -283,7 +312,27 @@ def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXInd
     next_row_id = meta.get("next_row_id")
     if next_row_id is not None:
         index._next_row_id = int(next_row_id)
+    _load_monitor_state(index.maintenance, arrays)
     return index
+
+
+def _load_monitor_state(maintenance, arrays: Mapping[str, np.ndarray]) -> None:
+    """Restore drift-monitor state from ``monitor::<name>`` arrays.
+
+    Archives written before format v5 (or with maintenance disabled)
+    simply carry no such arrays: the monitors then start fresh, exactly
+    the state a newly built adaptive index has.
+    """
+    if maintenance is None:
+        return
+    prefix = "monitor::"
+    payload = {
+        key[len(prefix):]: array
+        for key, array in arrays.items()
+        if key.startswith(prefix)
+    }
+    if payload:
+        maintenance.load_state(payload)
 
 
 def save_index(
@@ -291,13 +340,14 @@ def save_index(
 ) -> Path:
     """Persist an index (data + learned state + delta store) to ``path`` (.npz).
 
-    A plain :class:`COAXIndex` is written as a flat format-3 archive;
-    a :class:`ShardedCOAX` engine as a format-4 sharded archive holding
-    one complete flat section per shard plus the engine header and the
-    global-id mapping.  Pending (inserted but not compacted) records are
-    stored alongside the main columns with their assigned row ids and
-    routing mask either way, so loading restores the exact pre-save state
-    — including what is pending.  Returns the path written.
+    Both layouts are written as format-5 archives: a plain
+    :class:`COAXIndex` as a flat archive, a :class:`ShardedCOAX` engine
+    as a sharded archive holding one complete flat section per shard plus
+    the ``engine`` header and the global-id mapping.  Pending (inserted
+    but not compacted) records are stored alongside the main columns with
+    their assigned row ids and routing mask either way — and, when
+    adaptive maintenance is enabled, the drift-monitor state — so loading
+    restores the exact pre-save state.  Returns the path written.
     """
     path = Path(path)
     # The snapshot is assembled under the index's single-writer lock: a
@@ -333,6 +383,9 @@ def save_index(
                 },
                 "shards": shard_metas,
             }
+            if index.maintenance is not None:
+                for name, state in index.maintenance.state().items():
+                    arrays[f"monitor::{name}"] = state
     else:
         with index.write_lock:
             meta, arrays = _index_payload(index)
@@ -348,7 +401,7 @@ def _restore_engine(
     *,
     workers: Optional[int] = None,
 ) -> ShardedCOAX:
-    """Rebuild a sharded engine from a format-4 archive's contents."""
+    """Rebuild a sharded engine from a sharded (format 4+) archive's contents."""
     engine_meta = meta["engine"]
     shards: List[COAXIndex] = []
     global_of: List[np.ndarray] = []
@@ -369,7 +422,7 @@ def _restore_engine(
         coax=_config_from_dict(engine_meta["config"]),
     )
     groups = [_group_from_dict(item) for item in engine_meta["groups"]]
-    return ShardedCOAX._from_shards(
+    engine = ShardedCOAX._from_shards(
         shards,
         config=config,
         groups=groups,
@@ -379,6 +432,8 @@ def _restore_engine(
         boundaries=np.asarray(engine_meta.get("boundaries", []), dtype=np.float64),
         partition_dimension=engine_meta.get("partition_dimension"),
     )
+    _load_monitor_state(engine.maintenance, arrays)
+    return engine
 
 
 def _read_archive(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
@@ -397,20 +452,23 @@ def _read_archive(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
 def load_index(path: Union[str, Path]) -> Union[COAXIndex, ShardedCOAX]:
     """Load an index previously written by :func:`save_index`.
 
-    Format 1–3 archives come back as a :class:`COAXIndex`, format 4
-    archives as a :class:`ShardedCOAX` engine (use :func:`load_engine` to
+    Flat archives (no ``engine`` header — every format 1–3 archive, and
+    format-5 archives of a plain index) come back as a
+    :class:`COAXIndex`; sharded archives (format 4+, ``engine`` header
+    present) as a :class:`ShardedCOAX` engine (use :func:`load_engine` to
     always receive an engine).  The table is restored from the stored
     columns and each index is rebuilt with the stored groups and
     configuration (no re-detection), so the loaded index partitions and
     answers queries exactly like the saved one.  Pending delta-store
     records (format version 2+) are restored un-compacted — without
     re-evaluating any FD model when the archive carries the per-model
-    masks (version 3+) — and tombstoned rows (version 3+) come back
-    deleted, ready for the next compaction to reclaim.  Unsupported
-    versions raise :class:`UnsupportedFormatError`.
+    masks (version 3+) — tombstoned rows (version 3+) come back deleted,
+    ready for the next compaction to reclaim, and drift-monitor state
+    (version 5) resumes exactly where it left off.  Unsupported versions
+    raise :class:`UnsupportedFormatError`.
     """
     meta, arrays = _read_archive(Path(path))
-    if meta["format_version"] == SHARDED_FORMAT_VERSION:
+    if "engine" in meta:
         return _restore_engine(meta, arrays)
     return _restore_flat_index(meta, arrays)
 
@@ -420,14 +478,15 @@ def load_engine(
 ) -> ShardedCOAX:
     """Load any supported archive as a sharded engine.
 
-    Format 4 archives restore natively (``workers`` overrides the saved
-    pool size — a deployment knob, not part of the data); format 1–3 flat
-    archives are wrapped into a 1-shard engine whose shard is the loaded
-    COAX index, so legacy archives adopt the engine API without
-    conversion.
+    Sharded archives restore natively (``workers`` overrides the saved
+    pool size — a deployment knob, not part of the data); flat archives
+    are wrapped into a 1-shard engine whose shard is the loaded COAX
+    index, so legacy archives adopt the engine API without conversion
+    (an adaptive flat index's drift monitors are promoted to the engine,
+    which coordinates every refresh from then on).
     """
     meta, arrays = _read_archive(Path(path))
-    if meta["format_version"] == SHARDED_FORMAT_VERSION:
+    if "engine" in meta:
         engine = _restore_engine(meta, arrays, workers=workers)
     else:
         engine = ShardedCOAX.from_index(

@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     ablations,
     appendix_g,
     crud,
+    drift,
     fig4,
     fig6,
     fig7,
@@ -33,7 +34,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
-            "read_path", "crud", "scale",
+            "read_path", "crud", "scale", "drift",
         }
 
 
@@ -195,6 +196,29 @@ class TestCRUD:
             if row["method"] == "fresh build over live rows"
         )
         assert reclaim_row["rows"] == fresh_row["rows"]
+
+
+class TestDrift:
+    def test_smoke_mode_structure_and_gates(self):
+        """The driver's internal gates (oracle identity, refresh fired,
+        primary-fraction and rows-examined wins) all hold at CI scale;
+        here the reported rows are spot-checked for shape."""
+        result = drift.run(smoke=True)
+        engines = {row["engine"] for row in result.rows}
+        assert "COAX (frozen)" in engines
+        assert "COAX (adaptive)" in engines
+        assert any(engine.startswith("ShardedCOAX") for engine in engines)
+        stream = [row for row in result.rows if row["phase"] == "stream"]
+        query = [row for row in result.rows if row["phase"] == "query"]
+        assert len(stream) == 3
+        assert {row["workload"] for row in query} == {"range-predicted", "range"}
+        frozen = next(r for r in stream if r["engine"] == "COAX (frozen)")
+        adaptive = next(r for r in stream if r["engine"] == "COAX (adaptive)")
+        assert frozen["model_refreshes"] == 0
+        assert adaptive["model_refreshes"] >= 1
+        assert adaptive["primary_fraction"] > frozen["primary_fraction"]
+        for row in query:
+            assert row["mismatched_queries"] == 0
 
 
 class TestReadPath:

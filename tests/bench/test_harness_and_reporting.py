@@ -110,6 +110,59 @@ class TestTimeWorkload:
             time_workload(index, workload, batch_size=-1)
 
 
+class TestDriveInsertStream:
+    """The write-side harness knob driving (drifting) insert streams."""
+
+    @staticmethod
+    def _coax(n=300, seed=4):
+        from repro.core.coax import COAXIndex
+        from repro.fd.groups import FDGroup
+        from repro.fd.model import LinearFDModel
+
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 100.0, size=n)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=n)})
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+            )
+        ]
+        return COAXIndex(table, groups=groups)
+
+    def test_feeds_batches_and_compacts_on_cadence(self):
+        from repro.bench.harness import drive_insert_stream
+
+        index = self._coax()
+        batches = [
+            {"x": np.array([float(j), float(j) + 1.0]), "y": np.array([2.0 * j, 2.0 * j + 2.0])}
+            for j in range(5)
+        ]
+        report = drive_insert_stream(index, batches, compact_every=2)
+        assert report["rows_inserted"] == 10
+        # Two cadence compactions plus the final partial-stream one.
+        assert report["compactions"] == 3
+        assert index.n_pending == 0
+        assert index.n_rows == 300 + 10
+
+    def test_no_compaction_by_default(self):
+        from repro.bench.harness import drive_insert_stream
+
+        index = self._coax()
+        report = drive_insert_stream(
+            index, [{"x": np.array([1.0]), "y": np.array([2.0])}]
+        )
+        assert report["compactions"] == 0
+        assert index.n_pending == 1
+
+    def test_invalid_cadence_rejected(self):
+        from repro.bench.harness import drive_insert_stream
+
+        with pytest.raises(ValueError):
+            drive_insert_stream(self._coax(), [], compact_every=0)
+
+
 class TestRunComparison:
     def test_rows_and_verification(self, table, workload):
         specs = [

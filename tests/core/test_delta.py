@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.delta import DeltaStore, coerce_batch
+from repro.core.delta import DeltaStore, NonFiniteBatchError, coerce_batch
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
 from repro.fd.groups import FDGroup
@@ -60,6 +60,19 @@ class TestCoerceBatch:
     def test_length_mismatch_raises(self):
         with pytest.raises(ValueError):
             coerce_batch({"x": [1.0, 2.0], "y": [1.0]}, ("x", "y"))
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_non_finite_values_rejected_with_typed_error(self, poison):
+        """NaN/inf record values raise the typed error naming the column."""
+        with pytest.raises(NonFiniteBatchError) as excinfo:
+            coerce_batch({"x": [1.0, poison], "y": [1.0, 2.0]}, ("x", "y"))
+        assert excinfo.value.attribute == "x"
+        # Subclasses ValueError so existing handlers keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_non_finite_record_rejected(self):
+        with pytest.raises(NonFiniteBatchError):
+            coerce_batch([{"x": float("nan"), "y": 2.0}], ("x", "y"))
 
 
 class TestAppendAndGrowth:
@@ -170,6 +183,86 @@ class TestStateRoundTrip:
         table = store.pending_table()
         assert isinstance(table, Table)
         assert table.n_rows == 1
+
+
+class TestIncrementalHull:
+    def test_box_tracks_appended_rows(self):
+        store = make_store()
+        store.append_batch(batch([5.0, 1.0], [10.0, 2.0]), np.array([0, 1]))
+        lows, highs = store.box
+        assert lows == {"x": 1.0, "y": 2.0}
+        assert highs == {"x": 5.0, "y": 10.0}
+
+    def test_drain_resets_hull(self):
+        """Regression: deletes that empty the buffer must drop the hull.
+
+        The stale box used to survive a full drain, so the next append
+        unioned into it and the hull stayed permanently inflated —
+        silently degrading engine-level shard pruning forever.
+        """
+        store = make_store()
+        store.append_batch(batch([1_000.0], [2_000.0]), np.array([0]))
+        assert store.delete_rows(np.array([0])) == 1
+        assert store.box is None
+        assert store._box is None  # the internal state, not just the property
+        store.append_batch(batch([1.0, 2.0], [2.0, 4.0]), np.array([1, 2]))
+        lows, highs = store.box
+        assert highs["x"] == 2.0  # no trace of the drained far-away row
+        assert highs["y"] == 4.0
+
+    def test_partial_delete_keeps_conservative_hull(self):
+        store = make_store()
+        store.append_batch(batch([1.0, 100.0], [2.0, 200.0]), np.array([0, 1]))
+        store.delete_rows(np.array([1]))
+        lows, highs = store.box
+        assert highs["x"] == 100.0  # conservative: may over-cover
+
+    def test_nan_append_cannot_poison_the_hull(self):
+        """Regression: a NaN column must not collapse the hull to NaN.
+
+        NaN box comparisons are all False, so a NaN hull would let shard
+        pruning skip a shard holding live pending rows.  Direct appends
+        (the path persistence restore uses) fall back to fmin/fmax and,
+        for an all-NaN column, to the unbounded interval — over-covering
+        is fine, under-covering never is.
+        """
+        store = make_store(groups=[])
+        store.append_batch(
+            {"x": np.array([1.0, np.nan]), "y": np.array([2.0, 4.0])},
+            np.array([0, 1]),
+        )
+        lows, highs = store.box
+        assert lows["x"] == 1.0 and highs["x"] == 1.0
+        assert lows["y"] == 2.0 and highs["y"] == 4.0
+        store.append_batch(
+            {"x": np.array([2.0]), "y": np.array([np.nan])}, np.array([2])
+        )
+        lows, highs = store.box
+        # All-NaN extension: that attribute's hull is unbounded, not NaN.
+        assert lows["x"] == 1.0 and highs["x"] == 2.0
+        assert lows["y"] == -np.inf and highs["y"] == np.inf
+
+
+class TestSetGroups:
+    def test_swaps_models_for_future_routing(self):
+        store = make_store()
+        shifted = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 50.0, 1.0, 1.0)},
+            )
+        ]
+        store.append_batch(batch([1.0], [52.0]), np.array([0]))
+        assert store.inlier_mask.tolist() == [False]
+        store.set_groups(shifted)
+        store.append_batch(batch([1.0], [52.0]), np.array([1]))
+        assert store.inlier_mask.tolist() == [False, True]
+
+    def test_changed_model_set_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.set_groups([])
 
 
 class TestPerModelCounts:

@@ -18,7 +18,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.coax import COAXIndex
-from repro.core.config import EngineConfig
+from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
 from repro.core.engine import ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
@@ -181,6 +181,73 @@ class TestPruning:
         hits = engine.range_query(Rectangle({"x": Interval(900.0, 1_100.0)}))
         assert hits.tolist() == [row_id]
 
+    def test_pruning_recovers_after_drain_and_refill(self):
+        """Regression: a drained delta buffer must stop inflating the hull.
+
+        Far-away inserts grow a shard's delta box; once they are all
+        deleted the box must reset, so later nearby inserts leave a tight
+        hull and far-away queries prune the shard again instead of
+        visiting it forever.
+        """
+        table = linear_table(19)
+        engine = build_engine(table, 4, 1)
+        # A region between the two far inserts below: always empty, but
+        # inside the hull their union spans.
+        probe = Rectangle({"x": Interval(600.0, 800.0)})
+
+        def pruned_on_probe() -> int:
+            engine.stats.reset()
+            assert len(engine.range_query(probe)) == 0
+            return engine.stats.shards_pruned
+
+        baseline = pruned_on_probe()
+        assert baseline == 4  # every shard misses the probe rectangle
+        # Inflate the last shard's delta hull (both rows route above the
+        # last range boundary), then drain it completely.
+        ids = engine.insert_batch({"x": [500.0, 1_000.0], "y": [10.0, 20.0]})
+        assert pruned_on_probe() < baseline
+        assert engine.delete_batch(ids) == 2
+        # Refill the same shard's buffer with nearby rows only.
+        engine.insert_batch({"x": [99.0], "y": [198.0]})
+        assert pruned_on_probe() == baseline
+
+    def test_nan_batches_rejected_before_reaching_any_shard(self):
+        """Engine-level pruning can never be poisoned through the insert
+        path: non-finite batches are rejected up front with the typed
+        error and no shard state changes."""
+        from repro.core.delta import NonFiniteBatchError
+
+        table = linear_table(20)
+        engine = build_engine(table, 2, 1)
+        before = engine.next_row_id
+        with pytest.raises(NonFiniteBatchError):
+            engine.insert_batch({"x": [1.0, np.nan], "y": [2.0, 4.0]})
+        assert engine.next_row_id == before
+        assert engine.n_pending == 0
+
+    def test_nan_delta_rows_are_never_hidden_by_pruning(self):
+        """Even if NaN data reaches a delta buffer directly (bypassing
+        coerce_batch, as a hand-built restore could), the hull falls back
+        to conservative bounds and queries still find the live rows."""
+        table = linear_table(21)
+        engine = build_engine(table, 4, 1)
+        shard = engine.shards[3]
+        local_id = shard.next_row_id
+        shard.delta.append_batch(
+            {"x": np.array([1_000.0]), "y": np.array([np.nan])},
+            np.array([local_id], dtype=np.int64),
+        )
+        shard._next_row_id = local_id + 1
+        engine._shard_of = np.concatenate([engine._shard_of, [3]])
+        engine._local_of = np.concatenate([engine._local_of, [local_id]])
+        engine._global_of[3] = np.concatenate(
+            [engine._global_of[3], [engine.next_row_id]]
+        )
+        global_id = engine._next_global_id
+        engine._next_global_id += 1
+        hits = engine.range_query(Rectangle({"x": Interval(900.0, 1_100.0)}))
+        assert hits.tolist() == [global_id]
+
 
 class TestSingleShardParity:
     def test_one_shard_engine_equals_flat_coax(self):
@@ -296,6 +363,160 @@ class TestEquivalenceProperty:
                 engine.close()
 
 
+class TestAdaptiveMaintenanceCoordination:
+    """Drifting stream + forced model refresh across the shard grid.
+
+    The engine owns ONE shared monitor; a full compaction refreshes the
+    models and pushes them to every shard, so (a) results stay
+    bit-identical to the adaptive flat COAX oracle and to the delete-aware
+    logical store at 1/2/7 shards, before and after every refresh, (b) all
+    shards carry identical groups at all times, and (c) a format-v5 round
+    trip restores the shared monitor.
+    """
+
+    ADAPTIVE = COAXConfig(
+        maintenance=MaintenanceConfig(enabled=True, min_observations=50)
+    )
+
+    DRIFT_PROBES = PROBES + [
+        Rectangle({"y": Interval(150.0, 330.0)}),  # the drifted band
+    ]
+
+    def _reference_results(self, reference, query):
+        return np.array(
+            sorted(
+                row_id
+                for row_id, record in reference.items()
+                if all(
+                    query.interval(name).contains_value(value)
+                    for name, value in record.items()
+                )
+            ),
+            dtype=np.int64,
+        )
+
+    def test_shards_never_own_a_manager(self):
+        engine = ShardedCOAX(
+            linear_table(30),
+            config=EngineConfig(n_shards=3, workers=1, coax=self.ADAPTIVE),
+            groups=linear_groups(),
+        )
+        assert engine.maintenance is not None
+        assert all(shard.maintenance is None for shard in engine.shards)
+        # The shard configs carry maintenance disabled, so even a direct
+        # shard compaction can never refresh models on its own.
+        assert all(
+            not shard.config.maintenance.enabled for shard in engine.shards
+        )
+
+    def test_single_shard_compact_never_refreshes(self):
+        rng = np.random.default_rng(31)
+        engine = ShardedCOAX(
+            linear_table(31),
+            config=EngineConfig(n_shards=2, workers=1, coax=self.ADAPTIVE),
+            groups=linear_groups(),
+        )
+        bx = rng.uniform(0.0, 100.0, size=200)
+        engine.insert_batch({"x": bx, "y": 2.0 * bx + 80.0})
+        before = engine.groups
+        engine.compact(shard=0)
+        assert engine.groups == before  # groups untouched
+        assert engine.maintenance.monitor("x->y").epoch == 0
+        engine.compact()  # the full compaction refreshes
+        assert engine.maintenance.monitor("x->y").epoch >= 1
+        engine.close()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=4, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_drifting_crud_matches_oracle_across_shards(
+        self, seed, tmp_path_factory
+    ):
+        rng = np.random.default_rng(seed)
+        table = linear_table(seed)
+        oracle = COAXIndex(table, config=self.ADAPTIVE, groups=linear_groups())
+        engines = {
+            (shards, workers): ShardedCOAX(
+                table,
+                config=EngineConfig(
+                    n_shards=shards, workers=workers, coax=self.ADAPTIVE
+                ),
+                groups=linear_groups(),
+            )
+            for shards, workers in [(1, 1), (2, 1), (7, 1), (7, 4)]
+        }
+        x, y = table.column("x"), table.column("y")
+        reference = {
+            i: {"x": float(x[i]), "y": float(y[i])} for i in range(table.n_rows)
+        }
+        try:
+            for round_no in range(3):
+                shift = 50.0 * (round_no + 1)  # far beyond the +/-1.5 band
+                k = int(rng.integers(60, 120))
+                bx = rng.uniform(0.0, 100.0, size=k)
+                by = 2.0 * bx + shift + rng.uniform(-1.0, 1.0, size=k)
+                expected_ids = oracle.insert_batch({"x": bx, "y": by})
+                for j, row_id in enumerate(expected_ids):
+                    reference[int(row_id)] = {"x": float(bx[j]), "y": float(by[j])}
+                live = np.array(sorted(reference), dtype=np.int64)
+                doomed = rng.choice(
+                    live, size=min(len(live), int(rng.integers(1, 40))), replace=False
+                )
+                oracle.delete_batch(doomed)
+                for row_id in doomed:
+                    reference.pop(int(row_id))
+                for engine in engines.values():
+                    got = engine.insert_batch({"x": bx, "y": by})
+                    assert np.array_equal(got, expected_ids)
+                    engine.delete_batch(doomed)
+                # Bit-identical to the delete-aware store BEFORE refresh.
+                for query in self.DRIFT_PROBES:
+                    expected = self._reference_results(reference, query)
+                    assert np.array_equal(
+                        np.sort(oracle.range_query(query)), expected
+                    )
+                    for key, engine in engines.items():
+                        assert np.array_equal(
+                            np.sort(engine.range_query(query)), expected
+                        ), key
+                oracle.compact()
+                for engine in engines.values():
+                    engine.compact()  # coordinated refresh happens here
+                # ... and AFTER it, including engine batch == scalar and
+                # worker-invariance via the shared helper.
+                for (shards, workers), engine in engines.items():
+                    assert_engine_matches_oracle(
+                        engine, oracle, self.DRIFT_PROBES
+                    )
+                    # Every shard carries the engine's refreshed groups.
+                    for shard in engine.shards:
+                        assert shard.groups == engine.groups, (shards, workers)
+            # The drift forced at least one refresh everywhere.
+            assert oracle.maintenance.monitor("x->y").epoch >= 1
+            for engine in engines.values():
+                assert engine.maintenance.monitor("x->y").epoch >= 1
+            # Format v5 round trip of the adapted sharded state.
+            engine = engines[(7, 1)]
+            path = tmp_path_factory.mktemp("drift-engine") / "engine.npz"
+            loaded = load_index(save_index(engine, path))
+            assert isinstance(loaded, ShardedCOAX)
+            assert loaded.maintenance is not None
+            assert np.allclose(
+                loaded.maintenance.monitor("x->y").state_vector(),
+                engine.maintenance.monitor("x->y").state_vector(),
+            )
+            assert loaded.groups == engine.groups
+            for query in self.DRIFT_PROBES:
+                assert np.array_equal(
+                    np.sort(loaded.range_query(query)),
+                    self._reference_results(reference, query),
+                )
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+
 class TestConcurrency:
     def test_write_lock_exposed_everywhere(self):
         table = linear_table(9)
@@ -331,6 +552,55 @@ class TestConcurrency:
         assert engine.next_row_id == table.n_rows + total_new
         # Every id assigned exactly once and every record visible.
         assert len(engine.range_query(Rectangle())) == table.n_rows + total_new
+        engine.close()
+
+    def test_readers_during_adaptive_refresh_see_consistent_state(self):
+        """Queries exclude the coordinated model refresh: a reader can
+        never translate with one generation of groups while shards
+        execute another (the batch path would lose rows otherwise)."""
+        table = linear_table(22)
+        engine = ShardedCOAX(
+            table,
+            config=EngineConfig(
+                n_shards=2,
+                workers=2,
+                coax=COAXConfig(
+                    maintenance=MaintenanceConfig(
+                        enabled=True, min_observations=50
+                    )
+                ),
+            ),
+            groups=linear_groups(),
+        )
+        everything = Rectangle()
+        expected = table.n_rows
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    assert len(engine.range_query(everything)) >= expected
+                    engine.batch_range_query([everything])
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            rng = np.random.default_rng(0)
+            for round_no in range(4):
+                bx = rng.uniform(0.0, 100.0, size=100)
+                engine.insert_batch(
+                    {"x": bx, "y": 2.0 * bx + 60.0 * (round_no + 1)}
+                )
+                expected = len(engine.range_query(everything))
+                engine.compact()  # refreshes (refit) under drift
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
+        assert engine.maintenance.monitor("x->y").epoch >= 1
         engine.close()
 
     def test_readers_during_compaction_see_consistent_state(self):

@@ -12,6 +12,7 @@ from repro.data.synthetic import (
     SyntheticDatasetSpec,
     clustered_coordinates,
     generate_correlated_dataset,
+    generate_drifting_batches,
 )
 from repro.stats.correlation import pearson_correlation
 
@@ -108,6 +109,84 @@ class TestSyntheticGenerator:
         )
         with pytest.raises(ValueError):
             generate_correlated_dataset(spec)
+
+
+class TestDriftingBatches:
+    SPEC = SyntheticDatasetSpec(
+        n_rows=100,
+        groups=(
+            CorrelatedGroupSpec(
+                attributes=("x", "y"),
+                slopes=(2.0,),
+                noise_scale=0.5,
+                outlier_fraction=0.0,
+            ),
+        ),
+        independent_attributes=(("z", 0.0, 10.0),),
+        seed=3,
+    )
+
+    def test_schema_complete_batches(self):
+        batches = generate_drifting_batches(
+            self.SPEC, n_batches=4, rows_per_batch=50, intercept_drift=10.0
+        )
+        assert len(batches) == 4
+        for batch in batches:
+            assert set(batch) == {"x", "y", "z"}
+            assert all(len(column) == 50 for column in batch.values())
+
+    def test_intercept_ramps_linearly(self):
+        batches = generate_drifting_batches(
+            self.SPEC, n_batches=5, rows_per_batch=400, intercept_drift=100.0
+        )
+        offsets = [
+            float(np.mean(batch["y"] - 2.0 * batch["x"])) for batch in batches
+        ]
+        assert offsets == pytest.approx([20.0, 40.0, 60.0, 80.0, 100.0], abs=1.0)
+
+    def test_hold_fraction_freezes_the_tail(self):
+        batches = generate_drifting_batches(
+            self.SPEC,
+            n_batches=10,
+            rows_per_batch=400,
+            intercept_drift=100.0,
+            hold_fraction=0.5,
+        )
+        offsets = [
+            float(np.mean(batch["y"] - 2.0 * batch["x"])) for batch in batches
+        ]
+        # Ramp over the first 5 batches, then held at the full shift.
+        assert offsets[4] == pytest.approx(100.0, abs=1.0)
+        for offset in offsets[5:]:
+            assert offset == pytest.approx(100.0, abs=1.0)
+
+    def test_deterministic_and_decoupled_from_build_seed(self):
+        kwargs = dict(n_batches=2, rows_per_batch=10, intercept_drift=5.0)
+        first = generate_drifting_batches(self.SPEC, **kwargs)
+        second = generate_drifting_batches(self.SPEC, **kwargs)
+        for left, right in zip(first, second):
+            for name in left:
+                assert np.array_equal(left[name], right[name])
+        build_table, _ = generate_correlated_dataset(self.SPEC)
+        assert not np.array_equal(first[0]["x"][:10], build_table.column("x")[:10])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_drifting_batches(
+                self.SPEC, n_batches=0, rows_per_batch=10, intercept_drift=1.0
+            )
+        with pytest.raises(ValueError):
+            generate_drifting_batches(
+                self.SPEC, n_batches=1, rows_per_batch=0, intercept_drift=1.0
+            )
+        with pytest.raises(ValueError):
+            generate_drifting_batches(
+                self.SPEC,
+                n_batches=1,
+                rows_per_batch=1,
+                intercept_drift=1.0,
+                hold_fraction=1.0,
+            )
 
 
 class TestAirlineDataset:

@@ -1,0 +1,245 @@
+"""Unit tests for drift-aware model maintenance (repro.fd.maintenance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MaintenanceConfig
+from repro.fd.groups import FDGroup
+from repro.fd.maintenance import (
+    REFIT,
+    REMARGIN,
+    REUSE,
+    MaintenanceManager,
+    ModelMonitor,
+)
+from repro.fd.model import LinearFDModel
+
+
+MODEL = LinearFDModel(2.0, 0.0, 1.5, 1.5)
+
+
+def make_monitor(baseline_outside=0.1, model=MODEL):
+    return ModelMonitor("x->y", model, baseline_outside)
+
+
+def make_manager(config=None, baseline=0.9):
+    groups = [
+        FDGroup(predictor="x", dependents=("y",), models={"y": MODEL})
+    ]
+    return MaintenanceManager(
+        groups,
+        config or MaintenanceConfig(enabled=True),
+        {"x->y": baseline},
+    ), groups
+
+
+def stationary_batch(rng, n, model=MODEL, noise=0.5):
+    x = rng.uniform(0.0, 100.0, size=n)
+    y = model.predict(x) + rng.normal(0.0, noise, size=n)
+    return x, y, model.within_margin(x, y)
+
+
+class TestModelMonitor:
+    def test_stationary_stream_decides_reuse(self):
+        rng = np.random.default_rng(0)
+        monitor = make_monitor(baseline_outside=0.0)
+        config = MaintenanceConfig(enabled=True, min_observations=100)
+        for _ in range(5):
+            monitor.observe(*stationary_batch(rng, 200))
+        decision = monitor.decide(config)
+        assert decision.action == REUSE
+        assert decision.n_streamed == 1_000
+        assert abs(decision.drift) < 0.01
+        assert decision.capacity_ratio > 0.9
+
+    def test_too_few_observations_always_reuse(self):
+        rng = np.random.default_rng(1)
+        monitor = make_monitor()
+        config = MaintenanceConfig(enabled=True, min_observations=500)
+        x = rng.uniform(0.0, 100.0, size=100)
+        y = np.zeros(100)  # everything outside the band
+        monitor.observe(x, y, MODEL.within_margin(x, y))
+        assert monitor.decide(config).action == REUSE
+
+    def test_drifting_stream_triggers_remargin(self):
+        """A residual walk drifting toward the band edge (but still inside)
+        must be caught by the Equation-9 capacity trigger before it
+        escapes — outside fraction alone would still look healthy."""
+        rng = np.random.default_rng(2)
+        monitor = make_monitor(baseline_outside=0.0)
+        config = MaintenanceConfig(enabled=True, min_observations=100)
+        n = 1_000
+        x = rng.uniform(0.0, 100.0, size=n)
+        # Residuals ramp from 0 toward +1.2 (band is +/-1.5): inside the
+        # margins throughout, but clearly drifting.  The noise is tight so
+        # the drift dominates the walk's volatility (Equation 9's
+        # ``eps * d / sigma^2`` regime where the capacity collapses).
+        residual = np.linspace(0.0, 1.2, n) + rng.normal(0.0, 0.02, size=n)
+        y = MODEL.predict(x) + residual
+        monitor.observe(x, y, MODEL.within_margin(x, y))
+        decision = monitor.decide(config)
+        assert decision.outside_fraction < config.remargin_outside_excess
+        assert decision.capacity_ratio <= config.remargin_capacity_ratio
+        assert decision.action == REMARGIN
+
+    def test_widened_margins_only_grow(self):
+        rng = np.random.default_rng(3)
+        monitor = make_monitor()
+        config = MaintenanceConfig(enabled=True)
+        n = 500
+        x = rng.uniform(0.0, 100.0, size=n)
+        y = MODEL.predict(x) + np.linspace(0.0, 1.2, n)
+        monitor.observe(x, y, MODEL.within_margin(x, y))
+        widened = monitor.widened_model(config)
+        assert widened.slope == MODEL.slope
+        assert widened.intercept == MODEL.intercept
+        assert widened.eps_ub >= MODEL.eps_ub
+        assert widened.eps_lb >= MODEL.eps_lb
+
+    def test_escaped_band_triggers_refit(self):
+        rng = np.random.default_rng(4)
+        monitor = make_monitor(baseline_outside=0.0)
+        config = MaintenanceConfig(enabled=True, min_observations=100)
+        shifted = LinearFDModel(2.0, 40.0, 1.5, 1.5)  # the stream's truth
+        x = rng.uniform(0.0, 100.0, size=1_000)
+        y = shifted.predict(x) + rng.normal(0.0, 0.5, size=1_000)
+        monitor.observe(x, y, MODEL.within_margin(x, y))
+        decision = monitor.decide(config)
+        assert decision.outside_fraction > 0.9
+        assert decision.action == REFIT
+
+    def test_refitted_model_tracks_the_new_line(self):
+        rng = np.random.default_rng(5)
+        monitor = make_monitor(model=LinearFDModel(2.0, 0.0, 30.0, 30.0))
+        config = MaintenanceConfig(enabled=True)
+        truth = LinearFDModel(2.5, 10.0, 0.0, 0.0)
+        x = rng.uniform(0.0, 100.0, size=2_000)
+        y = truth.predict(x) + rng.normal(0.0, 1.0, size=2_000)
+        monitor.observe(x, y, np.ones(len(x), dtype=bool))
+        refitted = monitor.refitted_model(config)
+        assert refitted.slope == pytest.approx(2.5, rel=0.05)
+        assert refitted.intercept == pytest.approx(10.0, abs=2.0)
+        assert refitted.eps_ub == pytest.approx(
+            config.margin_sigmas * 1.0, rel=0.2
+        )
+
+    def test_mark_refreshed_starts_a_new_epoch(self):
+        rng = np.random.default_rng(6)
+        monitor = make_monitor()
+        monitor.observe(*stationary_batch(rng, 100))
+        assert monitor.n_streamed == 100
+        monitor.mark_refreshed(MODEL)
+        assert monitor.n_streamed == 0
+        assert monitor.epoch == 1
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(7)
+        monitor = make_monitor()
+        config = MaintenanceConfig(enabled=True, min_observations=10)
+        x = rng.uniform(0.0, 100.0, size=300)
+        y = MODEL.predict(x) + np.linspace(0.0, 1.0, 300)
+        monitor.observe(x, y, MODEL.within_margin(x, y))
+        restored = make_monitor()
+        restored.load_state_vector(monitor.state_vector())
+        assert restored.n_streamed == monitor.n_streamed
+        assert restored.decide(config) == monitor.decide(config)
+        assert np.allclose(
+            restored.state_vector(), monitor.state_vector()
+        )
+
+    def test_state_vector_length_is_validated(self):
+        monitor = make_monitor()
+        with pytest.raises(ValueError):
+            monitor.load_state_vector(np.zeros(3))
+
+
+class TestMaintenanceManager:
+    def test_observe_and_reuse(self):
+        rng = np.random.default_rng(8)
+        manager, groups = make_manager(
+            MaintenanceConfig(enabled=True, min_observations=50)
+        )
+        x, y, mask = stationary_batch(rng, 200)
+        manager.observe_batch({"x": x, "y": y}, {"x->y": mask})
+        outcome = manager.refresh(groups)
+        assert outcome.action == REUSE
+        assert outcome.groups[0] is groups[0]  # untouched objects
+
+    def test_refit_produces_new_groups_and_commit_resets_monitors(self):
+        rng = np.random.default_rng(9)
+        manager, groups = make_manager(
+            MaintenanceConfig(enabled=True, min_observations=50)
+        )
+        shifted = LinearFDModel(2.0, 40.0, 1.5, 1.5)
+        x = rng.uniform(0.0, 100.0, size=500)
+        y = shifted.predict(x) + rng.normal(0.0, 0.5, size=500)
+        manager.observe_batch(
+            {"x": x, "y": y}, {"x->y": MODEL.within_margin(x, y)}
+        )
+        outcome = manager.refresh(groups)
+        assert outcome.action == REFIT
+        new_model = outcome.groups[0].model_for("y")
+        assert new_model.intercept == pytest.approx(40.0, abs=3.0)
+        # refresh() is pure: a failed re-partition must leave the monitors
+        # (like the index) untouched, so nothing resets until commit().
+        assert manager.monitor("x->y").n_streamed == 500
+        assert manager.monitor("x->y").epoch == 0
+        assert manager.monitor("x->y").model is MODEL
+        manager.commit(outcome)
+        assert manager.monitor("x->y").n_streamed == 0
+        assert manager.monitor("x->y").epoch == 1
+        # The refreshed model is what the monitor now watches.
+        assert manager.monitor("x->y").model is new_model
+
+    def test_commit_is_a_noop_for_reuse(self):
+        rng = np.random.default_rng(19)
+        manager, groups = make_manager(
+            MaintenanceConfig(enabled=True, min_observations=50)
+        )
+        x, y, mask = stationary_batch(rng, 200)
+        manager.observe_batch({"x": x, "y": y}, {"x->y": mask})
+        outcome = manager.refresh(groups)
+        assert outcome.action == REUSE
+        manager.commit(outcome)
+        assert manager.monitor("x->y").n_streamed == 200
+        assert manager.monitor("x->y").epoch == 0
+
+    def test_spline_models_are_left_alone(self):
+        from repro.fd.model import SplineFDModel, SplineSegment
+
+        spline = SplineFDModel(
+            [SplineSegment(0.0, 100.0, 2.0, 0.0)], eps_lb=1.0, eps_ub=1.0
+        )
+        groups = [
+            FDGroup(predictor="x", dependents=("y",), models={"y": spline})
+        ]
+        manager = MaintenanceManager(
+            groups, MaintenanceConfig(enabled=True), {}
+        )
+        assert manager.model_names == ()
+        assert manager.refresh(groups).action == REUSE
+
+    def test_manager_state_round_trip(self):
+        rng = np.random.default_rng(10)
+        manager, groups = make_manager()
+        x, y, mask = stationary_batch(rng, 150)
+        manager.observe_batch({"x": x, "y": y}, {"x->y": mask})
+        restored, _ = make_manager()
+        restored.load_state(manager.state())
+        assert restored.monitor("x->y").n_streamed == 150
+
+
+class TestMaintenanceConfigValidation:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            MaintenanceConfig(min_observations=1)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(remargin_capacity_ratio=0.0)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(update_band_factor=-1.0)
+        with pytest.raises(ValueError):
+            MaintenanceConfig(
+                remargin_outside_excess=0.5, refit_outside_excess=0.1
+            )

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig
+from repro.core.config import COAXConfig, MaintenanceConfig
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
 from repro.fd.bucketing import BucketingConfig
@@ -312,6 +312,105 @@ class TestInterleavedCRUDOnCOAX:
         self.check(loaded, reference)
         index.compact()
         self.check(index, reference)
+
+
+class TestDriftingStreamWithAdaptiveModels:
+    """Interleaved CRUD under a drifting insert stream with model refresh.
+
+    The adaptive-maintenance extension of the CRUD property: the insert
+    stream's soft-FD intercept drifts every round, compaction refreshes
+    the models (re-margin or refit + re-partition), and the results must
+    stay bit-identical to the delete-aware logical store before and after
+    every refresh — adaptivity changes routing and performance, never
+    results.  A format-v5 round trip of the adapted state must restore
+    both the refreshed models and the monitor state.
+    """
+
+    PROBES = [
+        Rectangle({"x": Interval(10.0, 60.0)}),
+        Rectangle({"y": Interval(30.0, 130.0)}),
+        Rectangle({"y": Interval(150.0, 320.0)}),  # the drifted band
+        Rectangle({"x": Interval(5.0, 1.0)}),
+        Rectangle(),
+    ]
+
+    def check(self, index, reference):
+        for query in self.PROBES:
+            expected = crud_reference_results(reference, query)
+            assert np.array_equal(np.sort(index.range_query(query)), expected)
+        assert_batch_matches_sequential(index, self.PROBES)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_drifting_crud_with_refresh(self, seed, tmp_path_factory):
+        rng = np.random.default_rng(seed)
+        n = 400
+        x = rng.uniform(0.0, 100.0, size=n)
+        y = 2.0 * x + rng.uniform(-1.0, 1.0, size=n)
+        table = Table({"x": x, "y": y})
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+            )
+        ]
+        config = COAXConfig(
+            maintenance=MaintenanceConfig(enabled=True, min_observations=50)
+        )
+        index = COAXIndex(table, config=config, groups=groups)
+        assert index.maintenance is not None
+        reference = {i: {"x": float(x[i]), "y": float(y[i])} for i in range(n)}
+        for round_no in range(3):
+            # Drifting insert batch: the intercept walks upward each round.
+            shift = 40.0 * (round_no + 1)
+            k = int(rng.integers(60, 120))
+            bx = rng.uniform(0.0, 100.0, size=k)
+            by = 2.0 * bx + shift + rng.uniform(-1.0, 1.0, size=k)
+            ids = index.insert_batch({"x": bx, "y": by})
+            for j, row_id in enumerate(ids):
+                reference[int(row_id)] = {"x": float(bx[j]), "y": float(by[j])}
+            # Delete and update random live subsets (delete-aware scan).
+            live = np.array(sorted(reference), dtype=np.int64)
+            doomed = rng.choice(
+                live, size=min(len(live), int(rng.integers(1, 40))), replace=False
+            )
+            index.delete_batch(doomed)
+            for row_id in doomed:
+                reference.pop(int(row_id))
+            live = np.array(sorted(reference), dtype=np.int64)
+            targets = np.unique(
+                rng.choice(
+                    live, size=min(len(live), int(rng.integers(1, 20))), replace=False
+                )
+            )
+            ux = rng.uniform(0.0, 100.0, size=len(targets))
+            uy = 2.0 * ux + shift + rng.uniform(-1.0, 1.0, size=len(targets))
+            index.update_batch(targets, {"x": ux, "y": uy})
+            for j, row_id in enumerate(targets):
+                reference[int(row_id)] = {"x": float(ux[j]), "y": float(uy[j])}
+            # Identical results before the refresh ...
+            self.check(index, reference)
+            epoch_before = index.maintenance.monitor("x->y").epoch
+            index.compact()  # maintenance decides (and usually refreshes) here
+            # ... and after it.
+            self.check(index, reference)
+        # The drift was far beyond the margins: a refresh must have fired.
+        monitor = index.maintenance.monitor("x->y")
+        assert monitor.epoch >= 1
+        assert epoch_before <= monitor.epoch
+        # Format v5 round trip of the adapted state: refreshed models and
+        # monitor statistics both survive.
+        path = tmp_path_factory.mktemp("drift") / "adaptive.coax.npz"
+        loaded = load_index(save_index(index, path))
+        assert loaded.maintenance is not None
+        restored = loaded.maintenance.monitor("x->y")
+        assert restored.epoch == monitor.epoch
+        assert np.allclose(restored.state_vector(), monitor.state_vector())
+        assert loaded.groups[0].model_for("y") == index.groups[0].model_for("y")
+        self.check(loaded, reference)
+        loaded.compact()
+        self.check(loaded, reference)
 
 
 class TestCOAXWithPendingRows:

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.coax import COAXIndex
-from repro.core.config import EngineConfig
+from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
 from repro.core.engine import ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.queries import WorkloadConfig, generate_knn_queries
@@ -161,8 +161,10 @@ class TestIndexPersistence:
                 np.sort(index.range_query(query)),
             )
 
-    def test_tombstones_round_trip_as_format_v3(self, tmp_path):
+    def test_tombstones_round_trip(self, tmp_path):
         """Deleted rows stay deleted across a save/load without compaction."""
+        import json
+
         rng = np.random.default_rng(5)
         x = rng.uniform(0.0, 100.0, size=1_000)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=1_000)})
@@ -175,8 +177,8 @@ class TestIndexPersistence:
         path = save_index(index, tmp_path / "tomb.npz")
         with np.load(path, allow_pickle=False) as archive:
             assert "__tombstone__" in archive.files
-            meta = archive["__meta__"]
-        assert "3" in str(meta)  # format_version 3
+            meta = json.loads(str(archive["__meta__"]))
+        assert meta["format_version"] == FORMAT_VERSION
         loaded = load_index(path)
         assert loaded.n_tombstoned == 150
         assert loaded.n_live == 850
@@ -341,9 +343,29 @@ class TestIndexPersistence:
 
 
 class TestFormatVersionMatrix:
-    """Every supported on-disk version loads — via ``load_index`` into its
-    natural type and via ``load_engine`` always into a sharded engine
-    (v1–v3 become a 1-shard engine)."""
+    """Every supported on-disk version (v1–v5) loads — via ``load_index``
+    into its natural type and via ``load_engine`` always into a sharded
+    engine (flat archives become a 1-shard engine).
+
+    v5 is what ``save_index`` writes today; v3 (flat) and v4 (sharded)
+    are byte-identical minus the version stamp and any monitor sections,
+    so the fixtures derive them by rewriting the header; v2/v1 strip the
+    per-model masks resp. the whole delta section, as those formats did.
+    """
+
+    #: Flat-archive versions (load as COAXIndex / 1-shard engine).
+    FLAT_VERSIONS = (1, 2, 3, 5)
+    ALL_VERSIONS = (1, 2, 3, 4, 5)
+
+    @staticmethod
+    def _rewrite(arrays, meta, path):
+        import json
+
+        arrays = dict(arrays)
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        with path.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        return path
 
     @pytest.fixture(scope="class")
     def fixture_state(self, tmp_path_factory):
@@ -364,11 +386,16 @@ class TestFormatVersionMatrix:
         index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
         base = tmp_path_factory.mktemp("versions")
         paths = {}
-        # v3: what save_index writes for a flat index today.
-        paths[3] = save_index(index, base / "v3.npz")
-        with np.load(paths[3], allow_pickle=False) as archive:
+        # v5: what save_index writes for a flat index today.
+        paths[5] = save_index(index, base / "v5.npz")
+        with np.load(paths[5], allow_pickle=False) as archive:
             arrays = {key: archive[key] for key in archive.files}
         meta = json.loads(str(arrays["__meta__"]))
+        assert meta["format_version"] == FORMAT_VERSION == 5
+        # v3: identical layout, pre-maintenance version stamp.
+        paths[3] = self._rewrite(
+            arrays, dict(meta, format_version=3), base / "v3.npz"
+        )
         # v2: no per-model masks, no tombstones, no row-id section.
         v2_meta = dict(meta, format_version=2)
         v2_meta.pop("n_tombstoned", None)
@@ -379,10 +406,7 @@ class TestFormatVersionMatrix:
             if not key.startswith("delta::model::")
             and key not in ("__tombstone__", "__row_ids__", "__meta__")
         }
-        v2_arrays["__meta__"] = np.array(json.dumps(v2_meta))
-        paths[2] = base / "v2.npz"
-        with paths[2].open("wb") as handle:
-            np.savez_compressed(handle, **v2_arrays)
+        paths[2] = self._rewrite(v2_arrays, v2_meta, base / "v2.npz")
         # v1: no delta section at all — the archive of a compacted index.
         v1_meta = dict(v2_meta, format_version=1, n_pending=0)
         v1_meta.pop("next_row_id", None)
@@ -391,16 +415,22 @@ class TestFormatVersionMatrix:
             for key, value in v2_arrays.items()
             if not key.startswith("delta::") and key != "__meta__"
         }
-        v1_arrays["__meta__"] = np.array(json.dumps(v1_meta))
-        paths[1] = base / "v1.npz"
-        with paths[1].open("wb") as handle:
-            np.savez_compressed(handle, **v1_arrays)
-        # v4: the sharded engine over the same data and delta state.
+        paths[1] = self._rewrite(v1_arrays, v1_meta, base / "v1.npz")
+        # Sharded engine over the same data and delta state: saved as v5,
+        # re-stamped as v4 (the pre-maintenance sharded format).
         engine = ShardedCOAX(
             table, config=EngineConfig(n_shards=3, workers=1), groups=groups
         )
         engine.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
-        paths[4] = save_index(engine, base / "v4.npz")
+        engine_path = save_index(engine, base / "engine_v5.npz")
+        with np.load(engine_path, allow_pickle=False) as archive:
+            engine_arrays = {key: archive[key] for key in archive.files}
+        engine_meta = json.loads(str(engine_arrays["__meta__"]))
+        assert engine_meta["format_version"] == 5
+        del engine_arrays["__meta__"]
+        paths[4] = self._rewrite(
+            engine_arrays, dict(engine_meta, format_version=4), base / "v4.npz"
+        )
         return index, engine, paths
 
     PROBES = (
@@ -409,15 +439,15 @@ class TestFormatVersionMatrix:
         Rectangle(),
     )
 
-    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
     def test_load_index_returns_natural_type(self, fixture_state, version):
         index, engine, paths = fixture_state
         loaded = load_index(paths[version])
-        reference = engine if version == 4 else index
-        if version == 4:
-            assert isinstance(loaded, ShardedCOAX) and loaded.n_shards == 3
-        else:
+        reference = index if version in self.FLAT_VERSIONS else engine
+        if version in self.FLAT_VERSIONS:
             assert isinstance(loaded, COAXIndex)
+        else:
+            assert isinstance(loaded, ShardedCOAX) and loaded.n_shards == 3
         if version >= 2:
             assert loaded.n_pending == reference.n_pending
         for query in self.PROBES:
@@ -427,13 +457,13 @@ class TestFormatVersionMatrix:
                 expected = expected[expected < 800]
             assert np.array_equal(np.sort(loaded.range_query(query)), expected)
 
-    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
     def test_load_engine_always_returns_engine(self, fixture_state, version):
         index, engine, paths = fixture_state
         loaded = load_engine(paths[version])
         assert isinstance(loaded, ShardedCOAX)
-        assert loaded.n_shards == (3 if version == 4 else 1)
-        reference = engine if version == 4 else index
+        assert loaded.n_shards == (1 if version in self.FLAT_VERSIONS else 3)
+        reference = index if version in self.FLAT_VERSIONS else engine
         for query in self.PROBES:
             expected = np.sort(reference.range_query(query))
             if version == 1:
@@ -444,6 +474,123 @@ class TestFormatVersionMatrix:
         assert new_id == loaded.next_row_id - 1
         assert loaded.delete(new_id)
         loaded.compact()
+
+
+class TestAdaptiveMonitorPersistence:
+    """Format v5: drift-monitor state survives a save/load round trip."""
+
+    GROUPS = [
+        FDGroup(
+            predictor="x",
+            dependents=("y",),
+            models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+        )
+    ]
+    CONFIG = COAXConfig(
+        maintenance=MaintenanceConfig(enabled=True, min_observations=100)
+    )
+
+    @staticmethod
+    def _table(seed=23, n=600):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 100.0, size=n)
+        return Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=n)})
+
+    def test_flat_monitor_state_round_trips(self, tmp_path):
+        index = COAXIndex(self._table(), config=self.CONFIG, groups=self.GROUPS)
+        rng = np.random.default_rng(24)
+        bx = rng.uniform(0.0, 100.0, size=150)
+        index.insert_batch({"x": bx, "y": 2.0 * bx + 1.0})
+        monitor = index.maintenance.monitor("x->y")
+        assert monitor.n_streamed == 150
+        path = save_index(index, tmp_path / "adaptive.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            assert "monitor::x->y" in archive.files
+        loaded = load_index(path)
+        assert loaded.maintenance is not None
+        restored = loaded.maintenance.monitor("x->y")
+        assert restored.n_streamed == 150
+        assert np.allclose(restored.state_vector(), monitor.state_vector())
+        config = loaded.maintenance.config
+        assert restored.decide(config) == monitor.decide(config)
+
+    def test_engine_shared_monitor_state_round_trips(self, tmp_path):
+        engine = ShardedCOAX(
+            self._table(),
+            config=EngineConfig(n_shards=3, workers=1, coax=self.CONFIG),
+            groups=self.GROUPS,
+        )
+        rng = np.random.default_rng(25)
+        bx = rng.uniform(0.0, 100.0, size=200)
+        engine.insert_batch({"x": bx, "y": 2.0 * bx + 1.0})
+        assert engine.maintenance.monitor("x->y").n_streamed == 200
+        path = save_index(engine, tmp_path / "adaptive_engine.npz")
+        loaded = load_engine(path)
+        assert loaded.maintenance is not None
+        # Shards never carry their own manager — refresh stays coordinated.
+        assert all(shard.maintenance is None for shard in loaded.shards)
+        restored = loaded.maintenance.monitor("x->y")
+        assert restored.n_streamed == 200
+        assert np.allclose(
+            restored.state_vector(),
+            engine.maintenance.monitor("x->y").state_vector(),
+        )
+
+    def test_wrapped_flat_adaptive_archive_promotes_manager_to_engine(
+        self, tmp_path
+    ):
+        """``load_engine`` on a flat adaptive archive must move the
+        monitors to the engine: a shard refreshing its own models would
+        diverge from the groups the engine translates batch queries with."""
+        index = COAXIndex(self._table(), config=self.CONFIG, groups=self.GROUPS)
+        rng = np.random.default_rng(27)
+        bx = rng.uniform(0.0, 100.0, size=300)
+        index.insert_batch({"x": bx, "y": 2.0 * bx + 60.0})
+        path = save_index(index, tmp_path / "flat_adaptive.npz")
+        engine = load_engine(path)
+        assert engine.maintenance is not None
+        assert all(shard.maintenance is None for shard in engine.shards)
+        # The restored monitor state came along with the promotion.
+        assert engine.maintenance.monitor("x->y").n_streamed == 300
+        # An engine-coordinated refresh fires and shards follow the
+        # engine's groups — batch and scalar stay in lockstep.
+        engine.compact()
+        assert engine.maintenance.monitor("x->y").epoch >= 1
+        for shard in engine.shards:
+            assert shard.groups == engine.groups
+        everything = Rectangle()
+        assert np.array_equal(
+            np.sort(engine.range_query(everything)),
+            np.sort(engine.batch_range_query([everything])[0]),
+        )
+
+    def test_pre_v5_archive_loads_with_fresh_monitors(self, tmp_path):
+        """A re-stamped v3 archive of an adaptive index loads: the config
+        round-trips, the monitors just start from scratch."""
+        import json
+
+        index = COAXIndex(self._table(), config=self.CONFIG, groups=self.GROUPS)
+        rng = np.random.default_rng(26)
+        bx = rng.uniform(0.0, 100.0, size=150)
+        index.insert_batch({"x": bx, "y": 2.0 * bx + 1.0})
+        path = save_index(index, tmp_path / "v5.npz")
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        meta["format_version"] = 3
+        arrays = {
+            key: value
+            for key, value in arrays.items()
+            if not key.startswith("monitor::") and key != "__meta__"
+        }
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        legacy = tmp_path / "v3.npz"
+        with legacy.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = load_index(legacy)
+        assert loaded.maintenance is not None
+        assert loaded.maintenance.monitor("x->y").n_streamed == 0
+        assert loaded.n_pending == index.n_pending
 
 
 class TestCSV:
