@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     fig8,
     headline,
     read_path,
+    restart,
     scale,
     table1,
     theory,
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "updates": (updates.run, "Updates — insert throughput and latency under writes"),
     "read_path": (read_path.run, "Read path — sequential vs batch query execution"),
     "crud": (crud.run, "CRUD — delete/update throughput and post-compaction latency"),
+    "restart": (restart.run, "Restart — v6 mmap cold start vs legacy npz copy-load"),
     "scale": (scale.run, "Scale — sharded scatter-gather execution and shard pruning"),
     "drift": (drift.run, "Drift — frozen vs adaptive FD models on a drifting stream"),
 }
@@ -54,6 +56,7 @@ __all__ = [
     "fig8",
     "headline",
     "read_path",
+    "restart",
     "scale",
     "table1",
     "theory",

@@ -16,23 +16,37 @@ from typing import Iterable, List, Union
 
 from repro.bench.reporting import ExperimentResult
 
-__all__ = ["export_csv", "export_json", "export_all"]
+__all__ = ["export_csv", "export_json", "export_all", "STANDARD_FIELDS"]
 
 PathLike = Union[str, Path]
+
+#: Fields every exported row carries, so artifacts from different
+#: experiments (and different executor sweeps of the same experiment)
+#: join on a stable schema.  ``executor`` names the scatter backend that
+#: produced the row (``""`` where execution played no part);
+#: ``cold_start_s`` is the restart latency (``None`` outside the restart
+#: benchmark).
+STANDARD_FIELDS = {"executor": "", "cold_start_s": None}
+
+
+def _standardised_rows(result: ExperimentResult) -> List[dict]:
+    """The result rows with the standard fields filled in."""
+    return [{**STANDARD_FIELDS, **row} for row in result.rows]
 
 
 def export_csv(result: ExperimentResult, path: PathLike) -> Path:
     """Write the result rows as a CSV file with a unified header."""
     path = Path(path)
+    rows = _standardised_rows(result)
     columns: List[str] = []
-    for row in result.rows:
+    for row in rows:
         for key in row:
             if key not in columns:
                 columns.append(key)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns, restval="")
         writer.writeheader()
-        for row in result.rows:
+        for row in rows:
             writer.writerow(row)
     return path
 
@@ -43,7 +57,7 @@ def export_json(result: ExperimentResult, path: PathLike) -> Path:
     payload = {
         "experiment": result.experiment,
         "description": result.description,
-        "rows": result.rows,
+        "rows": _standardised_rows(result),
         "notes": result.notes,
     }
     path.write_text(json.dumps(payload, indent=2, default=str))

@@ -11,7 +11,9 @@ Usage::
     python -m repro.cli crud --deletes 10000 --export BENCH_crud.json
     python -m repro.cli crud --smoke
     python -m repro.cli scale-bench --shards 1 2 4 8 --workers 1 4 --export BENCH_scale.json
-    python -m repro.cli scale-bench --smoke
+    python -m repro.cli scale-bench --smoke --executor process
+    python -m repro.cli restart-bench --rows 1000000 --export BENCH_restart.json
+    python -m repro.cli restart-bench --smoke
     python -m repro.cli drift-bench --export BENCH_drift.json
     python -m repro.cli drift-bench --smoke
     python -m repro.cli all --rows 20000
@@ -22,7 +24,10 @@ delta-store update benchmark (an alias of the ``updates`` experiment id);
 ``query-bench`` runs the read-path benchmark (``read_path``); ``crud`` runs
 the delete/update benchmark against a delete-aware full-scan oracle;
 ``scale-bench`` runs the sharded-engine scaling benchmark (``scale``) over
-a ``--shards`` x ``--workers`` grid; ``drift-bench`` runs the drifting
+a ``--shards`` x ``--workers`` grid — ``--executor thread|process``
+selects the scatter backend; ``restart-bench`` times the v6 mmap cold
+start against the legacy npz copy-load (``restart``); ``drift-bench``
+runs the drifting
 insert stream comparing frozen vs adaptive FD models (``drift``), every
 result verified against a full-scan oracle.  ``--smoke`` is the quick CI
 variant of each (asserting the batch/sharded/adaptive paths hold their
@@ -47,6 +52,7 @@ COMMAND_ALIASES = {
     "update-bench": "updates",
     "query-bench": "read_path",
     "scale-bench": "scale",
+    "restart-bench": "restart",
     "drift-bench": "drift",
 }
 
@@ -98,6 +104,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker-pool sizes to sweep (scale-bench)",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="scatter backend (scale-bench, restart-bench)",
+    )
+    parser.add_argument(
+        "--n-shards",
+        type=int,
+        default=None,
+        help="shard count of the saved engine (restart-bench)",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="quick CI variant: small data, asserts batch >= sequential (query-bench)",
@@ -124,6 +142,8 @@ def _run_experiment(
     batch_sizes: Optional[Sequence[int]] = None,
     shards: Optional[Sequence[int]] = None,
     workers: Optional[Sequence[int]] = None,
+    executor: Optional[str] = None,
+    n_shards: Optional[int] = None,
     smoke: bool = False,
 ):
     """Run one experiment by id (or alias), returning its result object."""
@@ -145,6 +165,8 @@ def _run_experiment(
         "batch_sizes": batch_sizes,
         "shard_counts": shards,
         "worker_counts": workers,
+        "executor": executor,
+        "n_shards": n_shards,
         "smoke": smoke or None,
     }
     for parameter, value in forwarded.items():
@@ -166,6 +188,8 @@ def run_experiment(
     batch_sizes: Optional[Sequence[int]] = None,
     shards: Optional[Sequence[int]] = None,
     workers: Optional[Sequence[int]] = None,
+    executor: Optional[str] = None,
+    n_shards: Optional[int] = None,
     smoke: bool = False,
 ) -> str:
     """Run one experiment by id (or alias) and return its formatted table."""
@@ -181,6 +205,8 @@ def run_experiment(
         batch_sizes=batch_sizes,
         shards=shards,
         workers=workers,
+        executor=executor,
+        n_shards=n_shards,
         smoke=smoke,
     ).table()
 
@@ -210,6 +236,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 batch_sizes=args.batch_sizes,
                 shards=args.shards,
                 workers=args.workers,
+                executor=args.executor,
+                n_shards=args.n_shards,
                 smoke=args.smoke,
             )
         except KeyError as exc:

@@ -252,6 +252,76 @@ class COAXIndex(MultidimensionalIndex):
         )
 
     # ------------------------------------------------------------------
+    # Structured restore (format v6)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _restore_structured(
+        cls,
+        table: Table,
+        *,
+        config: COAXConfig,
+        groups: Sequence[FDGroup],
+        dimensions: Sequence[str],
+        partition: PartitionResult,
+        indexed_dims: Sequence[str],
+        predicted_dims: Sequence[str],
+        sort_dim: str,
+        primary: SortedCellGridIndex,
+        outlier: MultidimensionalIndex,
+        primary_box,
+        outlier_box,
+        report_warnings: Sequence[str] = (),
+    ) -> "COAXIndex":
+        """Reattach a COAX index from persisted derived state — no rebuild.
+
+        Structured (format v6) restore: the inlier/outlier partition, the
+        pre-built primary and outlier indexes and the bounding boxes are
+        adopted verbatim, so no FD model is evaluated and nothing is
+        re-sorted — cold start is O(metadata).  Only valid for an index
+        aligned with its table (row id == position); the caller re-applies
+        tombstones, delta state and drift-monitor state afterwards, exactly
+        like the rebuild path does.
+        """
+        index = cls.__new__(cls)
+        index._init_restored(
+            table,
+            row_ids=np.arange(table.n_rows, dtype=np.int64),
+            columns={name: table.column(name) for name in table.schema},
+            dimensions=dimensions,
+        )
+        index._config = config
+        index._groups = list(groups)
+        index._partition = partition
+        index._indexed_dims = tuple(indexed_dims)
+        index._predicted_dims = tuple(predicted_dims)
+        index._sort_dim = sort_dim
+        index._primary = primary
+        index._outlier = outlier
+        index._primary_box = primary_box
+        index._outlier_box = outlier_box
+        index._delta = DeltaStore(tuple(table.schema), index._groups)
+        index._next_row_id = int(table.n_rows)
+        index._maintenance = None
+        if config.maintenance.enabled and index._groups:
+            index._maintenance = MaintenanceManager(
+                index._groups,
+                config.maintenance,
+                partition.per_model_inlier_fraction,
+            )
+        index._report = COAXBuildReport(
+            n_rows=index.n_rows,
+            groups=list(index._groups),
+            primary_ratio=partition.primary_ratio,
+            per_model_inlier_fraction=dict(partition.per_model_inlier_fraction),
+            indexed_dimensions=index._indexed_dims,
+            predicted_dimensions=index._predicted_dims,
+            primary_sort_dimension=sort_dim,
+            primary_grid_dimensions=index._primary.grid_dimensions,
+            warnings=list(report_warnings),
+        )
+        return index
+
+    # ------------------------------------------------------------------
     # Build helpers
     # ------------------------------------------------------------------
     def _detect_groups(self, table: Table, detection: DetectionConfig) -> List[FDGroup]:

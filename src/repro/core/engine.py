@@ -43,6 +43,18 @@ Design pillars
   with the existing fused-key merge
   (:func:`repro.core.results.merge_flat_row_ids`).  Results are
   bit-identical to an unsharded COAX index over the same data.
+* **Process execution.**  With ``executor="process"`` batch scatters run
+  on worker *processes* instead of threads, which parallelises the
+  Python-level planner/merge glue the GIL serialises on the thread pool.
+  Each worker attaches to an mmap-backed columnar replica of its shard —
+  the engine spills a shard to a format-v6 archive on first dispatch and
+  re-spills only after a mutation bumped the shard's generation counter —
+  so the workers share the page cache with the parent and receive only
+  the sliced bound matrices per task, never the data.  Replica scans are
+  bit-identical (ids, order *and* stats) to the in-process shard scans:
+  structured restore reattaches the very same derived structures the
+  parent holds.  Builds, mutations, compactions and scalar queries stay
+  on threads either way.
 * **Independent per-shard compaction.**  Every shard carries its own
   delta store, tombstones and auto-compaction triggers, so reclaim work
   is amortised shard by shard as writes land instead of a stop-the-world
@@ -57,8 +69,12 @@ Design pillars
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import shutil
+import tempfile
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
@@ -109,6 +125,67 @@ def _stats_delta(before: Tuple[int, int, int, int, int], stats: QueryStats) -> Q
     )
 
 
+#: Per-worker-process cache of mmap-attached shard replicas, keyed by
+#: shard number.  The spill path encodes the shard's generation, so a
+#: path mismatch means the parent re-spilled after a mutation and the
+#: stale replica is dropped; each engine owns its own process pool, so
+#: shard numbers cannot collide across engines within one worker.
+_REPLICA_CACHE: Dict[int, Tuple[str, "COAXIndex"]] = {}
+
+
+def _scatter_worker(payload):
+    """One shard sub-batch scan inside a worker process.
+
+    Attaches (or reuses) the shard's mmap-backed replica, runs the same
+    ``batch_scatter_flat`` core the thread path runs — the sub-batch is
+    pre-sliced, so local slot ``i`` is sub-query ``i`` — and returns flat
+    local ids, sub-batch query slots and the stats counter advance.  The
+    replica is restored from the shard's own persisted structures, so ids,
+    order and counters are bit-identical to scanning the live shard.
+    """
+    (
+        shard_no,
+        spill_path,
+        sub_queries,
+        sub_bounds,
+        sub_translated,
+        use_primary,
+        use_outlier,
+    ) = payload
+    cached = _REPLICA_CACHE.get(shard_no)
+    if cached is None or cached[0] != spill_path:
+        # Imported lazily: persistence imports this module at top level.
+        from repro.io.persistence import load_index
+
+        replica = load_index(spill_path)
+        _REPLICA_CACHE[shard_no] = (spill_path, replica)
+    else:
+        replica = cached[1]
+    n_sub = len(sub_queries)
+    before = _stats_snapshot(replica.stats)
+    local_ids, sub_qids = replica.batch_scatter_flat(
+        sub_queries,
+        np.arange(n_sub, dtype=np.int64),
+        sub_bounds,
+        sub_translated,
+        use_primary,
+        use_outlier,
+        n_sub,
+    )
+    delta = _stats_delta(before, replica.stats)
+    return (
+        local_ids,
+        sub_qids,
+        (
+            delta.queries,
+            delta.rows_examined,
+            delta.rows_matched,
+            delta.cells_visited,
+            delta.nodes_visited,
+        ),
+    )
+
+
 class ShardedCOAX(MultidimensionalIndex):
     """Scatter-gather facade over ``n_shards`` independent COAX indexes.
 
@@ -140,6 +217,11 @@ class ShardedCOAX(MultidimensionalIndex):
         self._write_lock = threading.RLock()
         self._stats_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._process_pools: Optional[List[ProcessPoolExecutor]] = None
+        self._spill_lock = threading.Lock()
+        self._spill_dir: Optional[str] = None
+        self._generations: List[int] = [0] * config.n_shards
+        self._spilled: List[Optional[Tuple[int, str]]] = [None] * config.n_shards
 
         # The FD groups are learned ONCE over the full table and shared by
         # every shard: per-shard detection could fit different models and
@@ -300,12 +382,83 @@ class ShardedCOAX(MultidimensionalIndex):
             )
         return self._executor
 
+    def _ensure_process_pools(self) -> List[ProcessPoolExecutor]:
+        """The lazily created worker pools (one single-process pool per slot).
+
+        Shard ``s`` is always dispatched to slot ``s % workers``, so every
+        worker process attaches (and caches) only the replicas of its own
+        residue class — at most ``ceil(n_shards / workers)`` per worker —
+        instead of every worker eventually touching every shard.  A shared
+        pool with arbitrary task placement keeps hitting cold
+        (worker, shard) pairs; pinned slots warm up after one batch.
+
+        Prefers the ``fork`` start method: the workers inherit the loaded
+        modules and start in milliseconds; replicas are attached from disk
+        either way, so no engine state needs to survive the fork.
+        """
+        if self._process_pools is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context()
+            self._process_pools = [
+                ProcessPoolExecutor(max_workers=1, mp_context=context)
+                for _ in range(self._config.workers)
+            ]
+        return self._process_pools
+
+    def _note_shard_mutation(self, shard_nos) -> None:
+        """Bump the mutated shards' generation counters (mutation entry
+        points call this *after* the mutation fully landed, so a replica
+        spilled under the new generation is always a complete snapshot)."""
+        for shard_no in np.atleast_1d(np.asarray(shard_nos, dtype=np.int64)):
+            self._generations[int(shard_no)] += 1
+
+    def _ensure_spilled(self, shard_no: int) -> str:
+        """Path of an up-to-date mmap-able replica archive of one shard.
+
+        Spills the shard to a format-v6 columnar directory on first use
+        and after every generation bump; the path encodes the generation,
+        so worker processes detect staleness by path comparison alone.
+        The archive write is atomic (tmp dir + rename), so a worker can
+        never attach a torn replica.
+        """
+        with self._spill_lock:
+            generation = self._generations[shard_no]
+            spilled = self._spilled[shard_no]
+            if spilled is not None and spilled[0] == generation:
+                return spilled[1]
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix="coax-scatter-")
+            path = os.path.join(self._spill_dir, f"shard{shard_no}.g{generation}")
+            from repro.io.persistence import save_index
+
+            save_index(self._shards[shard_no], path)
+            if spilled is not None and os.path.exists(spilled[1]):
+                shutil.rmtree(spilled[1], ignore_errors=True)
+            self._spilled[shard_no] = (generation, path)
+            return path
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent; queries stay usable
-        serially afterwards, and the pool is recreated on demand)."""
+        """Release execution resources (idempotent; queries stay usable
+        serially afterwards, and the pools are recreated on demand).
+
+        Shuts down the thread pool and the process pool (waiting for
+        in-flight work), and removes the spilled replica archives — the
+        worker-side mmap handles die with the worker processes.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._process_pools is not None:
+            for pool in self._process_pools:
+                pool.shutdown(wait=True)
+            self._process_pools = None
+        with self._spill_lock:
+            if self._spill_dir is not None:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+                self._spill_dir = None
+            self._spilled = [None] * len(self._shards)
 
     def __enter__(self) -> "ShardedCOAX":
         return self
@@ -330,6 +483,11 @@ class ShardedCOAX(MultidimensionalIndex):
     def workers(self) -> int:
         """Scatter/build/compact thread-pool size (1 = serial)."""
         return self._config.workers
+
+    @property
+    def executor(self) -> str:
+        """Batch-scatter backend: ``"thread"`` or ``"process"``."""
+        return self._config.executor
 
     @property
     def shards(self) -> Tuple[COAXIndex, ...]:
@@ -651,7 +809,16 @@ class ShardedCOAX(MultidimensionalIndex):
                 delta = _stats_delta(before, shard.stats)
             return global_ids, slots[sub_qids], delta
 
-        scattered = self._map_shards(run_shard, tasks)
+        if (
+            self._config.executor == "process"
+            and self._config.workers > 1
+            and len(tasks) > 1
+        ):
+            scattered = self._scatter_processes(
+                queries, bounds, translated_bounds, tasks
+            )
+        else:
+            scattered = self._map_shards(run_shard, tasks)
 
         gathered = QueryStats()
         id_parts: List[np.ndarray] = []
@@ -678,6 +845,62 @@ class ShardedCOAX(MultidimensionalIndex):
                 shards_pruned=shards_pruned,
             )
         return results
+
+    def _scatter_processes(
+        self,
+        queries: List[Rectangle],
+        bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        translated_bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> List[Tuple[np.ndarray, np.ndarray, QueryStats]]:
+        """Run the surviving shard tasks on the process pool.
+
+        Each payload carries the shard's replica path plus its pre-sliced
+        sub-batch (queries, bound matrices, planner flags) — a few KB per
+        task; the data itself reaches the worker through the mmap.  Local
+        ids are mapped to global ids and sub-batch slots to batch slots
+        here in the parent, so the gather below is executor-agnostic.
+        Shard ``s`` always runs on worker slot ``s % workers`` (see
+        :meth:`_ensure_process_pools`), keeping every worker's replica
+        cache small and warm.
+        """
+        pools = self._ensure_process_pools()
+        futures = []
+        for shard_no, slots, use_primary, use_outlier in tasks:
+            path = self._ensure_spilled(shard_no)
+            payload = (
+                shard_no,
+                path,
+                [queries[slot] for slot in slots],
+                {
+                    dim: (lows[slots], highs[slots])
+                    for dim, (lows, highs) in bounds.items()
+                },
+                {
+                    dim: (lows[slots], highs[slots])
+                    for dim, (lows, highs) in translated_bounds.items()
+                },
+                use_primary,
+                use_outlier,
+            )
+            futures.append(
+                pools[shard_no % len(pools)].submit(_scatter_worker, payload)
+            )
+        scattered: List[Tuple[np.ndarray, np.ndarray, QueryStats]] = []
+        for task, future in zip(tasks, futures):
+            shard_no, slots = task[0], task[1]
+            local_ids, sub_qids, counters = future.result()
+            delta = QueryStats(
+                queries=counters[0],
+                rows_examined=counters[1],
+                rows_matched=counters[2],
+                cells_visited=counters[3],
+                nodes_visited=counters[4],
+            )
+            scattered.append(
+                (self._global_of[shard_no][local_ids], slots[sub_qids], delta)
+            )
+        return scattered
 
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
         """Positions equal global row ids (the engine-wide invariant)."""
@@ -727,6 +950,7 @@ class ShardedCOAX(MultidimensionalIndex):
             self._shard_of = np.concatenate([self._shard_of, assignment])
             self._local_of = np.concatenate([self._local_of, local_ids])
             self._next_global_id += n_new
+            self._note_shard_mutation(np.unique(assignment))
             self._observe_columns(columns, masks)
             return global_ids
 
@@ -809,6 +1033,7 @@ class ShardedCOAX(MultidimensionalIndex):
             for shard_no in np.unique(shard_ids):
                 local = self._local_of[known[shard_ids == shard_no]]
                 deleted += self._shards[shard_no].delete_batch(local)
+            self._note_shard_mutation(np.unique(shard_ids))
             return int(deleted)
 
     def delete_rows(self, row_ids: np.ndarray, *, assume_unique: bool = False) -> int:
@@ -877,6 +1102,7 @@ class ShardedCOAX(MultidimensionalIndex):
                 shard = self._shards[shard_no]
                 shard.update_batch(local_ids[routed], sub_columns)
                 self._gather_shard_masks(shard, routed, masks, sub_columns)
+            self._note_shard_mutation(touched)
             self._observe_columns(columns, masks)
             return row_ids
 
@@ -907,6 +1133,7 @@ class ShardedCOAX(MultidimensionalIndex):
         with self._write_lock:
             if shard is not None:
                 self._shards[shard].compact()
+                self._note_shard_mutation(shard)
                 return self
             refreshed = False
             if self._maintenance is not None:
@@ -937,6 +1164,7 @@ class ShardedCOAX(MultidimensionalIndex):
                     )
                     self._maintenance.commit(outcome)
             self._map_shards(lambda s: s.compact(), self._shards)
+            self._note_shard_mutation(np.arange(len(self._shards)))
             if refreshed:
                 # The refreshed band's baseline follows the inlier
                 # fractions the shard folds just recomputed/merged — the
@@ -1015,6 +1243,11 @@ class ShardedCOAX(MultidimensionalIndex):
         self._write_lock = threading.RLock()
         self._stats_lock = threading.Lock()
         self._executor = None
+        self._process_pools = None
+        self._spill_lock = threading.Lock()
+        self._spill_dir = None
+        self._generations = [0] * config.n_shards
+        self._spilled = [None] * config.n_shards
         self._groups = list(groups)
         self._partition_dim = partition_dimension
         self._boundaries = np.asarray(boundaries, dtype=np.float64)
@@ -1055,14 +1288,20 @@ class ShardedCOAX(MultidimensionalIndex):
         return self
 
     @classmethod
-    def from_index(cls, index: COAXIndex, *, workers: int = 1) -> "ShardedCOAX":
+    def from_index(
+        cls, index: COAXIndex, *, workers: int = 1, executor: str = "thread"
+    ) -> "ShardedCOAX":
         """Wrap an existing (e.g. legacy-archive) COAX index as one shard.
 
         The shard's local ids are the global ids, so the mapping is the
         identity; this is how format v1–v3 archives load into the engine.
         """
         config = EngineConfig(
-            n_shards=1, partitioning="hash", workers=workers, coax=index.config
+            n_shards=1,
+            partitioning="hash",
+            workers=workers,
+            executor=executor,
+            coax=index.config,
         )
         return cls._from_shards(
             [index],

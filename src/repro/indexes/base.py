@@ -190,6 +190,7 @@ class MultidimensionalIndex(ABC):
         dimensions: Optional[Sequence[str]] = None,
     ) -> None:
         self._table = table
+        aligned = row_ids is None
         if row_ids is None:
             row_ids = np.arange(table.n_rows, dtype=np.int64)
         else:
@@ -199,11 +200,19 @@ class MultidimensionalIndex(ABC):
         for dim in self._dimensions:
             if dim not in table.schema:
                 raise IndexBuildError(f"dimension {dim!r} is not in the table schema")
-        # Local copies of the indexed subset: queries work on positional ids
-        # 0..len(row_ids)-1 and map back to original ids at the end.
-        self._columns: Dict[str, np.ndarray] = {
-            name: table.column(name)[row_ids] for name in table.schema
-        }
+        # Local view of the indexed subset: queries work on positional ids
+        # 0..len(row_ids)-1 and map back to original ids at the end.  An
+        # index over the whole table references the table arrays directly
+        # (zero-copy — in particular mmap-backed columns stay mapped);
+        # subset-scoped indexes gather their covered rows once.
+        if aligned:
+            self._columns: Dict[str, np.ndarray] = {
+                name: table.column(name) for name in table.schema
+            }
+        else:
+            self._columns = {
+                name: table.column(name)[row_ids] for name in table.schema
+            }
         # Lazily built row-id -> position lookup (see :meth:`positions_of`).
         self._row_id_order: Optional[np.ndarray] = None
         self._sorted_row_ids: Optional[np.ndarray] = None
@@ -214,6 +223,33 @@ class MultidimensionalIndex(ABC):
         # Single-writer lock (see the module docstring's concurrency
         # contract).  Reentrant: mutation entry points nest (insert ->
         # auto-compact -> compact) without re-acquisition deadlocks.
+        self._write_lock = threading.RLock()
+        self.stats = QueryStats()
+
+    def _init_restored(
+        self,
+        table: Table,
+        *,
+        row_ids: np.ndarray,
+        columns: Dict[str, np.ndarray],
+        dimensions: Sequence[str],
+    ) -> None:
+        """Adopt base-class state directly from persisted arrays.
+
+        Structured (format v6) restore path: the caller supplies the
+        covered row ids and the per-structure column arrays (typically
+        memmap-backed) verbatim instead of re-gathering them from the
+        table, so attaching is O(metadata).  Tombstones are re-applied by
+        the caller afterwards via :meth:`delete_rows`.
+        """
+        self._table = table
+        self._row_ids = np.asarray(row_ids, dtype=np.int64)
+        self._dimensions = tuple(dimensions)
+        self._columns = dict(columns)
+        self._row_id_order = None
+        self._sorted_row_ids = None
+        self._tombstone = None
+        self._n_tombstoned = 0
         self._write_lock = threading.RLock()
         self.stats = QueryStats()
 

@@ -86,6 +86,54 @@ class SortedCellGridIndex(MultidimensionalIndex):
         self._build_cells()
 
     # ------------------------------------------------------------------
+    # Structured restore (format v6)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _restore(
+        cls,
+        table: Table,
+        *,
+        row_ids: np.ndarray,
+        columns: Dict[str, np.ndarray],
+        dimensions: Sequence[str],
+        sort_dimension: str,
+        cells_per_dim: int,
+        boundaries: Sequence[np.ndarray],
+        axis_lows: Sequence[float],
+        axis_highs: Sequence[float],
+        row_order: np.ndarray,
+        offsets: np.ndarray,
+        sorted_keys: np.ndarray,
+    ) -> "SortedCellGridIndex":
+        """Reattach a grid from persisted derived state — no rebuild.
+
+        The quantile boundaries, the (cell, sort-key) row permutation and
+        the per-cell offsets are adopted verbatim, so the restored grid is
+        bit-identical to the saved one by construction and attaching costs
+        O(metadata) plus mapping the arrays (nothing when they are
+        memmaps).  Column arrays are taken as given — memmap-backed ones
+        stay mapped.
+        """
+        index = cls.__new__(cls)
+        index._init_restored(
+            table, row_ids=row_ids, columns=columns, dimensions=dimensions
+        )
+        index._sort_dimension = sort_dimension
+        index._grid_dimensions = tuple(
+            dim for dim in index._dimensions if dim != sort_dimension
+        )
+        index._cells_per_dim = int(cells_per_dim)
+        index._shape = tuple([index._cells_per_dim] * len(index._grid_dimensions))
+        index._cell_strides = row_major_strides(index._shape)
+        index._boundaries = [np.asarray(b, dtype=np.float64) for b in boundaries]
+        index._axis_lows = [float(v) for v in axis_lows]
+        index._axis_highs = [float(v) for v in axis_highs]
+        index._row_order = np.asarray(row_order, dtype=np.int64)
+        index._offsets = np.asarray(offsets, dtype=np.int64)
+        index._sorted_keys = np.asarray(sorted_keys, dtype=np.float64)
+        return index
+
+    # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
     def _build_cells(self) -> None:

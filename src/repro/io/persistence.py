@@ -1,79 +1,82 @@
 """Saving and loading COAX indexes and sharded engines.
 
-A COAX index is cheap to rebuild from its learned state: the FD groups (a
-handful of model parameters per group), the configuration, and the data
-itself.  Persistence therefore stores exactly that — the table columns, the
-group definitions and the configuration — in a single ``.npz`` archive plus
-an embedded JSON header, and reconstruction replays the build with the
-stored groups (no re-detection), which is deterministic and fast.
+Since format version 6 an archive is a *directory* holding one raw
+little-endian binary file per array plus a single ``manifest.json``:
 
-The format is deliberately simple and versioned so it can be inspected with
-nothing but NumPy:
+* ``manifest.json`` — the JSON header (format version, configuration,
+  group definitions, schema order, delta/tombstone bookkeeping, the
+  structured-restore state described below and, for engines, the engine
+  section) plus one entry per array mapping its logical key to its file,
+  dtype and shape.  The manifest is written *last* and the whole
+  directory is assembled under a temporary name and atomically renamed
+  into place, so a reader either sees a complete archive or none at all
+  — never a torn one;
+* ``arrays/…`` — one file per array, raw little-endian values with no
+  framing, so the files can be attached with ``np.memmap`` (copy-on-write
+  mode) instead of being parsed and copied.  ``load_index`` /
+  ``load_engine`` map every large numeric array: loading is O(metadata),
+  page cache is shared between every process that maps the same archive,
+  and tables larger than RAM stream through the query kernels on demand.
 
-* ``__meta__`` — JSON string: format version, configuration, group
-  definitions (predictor, dependents, per-dependent model parameters), the
-  schema order, the delta-store bookkeeping (pending count, next row id)
-  and the live-row count;
-* one array per table column, stored under ``column::<name>``;
-* pending (inserted but not compacted) records under ``delta::<key>`` —
-  one array per column plus the assigned row ids, the routing mask and the
-  per-model margin masks — so a save/load round trip preserves the delta
-  store instead of forcing a compaction (and restoring it never re-runs an
-  FD model);
-* the tombstone bitmap under ``__tombstone__`` (format version 3, only
-  present when rows were deleted), one boolean per saved table row, so
-  deleted-but-not-yet-compacted rows stay deleted across a round trip.
+The logical array keys are those of the legacy ``.npz`` layout — one
+table column per ``column::<name>``, pending records under
+``delta::<key>``, the tombstone bitmap under ``__tombstone__``, covered
+ids under ``__row_ids__`` for subset-scoped indexes, drift-monitor state
+under ``monitor::<name>``, and one complete flat section per shard under
+a ``shard<j>::`` prefix (plus ``shard<j>::__global_of__``) for engines —
+extended with the *structured-restore* section that makes cold starts
+O(metadata): the inlier/outlier partition (``partition::*``), and for the
+primary and the (grid-backed) outlier index the quantile boundaries, the
+(cell, sort-key) row permutation, the per-cell offsets and the gathered
+column subsets (``primary::*`` / ``outlier::*``).  With that state a
+load *reattaches* the saved structures verbatim instead of replaying the
+build — no FD model is evaluated, nothing is re-sorted.  Indexes whose
+state cannot be reattached (subset-scoped after a reclaiming compaction,
+or non-grid outlier indexes) simply omit the section and are rebuilt
+deterministically from the stored groups, exactly like pre-v6 archives.
 
-Format version 4 is the *sharded* archive written for a
-:class:`~repro.core.engine.ShardedCOAX`: an engine-level header (shard
-count, partitioning scheme and boundaries, worker count, the shared groups
-and COAX configuration, the next global row id) plus one complete
-per-shard section — every key of the flat format under a ``shard<j>::``
-prefix, extended with ``shard<j>::__global_of__``, the local-position →
-global-row-id half of the engine's mapping (the other half is derived on
-load).  Each shard round-trips exactly like a flat index: its delta store,
-tombstones and id coverage survive un-compacted.
-
-Format version 5 (written for both layouts — flat archives without an
-``engine`` header, sharded archives with one) adds the drift-monitor state
-of adaptive model maintenance: when the saved index (or engine) carries a
-:class:`~repro.fd.maintenance.MaintenanceManager`, one flat float64 state
-vector per monitored model is stored under ``monitor::<name>`` — the two
-Bayesian posteriors' sufficient statistics plus the outside-margin and
-residual-drift counters — so a restored index resumes drift tracking
-exactly where the saved one left off.  Archives without monitor sections
-(maintenance disabled, or written by an older build) load with fresh
-monitors, which is exactly the state of a newly built adaptive index.
-
-Version 1 archives (no delta section) load fine: the delta store starts
-empty, exactly the state version 1 guaranteed by compacting before save.
-Version 2 archives (no tombstones, no per-model masks) also load; their
-delta routing masks are trusted and the per-model masks re-derived once.
-Version 3 (flat) and 4 (sharded) archives predate the maintenance
-section and load with the models frozen, their historical behaviour.
-:func:`load_engine` additionally wraps any flat archive into a 1-shard
-engine, so engine deployments can adopt old flat archives directly.
-Unsupported versions raise the typed :class:`UnsupportedFormatError`
-carrying the supported-version list.
+Versions 1–5 are the single-``.npz`` layouts of earlier builds (v1 no
+delta section, v2 delta without per-model masks, v3 tombstones + masks,
+v4 the sharded archive, v5 drift-monitor state; see the git history for
+the blow-by-blow).  They all keep loading through a conversion shim —
+the loaders dispatch on *file* (npz, v1–v5) vs *directory with manifest*
+(v6) — and saving a loaded index writes v6.  ``save_index(...,
+layout="npz")`` still writes the v5 single-file layout for compatibility
+tooling and benchmarks.  :func:`load_engine` wraps any flat archive into
+a 1-shard engine; sharded archives remember the engine's ``workers`` and
+``executor`` settings, and both can be overridden at load time (a
+deployment knob, not part of the data).  Unsupported versions raise the
+typed :class:`UnsupportedFormatError` carrying the supported-version
+list.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import re
+import shutil
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
+from repro.core.config import (
+    COAXConfig,
+    EngineConfig,
+    EXECUTOR_CHOICES,
+    MaintenanceConfig,
+)
 from repro.core.engine import ShardedCOAX
+from repro.core.partitioner import PartitionResult
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig
 from repro.fd.bucketing import BucketingConfig
 from repro.fd.groups import FDGroup
 from repro.fd.model import LinearFDModel, SplineFDModel, SplineSegment
+from repro.indexes.grid_file import SortedCellGridIndex
 
 __all__ = [
     "save_index",
@@ -81,24 +84,43 @@ __all__ = [
     "load_engine",
     "UnsupportedFormatError",
     "FORMAT_VERSION",
+    "LEGACY_FORMAT_VERSION",
     "SHARDED_FORMAT_VERSION",
     "SUPPORTED_VERSIONS",
+    "MANIFEST_NAME",
 ]
 
 #: Version written for every archive (flat and sharded; the two layouts
 #: are distinguished by the presence of the ``engine`` header section).
-FORMAT_VERSION = 5
+FORMAT_VERSION = 6
+
+#: The single-file ``.npz`` layout still written by
+#: ``save_index(..., layout="npz")`` for compatibility tooling.
+LEGACY_FORMAT_VERSION = 5
 
 #: Deprecated alias: since format 5 the version number no longer
-#: distinguishes the two layouts — check for the ``engine`` key in the
-#: archive header instead (the rule every loader here uses).
+#: distinguishes the flat and sharded layouts — check for the ``engine``
+#: key in the archive header instead (the rule every loader here uses).
 SHARDED_FORMAT_VERSION = FORMAT_VERSION
 
 #: Versions this build can read (2 added the delta-store section, 3 the
 #: tombstone bitmap, the live-row count and the per-model routing masks,
 #: 4 the sharded-engine archive, 5 the drift-monitor state of adaptive
-#: model maintenance).
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+#: model maintenance, 6 the mmap-backed columnar directory layout with
+#: structured O(metadata) restore).
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
+
+#: Header file of a columnar (v6) archive directory; written last, so its
+#: presence certifies the archive is complete.
+MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory of a columnar archive holding the raw array files.
+ARRAY_DIR = "arrays"
+
+#: Numeric arrays at least this large are attached with ``np.memmap``
+#: (copy-on-write) instead of being read eagerly; smaller ones are not
+#: worth an open file descriptor.
+MMAP_MIN_BYTES = 4096
 
 
 class UnsupportedFormatError(ValueError):
@@ -207,7 +229,115 @@ def _config_from_dict(payload: Dict) -> COAXConfig:
     return COAXConfig(detection=detection, maintenance=maintenance, **remaining)
 
 
-def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
+# ----------------------------------------------------------------------
+# Structured-restore payload (format v6)
+# ----------------------------------------------------------------------
+
+def _box_to_json(box) -> Optional[List[Dict[str, float]]]:
+    return None if box is None else [dict(box[0]), dict(box[1])]
+
+
+def _box_from_json(payload) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+    if payload is None:
+        return None
+    lows, highs = payload
+    return (
+        {name: float(value) for name, value in lows.items()},
+        {name: float(value) for name, value in highs.items()},
+    )
+
+
+def _structured_eligible(index: COAXIndex) -> bool:
+    """Whether the index's derived state can be reattached verbatim.
+
+    Requires row id == table position (subset-scoped indexes left behind
+    by a reclaiming compaction re-run the deterministic rebuild instead)
+    and grid-file structures on both sides (the r-tree / uniform-grid
+    outlier variants carry no stable persisted form).
+    """
+    return (
+        index.rows_aligned
+        and type(index._primary) is SortedCellGridIndex
+        and type(index._outlier) is SortedCellGridIndex
+    )
+
+
+def _grid_payload(
+    grid: SortedCellGridIndex, prefix: str, arrays: Dict[str, np.ndarray]
+) -> Dict:
+    """Store one grid's derived state under ``prefix::`` keys; return its meta."""
+    for axis, boundary in enumerate(grid._boundaries):
+        arrays[f"{prefix}::boundary{axis}"] = np.asarray(boundary, dtype=np.float64)
+    arrays[f"{prefix}::row_order"] = grid._row_order
+    arrays[f"{prefix}::offsets"] = grid._offsets
+    arrays[f"{prefix}::sorted_keys"] = grid._sorted_keys
+    for name in grid.table.schema:
+        arrays[f"{prefix}::column::{name}"] = grid._columns[name]
+    return {
+        "dimensions": list(grid.dimensions),
+        "sort_dimension": grid.sort_dimension,
+        "cells_per_dim": int(grid._cells_per_dim),
+        "n_axes": len(grid._boundaries),
+        "axis_lows": [float(value) for value in grid._axis_lows],
+        "axis_highs": [float(value) for value in grid._axis_highs],
+    }
+
+
+def _structured_payload(index: COAXIndex, arrays: Dict[str, np.ndarray]) -> Dict:
+    """Meta + arrays of the O(metadata) restore state of an aligned index."""
+    partition = index._partition
+    arrays["partition::inlier_ids"] = np.asarray(partition.inlier_ids, dtype=np.int64)
+    arrays["partition::outlier_ids"] = np.asarray(partition.outlier_ids, dtype=np.int64)
+    return {
+        "indexed_dims": list(index._indexed_dims),
+        "predicted_dims": list(index._predicted_dims),
+        "sort_dim": index._sort_dim,
+        "per_model_inlier_fraction": {
+            name: float(value)
+            for name, value in partition.per_model_inlier_fraction.items()
+        },
+        "primary_box": _box_to_json(index._primary_box),
+        "outlier_box": _box_to_json(index._outlier_box),
+        "primary": _grid_payload(index._primary, "primary", arrays),
+        "outlier": _grid_payload(index._outlier, "outlier", arrays),
+        "warnings": list(index._report.warnings),
+    }
+
+
+def _restore_grid(
+    table: Table,
+    grid_meta: Dict,
+    prefix: str,
+    row_ids: np.ndarray,
+    arrays: Mapping[str, np.ndarray],
+) -> SortedCellGridIndex:
+    """Reattach one grid from its ``prefix::`` arrays (inverse of
+    :func:`_grid_payload`)."""
+    columns = {
+        name: arrays[f"{prefix}::column::{name}"] for name in table.schema
+    }
+    boundaries = [
+        arrays[f"{prefix}::boundary{axis}"] for axis in range(int(grid_meta["n_axes"]))
+    ]
+    return SortedCellGridIndex._restore(
+        table,
+        row_ids=row_ids,
+        columns=columns,
+        dimensions=grid_meta["dimensions"],
+        sort_dimension=grid_meta["sort_dimension"],
+        cells_per_dim=int(grid_meta["cells_per_dim"]),
+        boundaries=boundaries,
+        axis_lows=grid_meta["axis_lows"],
+        axis_highs=grid_meta["axis_highs"],
+        row_order=arrays[f"{prefix}::row_order"],
+        offsets=arrays[f"{prefix}::offsets"],
+        sorted_keys=arrays[f"{prefix}::sorted_keys"],
+    )
+
+
+def _index_payload(
+    index: COAXIndex, *, structured: bool = True
+) -> Tuple[Dict, Dict[str, np.ndarray]]:
     """Flat-format ``(meta, arrays)`` of one COAX index (no file I/O).
 
     Shared by the flat save path and the per-shard sections of a sharded
@@ -216,9 +346,12 @@ def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
     ``__row_ids__`` records their original ids so loading can scatter them
     back to their table positions — row ids survive a round trip even for
     subset-scoped indexes, which format v2 had to fold-and-renumber
-    instead.
+    instead.  With ``structured`` (the columnar layout), eligible indexes
+    additionally store their derived structures so loading reattaches
+    instead of rebuilding.
     """
-    table = index.table.take(index.row_ids)
+    aligned = index.rows_aligned
+    table = index.table if aligned else index.table.take(index.row_ids)
     pending = index.n_pending > 0
     next_row_id = int(index.next_row_id)
     tombstone = index.tombstone_mask
@@ -238,7 +371,7 @@ def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
         "n_live": table.n_rows - n_tombstoned + int(index.n_pending),
     }
     arrays = {f"column::{name}": table.column(name) for name in table.schema}
-    if not index.rows_aligned:
+    if not aligned:
         arrays["__row_ids__"] = np.asarray(index.row_ids, dtype=np.int64)
     if pending:
         for key, array in index.delta.state().items():
@@ -250,12 +383,70 @@ def _index_payload(index: COAXIndex) -> Tuple[Dict, Dict[str, np.ndarray]]:
         # array per monitored model); no header field is needed.
         for name, state in index.maintenance.state().items():
             arrays[f"monitor::{name}"] = state
+    if structured and _structured_eligible(index):
+        meta["structured"] = _structured_payload(index, arrays)
     return meta, arrays
+
+
+def _strip_structured(meta: Dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Drop the v6 structured sections for the legacy ``.npz`` layout."""
+    meta.pop("structured", None)
+    for shard_meta in meta.get("shards", ()):
+        shard_meta.pop("structured", None)
+    structured_markers = ("partition::", "primary::", "outlier::")
+    for key in [
+        key
+        for key in arrays
+        if key.split("::", 1)[-1:] and any(
+            key.split("shard", 1)[-1].split("::", 1)[-1].startswith(marker)
+            if key.startswith("shard")
+            else key.startswith(marker)
+            for marker in structured_markers
+        )
+    ]:
+        del arrays[key]
+
+
+def _restore_structured_index(
+    meta: Dict, arrays: Mapping[str, np.ndarray]
+) -> COAXIndex:
+    """Reattach an aligned index from its structured (v6) state."""
+    state = meta["structured"]
+    columns = {name: arrays[f"column::{name}"] for name in meta["schema"]}
+    table = Table(columns)
+    groups = [_group_from_dict(item) for item in meta["groups"]]
+    config = _config_from_dict(meta["config"])
+    inlier_ids = np.asarray(arrays["partition::inlier_ids"], dtype=np.int64)
+    outlier_ids = np.asarray(arrays["partition::outlier_ids"], dtype=np.int64)
+    partition = PartitionResult(
+        inlier_ids=inlier_ids,
+        outlier_ids=outlier_ids,
+        per_model_inlier_fraction={
+            name: float(value)
+            for name, value in state["per_model_inlier_fraction"].items()
+        },
+    )
+    primary = _restore_grid(table, state["primary"], "primary", inlier_ids, arrays)
+    outlier = _restore_grid(table, state["outlier"], "outlier", outlier_ids, arrays)
+    return COAXIndex._restore_structured(
+        table,
+        config=config,
+        groups=groups,
+        dimensions=meta["dimensions"],
+        partition=partition,
+        indexed_dims=state["indexed_dims"],
+        predicted_dims=state["predicted_dims"],
+        sort_dim=state["sort_dim"],
+        primary=primary,
+        outlier=outlier,
+        primary_box=_box_from_json(state["primary_box"]),
+        outlier_box=_box_from_json(state["outlier_box"]),
+        report_warnings=state.get("warnings", ()),
+    )
 
 
 def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXIndex:
     """Rebuild one COAX index from a flat-format ``(meta, arrays)`` pair."""
-    columns = {name: arrays[f"column::{name}"] for name in meta["schema"]}
     delta_payload: Dict[str, np.ndarray] = {}
     if meta.get("n_pending"):
         prefix = "delta::"
@@ -269,38 +460,46 @@ def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXInd
         if "__tombstone__" in arrays
         else None
     )
-    row_ids = (
-        np.asarray(arrays["__row_ids__"], dtype=np.int64)
-        if "__row_ids__" in arrays
-        else None
-    )
-    groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
-    config = _config_from_dict(meta["config"])
-    if row_ids is None:
-        # Aligned archive: saved order is table order, ids are 0..n-1.
-        table = Table(columns)
-        index = COAXIndex(
-            table, config=config, groups=groups, dimensions=meta["dimensions"]
-        )
+    if "structured" in meta:
+        # Structured (v6) state: reattach the saved structures verbatim —
+        # no model evaluation, no re-sort, O(metadata) plus the mapping.
+        index = _restore_structured_index(meta, arrays)
+        table = index.table
+        row_ids = None
     else:
-        # Subset-scoped archive: scatter the saved rows back to their
-        # original table positions (row id == position, the invariant the
-        # whole update path relies on); the gaps are dead slots no row-id
-        # set ever covers.
-        size = int(row_ids.max()) + 1 if len(row_ids) else 0
-        scattered = {}
-        for name in meta["schema"]:
-            column = np.full(size, np.nan)
-            column[row_ids] = columns[name]
-            scattered[name] = column
-        table = Table(scattered)
-        index = COAXIndex(
-            table,
-            config=config,
-            groups=groups,
-            row_ids=row_ids,
-            dimensions=meta["dimensions"],
+        columns = {name: arrays[f"column::{name}"] for name in meta["schema"]}
+        row_ids = (
+            np.asarray(arrays["__row_ids__"], dtype=np.int64)
+            if "__row_ids__" in arrays
+            else None
         )
+        groups: List[FDGroup] = [_group_from_dict(item) for item in meta["groups"]]
+        config = _config_from_dict(meta["config"])
+        if row_ids is None:
+            # Aligned archive: saved order is table order, ids are 0..n-1.
+            table = Table(columns)
+            index = COAXIndex(
+                table, config=config, groups=groups, dimensions=meta["dimensions"]
+            )
+        else:
+            # Subset-scoped archive: scatter the saved rows back to their
+            # original table positions (row id == position, the invariant the
+            # whole update path relies on); the gaps are dead slots no row-id
+            # set ever covers.
+            size = int(row_ids.max()) + 1 if len(row_ids) else 0
+            scattered = {}
+            for name in meta["schema"]:
+                column = np.full(size, np.nan)
+                column[row_ids] = columns[name]
+                scattered[name] = column
+            table = Table(scattered)
+            index = COAXIndex(
+                table,
+                config=config,
+                groups=groups,
+                row_ids=row_ids,
+                dimensions=meta["dimensions"],
+            )
     if tombstone is not None and tombstone.any():
         # The bitmap is positional over the saved coverage order; map it to
         # row ids and re-apply without triggering an auto-compaction
@@ -327,7 +526,7 @@ def _load_monitor_state(maintenance, arrays: Mapping[str, np.ndarray]) -> None:
         return
     prefix = "monitor::"
     payload = {
-        key[len(prefix):]: array
+        key[len(prefix):]: np.asarray(array)
         for key, array in arrays.items()
         if key.startswith(prefix)
     }
@@ -335,25 +534,121 @@ def _load_monitor_state(maintenance, arrays: Mapping[str, np.ndarray]) -> None:
         maintenance.load_state(payload)
 
 
-def save_index(
-    index: Union[COAXIndex, ShardedCOAX], path: Union[str, Path]
-) -> Path:
-    """Persist an index (data + learned state + delta store) to ``path`` (.npz).
+# ----------------------------------------------------------------------
+# On-disk layouts
+# ----------------------------------------------------------------------
 
-    Both layouts are written as format-5 archives: a plain
-    :class:`COAXIndex` as a flat archive, a :class:`ShardedCOAX` engine
-    as a sharded archive holding one complete flat section per shard plus
-    the ``engine`` header and the global-id mapping.  Pending (inserted
-    but not compacted) records are stored alongside the main columns with
-    their assigned row ids and routing mask either way — and, when
-    adaptive maintenance is enabled, the drift-monitor state — so loading
-    restores the exact pre-save state.  Returns the path written.
+def _sanitize_key(key: str) -> str:
+    """Filesystem-safe slug of a logical array key (uniqueness comes from
+    the numbered prefix the writer adds, not from the slug)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", key)[:80]
+
+
+def _swap_into_place(tmp: Path, path: Path) -> None:
+    """Atomically promote the fully written ``tmp`` directory to ``path``.
+
+    A pre-existing archive (directory or legacy file) is renamed aside
+    first and removed after the swap, so at every instant ``path`` either
+    does not exist or names a complete archive.  Readers that already
+    attached the old files keep valid mappings — POSIX keeps the data
+    alive until the last descriptor drops.
     """
-    path = Path(path)
-    # The snapshot is assembled under the index's single-writer lock: a
-    # mutation landing between two shard sections (or between a shard
-    # section and its mapping array) would otherwise produce a torn
-    # archive that fails — or worse, passes — validation on load.
+    retired: Optional[Path] = None
+    if path.exists():
+        retired = path.parent / f".{path.name}.retired-{os.getpid()}"
+        if retired.is_dir():
+            shutil.rmtree(retired)
+        elif retired.exists():
+            retired.unlink()
+        os.rename(path, retired)
+    os.rename(tmp, path)
+    if retired is not None:
+        if retired.is_dir():
+            shutil.rmtree(retired)
+        else:
+            retired.unlink()
+
+
+def _write_columnar(meta: Dict, arrays: Dict[str, np.ndarray], path: Path) -> Path:
+    """Write a v6 columnar archive directory (tmp dir + atomic rename)."""
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    (tmp / ARRAY_DIR).mkdir(parents=True)
+    entries: Dict[str, Dict] = {}
+    for number, (key, array) in enumerate(arrays.items()):
+        array = np.asarray(array)
+        dtype = array.dtype
+        if dtype.byteorder == ">":
+            dtype = dtype.newbyteorder("<")
+            array = array.astype(dtype, copy=False)
+        filename = f"{ARRAY_DIR}/{number:04d}_{_sanitize_key(key)}.bin"
+        array.tofile(tmp / filename)
+        entries[key] = {
+            "file": filename,
+            "dtype": dtype.str,
+            "shape": list(array.shape),
+        }
+    manifest = {"meta": meta, "arrays": entries}
+    # The manifest goes in last: its presence certifies every array file
+    # before it is complete.
+    (tmp / MANIFEST_NAME).write_text(json.dumps(manifest))
+    _swap_into_place(tmp, path)
+    return path
+
+
+def _read_columnar(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Attach a v6 columnar archive: parse the manifest, map the arrays."""
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ValueError(
+            f"{path} is not a COAX index archive (missing {MANIFEST_NAME})"
+        )
+    manifest = json.loads(manifest_path.read_text())
+    meta = manifest.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError(f"{path} is not a COAX index archive (malformed manifest)")
+    version = meta.get("format_version")
+    if version not in SUPPORTED_VERSIONS:
+        raise UnsupportedFormatError(version)
+    arrays: Dict[str, np.ndarray] = {}
+    for key, entry in manifest["arrays"].items():
+        file = path / entry["file"]
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(dim) for dim in entry["shape"])
+        n_items = int(np.prod(shape)) if shape else 1
+        if n_items == 0:
+            arrays[key] = np.empty(shape, dtype=dtype)
+        elif dtype.kind in "fiu" and n_items * dtype.itemsize >= MMAP_MIN_BYTES:
+            # Copy-on-write mapping: reads share the page cache across
+            # every process attached to this archive; the rare in-place
+            # array mutation (grid offset maintenance during an absorb)
+            # dirties private pages without ever touching the file.
+            arrays[key] = np.memmap(file, dtype=dtype, mode="c", shape=shape)
+        else:
+            arrays[key] = np.fromfile(file, dtype=dtype).reshape(shape)
+    return meta, arrays
+
+
+def _write_npz(meta: Dict, arrays: Dict[str, np.ndarray], path: Path) -> Path:
+    """Write the legacy (v5) single-file ``.npz`` layout."""
+    meta = dict(meta)
+    arrays = dict(arrays)
+    _strip_structured(meta, arrays)
+    meta["format_version"] = LEGACY_FORMAT_VERSION
+    arrays["__meta__"] = np.array(json.dumps(meta))
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return path
+
+
+def _build_archive(index: Union[COAXIndex, ShardedCOAX]) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Assemble the full ``(meta, arrays)`` snapshot of an index or engine.
+
+    Taken under the single-writer lock: a mutation landing between two
+    shard sections (or between a shard section and its mapping array)
+    would otherwise produce a torn snapshot.
+    """
     if isinstance(index, ShardedCOAX):
         with index.write_lock:
             engine_config = index.config
@@ -369,12 +664,13 @@ def save_index(
                     index._global_of[shard_no], dtype=np.int64
                 )
             meta = {
-                "format_version": SHARDED_FORMAT_VERSION,
+                "format_version": FORMAT_VERSION,
                 "engine": {
                     "n_shards": engine_config.n_shards,
                     "partitioning": engine_config.partitioning,
                     "partition_dimension": index.partition_dimension,
                     "workers": engine_config.workers,
+                    "executor": engine_config.executor,
                     "boundaries": [float(b) for b in index.shard_boundaries],
                     "dimensions": list(index.dimensions),
                     "config": _config_to_dict(engine_config.coax),
@@ -389,10 +685,35 @@ def save_index(
     else:
         with index.write_lock:
             meta, arrays = _index_payload(index)
-    arrays["__meta__"] = np.array(json.dumps(meta))
-    with path.open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    return path
+    return meta, arrays
+
+
+def save_index(
+    index: Union[COAXIndex, ShardedCOAX],
+    path: Union[str, Path],
+    *,
+    layout: str = "columnar",
+) -> Path:
+    """Persist an index (data + learned state + delta store) to ``path``.
+
+    The default ``layout="columnar"`` writes a format-6 archive
+    *directory*: one raw little-endian file per column/array plus a
+    ``manifest.json`` written last, assembled under a temporary name and
+    atomically renamed into place so readers never observe a torn
+    archive.  ``layout="npz"`` writes the legacy v5 single-file archive
+    (no structured-restore section) for compatibility tooling.  Both
+    layouts serve flat :class:`COAXIndex` and sharded :class:`ShardedCOAX`
+    snapshots — pending records, tombstones and drift-monitor state
+    included — so loading restores the exact pre-save state.  Returns the
+    path written.
+    """
+    path = Path(path)
+    if layout not in ("columnar", "npz"):
+        raise ValueError(f"layout must be 'columnar' or 'npz', got {layout!r}")
+    meta, arrays = _build_archive(index)
+    if layout == "npz":
+        return _write_npz(meta, arrays, path)
+    return _write_columnar(meta, arrays, path)
 
 
 def _restore_engine(
@@ -400,6 +721,7 @@ def _restore_engine(
     arrays: Mapping[str, np.ndarray],
     *,
     workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> ShardedCOAX:
     """Rebuild a sharded engine from a sharded (format 4+) archive's contents."""
     engine_meta = meta["engine"]
@@ -419,6 +741,7 @@ def _restore_engine(
         partitioning=engine_meta["partitioning"],
         partition_dimension=engine_meta.get("partition_dimension"),
         workers=int(workers if workers is not None else engine_meta.get("workers", 1)),
+        executor=executor if executor is not None else engine_meta.get("executor", "thread"),
         coax=_config_from_dict(engine_meta["config"]),
     )
     groups = [_group_from_dict(item) for item in engine_meta["groups"]]
@@ -437,7 +760,15 @@ def _restore_engine(
 
 
 def _read_archive(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
-    """Materialise an archive's header and arrays, validating the version."""
+    """Attach an archive's header and arrays, validating the version.
+
+    Dispatches on the path kind: a directory is the columnar (v6) layout
+    — arrays come back memmap-attached; a file is a legacy (v1–v5)
+    ``.npz`` — arrays are materialised, the conversion shim for every
+    older format.
+    """
+    if path.is_dir():
+        return _read_columnar(path)
     with np.load(path, allow_pickle=False) as archive:
         if "__meta__" not in archive:
             raise ValueError(f"{path} is not a COAX index archive (missing __meta__)")
@@ -452,20 +783,21 @@ def _read_archive(path: Path) -> Tuple[Dict, Dict[str, np.ndarray]]:
 def load_index(path: Union[str, Path]) -> Union[COAXIndex, ShardedCOAX]:
     """Load an index previously written by :func:`save_index`.
 
-    Flat archives (no ``engine`` header — every format 1–3 archive, and
-    format-5 archives of a plain index) come back as a
-    :class:`COAXIndex`; sharded archives (format 4+, ``engine`` header
-    present) as a :class:`ShardedCOAX` engine (use :func:`load_engine` to
-    always receive an engine).  The table is restored from the stored
-    columns and each index is rebuilt with the stored groups and
-    configuration (no re-detection), so the loaded index partitions and
-    answers queries exactly like the saved one.  Pending delta-store
-    records (format version 2+) are restored un-compacted — without
-    re-evaluating any FD model when the archive carries the per-model
-    masks (version 3+) — tombstoned rows (version 3+) come back deleted,
-    ready for the next compaction to reclaim, and drift-monitor state
-    (version 5) resumes exactly where it left off.  Unsupported versions
-    raise :class:`UnsupportedFormatError`.
+    Flat archives (no ``engine`` header) come back as a
+    :class:`COAXIndex`; sharded archives (``engine`` header present) as a
+    :class:`ShardedCOAX` engine (use :func:`load_engine` to always
+    receive an engine).  Columnar (v6) archives attach their arrays with
+    copy-on-write ``np.memmap`` and *reattach* the saved structures when
+    the structured section is present — O(metadata) cold start, no model
+    evaluation, page cache shared across processes; other archives are
+    rebuilt deterministically with the stored groups and configuration
+    (no re-detection), so the loaded index partitions and answers queries
+    exactly like the saved one either way.  Pending delta-store records
+    are restored un-compacted — without re-evaluating any FD model when
+    the archive carries the per-model masks (version 3+) — tombstoned
+    rows come back deleted, ready for the next compaction to reclaim, and
+    drift-monitor state (version 5+) resumes exactly where it left off.
+    Unsupported versions raise :class:`UnsupportedFormatError`.
     """
     meta, arrays = _read_archive(Path(path))
     if "engine" in meta:
@@ -474,22 +806,33 @@ def load_index(path: Union[str, Path]) -> Union[COAXIndex, ShardedCOAX]:
 
 
 def load_engine(
-    path: Union[str, Path], *, workers: Optional[int] = None
+    path: Union[str, Path],
+    *,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
 ) -> ShardedCOAX:
     """Load any supported archive as a sharded engine.
 
-    Sharded archives restore natively (``workers`` overrides the saved
-    pool size — a deployment knob, not part of the data); flat archives
-    are wrapped into a 1-shard engine whose shard is the loaded COAX
-    index, so legacy archives adopt the engine API without conversion
-    (an adaptive flat index's drift monitors are promoted to the engine,
-    which coordinates every refresh from then on).
+    Sharded archives restore natively; flat archives are wrapped into a
+    1-shard engine whose shard is the loaded COAX index, so legacy
+    archives adopt the engine API without conversion (an adaptive flat
+    index's drift monitors are promoted to the engine, which coordinates
+    every refresh from then on).  ``workers`` and ``executor`` override
+    the saved pool size and scatter backend — deployment knobs, not part
+    of the data; a sharded archive remembers both, but a load-time
+    override always wins.
     """
+    if executor is not None and executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"executor must be one of {EXECUTOR_CHOICES}, got {executor!r}"
+        )
     meta, arrays = _read_archive(Path(path))
     if "engine" in meta:
-        engine = _restore_engine(meta, arrays, workers=workers)
+        engine = _restore_engine(meta, arrays, workers=workers, executor=executor)
     else:
         engine = ShardedCOAX.from_index(
-            _restore_flat_index(meta, arrays), workers=workers or 1
+            _restore_flat_index(meta, arrays),
+            workers=workers or 1,
+            executor=executor or "thread",
         )
     return engine

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     fig8,
     headline,
     read_path,
+    restart,
     table1,
     theory,
     updates,
@@ -34,7 +35,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
-            "read_path", "crud", "scale", "drift",
+            "read_path", "crud", "restart", "scale", "drift",
         }
 
 
@@ -245,3 +246,22 @@ class TestReadPath:
                 key = (row["dataset"], row["workload"])
                 best[key] = max(best.get(key, 0.0), row["speedup_vs_seq"])
         assert best and all(value >= 1.0 for value in best.values())
+
+
+class TestRestart:
+    def test_smoke_mode_structure_and_gates(self):
+        result = restart.run(n_rows=SMALL, smoke=True)
+        formats = {row["format"] for row in result.rows}
+        assert formats == {"v6-columnar", "v5-npz"}
+        for row in result.rows:
+            # Every loaded engine answered the probes bit-identically.
+            assert row["mismatched_queries"] == 0
+            assert row["cold_start_s"] > 0.0
+            assert row["executor"] == "thread"
+        v6 = next(row for row in result.rows if row["format"] == "v6-columnar")
+        # Smoke mode gates on the mmap attach beating the npz copy-load.
+        assert v6["speedup_vs_npz"] > 1.0
+
+    def test_executor_override_reaches_loaded_engines(self):
+        result = restart.run(n_rows=SMALL, executor="process", smoke=True)
+        assert all(row["executor"] == "process" for row in result.rows)

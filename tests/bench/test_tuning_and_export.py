@@ -144,8 +144,17 @@ class TestExport:
     def test_export_csv(self, result, tmp_path):
         path = export_csv(result, tmp_path / "demo.csv")
         content = path.read_text().splitlines()
-        assert content[0] == "a,b,c"
+        # The standard fields lead so every artifact joins on one schema.
+        assert content[0] == "executor,cold_start_s,a,b,c"
         assert len(content) == 3
+
+    def test_export_rows_carry_standard_fields(self, result, tmp_path):
+        payload = json.loads(
+            export_json(result, tmp_path / "demo.json").read_text()
+        )
+        for row in payload["rows"]:
+            assert row["executor"] == ""
+            assert row["cold_start_s"] is None
 
     def test_export_json(self, result, tmp_path):
         path = export_json(result, tmp_path / "demo.json")

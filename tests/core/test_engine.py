@@ -11,6 +11,9 @@ concurrency contract and the persistence surface.
 
 from __future__ import annotations
 
+import gc
+import multiprocessing
+import os
 import threading
 
 import numpy as np
@@ -361,6 +364,113 @@ class TestEquivalenceProperty:
         finally:
             for engine in engines.values():
                 engine.close()
+
+
+class TestProcessExecutor:
+    """``executor="process"``: batch scatters run on worker processes
+    attached to mmap-backed shard replicas.  Must be bit-identical — ids,
+    order AND every ``QueryStats`` counter — to the thread and the serial
+    execution of the same engine shape, under interleaved CRUD + compact
+    (mutations bump the shard generations, so the workers re-attach)."""
+
+    def test_executor_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(executor="fibers")
+        assert EngineConfig(executor="process").executor == "process"
+        assert EngineConfig().executor == "thread"
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=3, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_interleaved_crud_parity_across_executors(self, seed):
+        rng = np.random.default_rng(seed)
+        table = linear_table(seed)
+        oracle = COAXIndex(table, groups=linear_groups())
+        process = build_engine(table, 4, 4, executor="process")
+        threaded = build_engine(table, 4, 4, executor="thread")
+        serial = build_engine(table, 4, 1)
+        engines = [process, threaded, serial]
+        try:
+            for round_no in range(2):
+                k = int(rng.integers(5, 40))
+                bx = rng.uniform(0.0, 100.0, size=k)
+                by = 2.0 * bx + rng.uniform(-10.0, 10.0, size=k)
+                new_ids = oracle.insert_batch({"x": bx, "y": by})
+                live = oracle.live_row_ids()
+                doomed = rng.choice(
+                    live, size=min(len(live), int(rng.integers(1, 30))), replace=False
+                )
+                deleted = oracle.delete_batch(doomed)
+                survivors = oracle.live_row_ids()
+                targets = np.unique(
+                    rng.choice(
+                        survivors,
+                        size=min(len(survivors), int(rng.integers(1, 20))),
+                        replace=False,
+                    )
+                )
+                ux = rng.uniform(0.0, 100.0, size=len(targets))
+                uy = 2.0 * ux + rng.uniform(-10.0, 10.0, size=len(targets))
+                oracle.update_batch(targets, {"x": ux, "y": uy})
+                if round_no == 1:
+                    oracle.compact()
+                for engine in engines:
+                    assert np.array_equal(
+                        engine.insert_batch({"x": bx, "y": by}), new_ids
+                    )
+                    assert engine.delete_batch(doomed) == deleted
+                    engine.update_batch(targets, {"x": ux, "y": uy})
+                    if round_no == 1:
+                        engine.compact()
+                # assert_engine_matches_oracle also pins batch == scalar
+                # counters; on the process engine the batch path runs on
+                # worker processes while the scalar path stays in-process,
+                # so this is the cross-executor stats-parity check.
+                round_stats = [
+                    assert_engine_matches_oracle(engine, oracle, PROBES)
+                    for engine in engines
+                ]
+                assert round_stats[0] == round_stats[1] == round_stats[2]
+        finally:
+            for engine in engines:
+                engine.close()
+
+    def test_close_releases_workers_processes_and_fds(self):
+        """Satellite regression: after ``close()`` no scatter threads, no
+        worker processes and no spill directory (or fds on it) survive."""
+        gc.collect()
+        baseline_fds = set(os.listdir("/proc/self/fd"))
+        engine = build_engine(linear_table(40), 4, 4, executor="process")
+        engine.insert_batch({"x": [10.0, 90.0], "y": [20.0, 180.0]})
+        results = engine.batch_range_query(PROBES)  # spills + starts the pool
+        assert engine._process_pools is not None
+        spill_dir = engine._spill_dir
+        assert spill_dir is not None and os.path.isdir(spill_dir)
+        assert multiprocessing.active_children()
+        engine.close()
+        gc.collect()
+        assert not multiprocessing.active_children()
+        assert not any(
+            thread.name.startswith("sharded-coax")
+            for thread in threading.enumerate()
+        )
+        assert engine._spill_dir is None
+        assert not os.path.isdir(spill_dir)
+        leaked = set(os.listdir("/proc/self/fd")) - baseline_fds
+        assert not leaked, f"fds leaked across close(): {sorted(leaked)}"
+        # Queries stay usable after close (pools recreate on demand) and
+        # still return the same results.
+        again = engine.batch_range_query(PROBES)
+        for want, got in zip(results, again):
+            assert np.array_equal(want, got)
+        engine.close()
+
+    def test_context_manager_closes(self):
+        with build_engine(linear_table(41), 2, 2, executor="process") as engine:
+            engine.batch_range_query(PROBES)
+        assert engine._process_pools is None
+        assert engine._spill_dir is None
 
 
 class TestAdaptiveMaintenanceCoordination:

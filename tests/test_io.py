@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -16,12 +18,31 @@ from repro.fd.model import LinearFDModel, SplineFDModel
 from repro.io.datasets import encode_categories, load_csv, load_npz, save_csv, save_npz
 from repro.io.persistence import (
     FORMAT_VERSION,
+    LEGACY_FORMAT_VERSION,
+    MANIFEST_NAME,
+    MMAP_MIN_BYTES,
     SUPPORTED_VERSIONS,
     UnsupportedFormatError,
     load_engine,
     load_index,
     save_index,
 )
+
+
+def _manifest(path):
+    """Parsed manifest of a columnar (v6) archive directory."""
+    return json.loads((path / MANIFEST_NAME).read_text())
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    """Whether ``array`` is (a zero-copy view of) a mapped file.
+
+    Arrays below the ``MMAP_MIN_BYTES`` threshold are read eagerly by
+    design (an fd is not worth a few hundred bytes) and pass trivially.
+    """
+    if array.nbytes < MMAP_MIN_BYTES:
+        return True
+    return isinstance(array, np.memmap) or isinstance(array.base, np.memmap)
 
 
 class TestIndexPersistence:
@@ -163,8 +184,6 @@ class TestIndexPersistence:
 
     def test_tombstones_round_trip(self, tmp_path):
         """Deleted rows stay deleted across a save/load without compaction."""
-        import json
-
         rng = np.random.default_rng(5)
         x = rng.uniform(0.0, 100.0, size=1_000)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=1_000)})
@@ -174,11 +193,10 @@ class TestIndexPersistence:
         index = COAXIndex(table, groups=groups)
         doomed = rng.choice(1_000, size=150, replace=False).astype(np.int64)
         index.delete_batch(doomed)
-        path = save_index(index, tmp_path / "tomb.npz")
-        with np.load(path, allow_pickle=False) as archive:
-            assert "__tombstone__" in archive.files
-            meta = json.loads(str(archive["__meta__"]))
-        assert meta["format_version"] == FORMAT_VERSION
+        path = save_index(index, tmp_path / "tomb.coax")
+        manifest = _manifest(path)
+        assert "__tombstone__" in manifest["arrays"]
+        assert manifest["meta"]["format_version"] == FORMAT_VERSION
         loaded = load_index(path)
         assert loaded.n_tombstoned == 150
         assert loaded.n_live == 850
@@ -192,15 +210,16 @@ class TestIndexPersistence:
         assert loaded.n_live == 850
 
     def test_clean_index_saves_without_tombstone_section(self, airline_coax, tmp_path):
-        path = save_index(airline_coax, tmp_path / "clean_tomb.npz")
-        with np.load(path, allow_pickle=False) as archive:
-            assert "__tombstone__" not in archive.files
-            assert "__row_ids__" not in archive.files  # aligned index
+        path = save_index(airline_coax, tmp_path / "clean_tomb.coax")
+        arrays = _manifest(path)["arrays"]
+        assert "__tombstone__" not in arrays
+        assert "__row_ids__" not in arrays  # aligned index
 
-    def test_delta_restore_does_not_reevaluate_models(self, tmp_path, monkeypatch):
-        """Format v3 archives carry the per-model routing masks, so loading
-        pending rows never runs an FD model (the old restore was
-        O(pending x models))."""
+    def test_restore_does_not_reevaluate_models(self, tmp_path, monkeypatch):
+        """A v6 structured restore reattaches the persisted partition and
+        grid structures verbatim: loading runs ZERO model evaluations —
+        not for the build rows (no re-partition) and not for the pending
+        rows (the archive carries the per-model routing masks)."""
         rng = np.random.default_rng(6)
         x = rng.uniform(0.0, 100.0, size=800)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=800)})
@@ -208,7 +227,7 @@ class TestIndexPersistence:
         groups = [FDGroup(predictor="x", dependents=("y",), models={"y": model})]
         index = COAXIndex(table, groups=groups)
         index.insert_batch({"x": rng.uniform(0, 100, 50), "y": rng.uniform(0, 300, 50)})
-        path = save_index(index, tmp_path / "masks.npz")
+        path = save_index(index, tmp_path / "masks.coax")
         calls = {"n": 0}
         original = LinearFDModel.within_margin
 
@@ -218,20 +237,18 @@ class TestIndexPersistence:
 
         monkeypatch.setattr(LinearFDModel, "within_margin", counting)
         loaded = load_index(path)
-        # The build partitions the table (counted), but restoring the
-        # 50 pending rows must not add a single model evaluation per row.
-        build_only = calls["n"]
+        assert calls["n"] == 0
         assert loaded.n_pending == 50
+        # A fresh build over the same table DOES evaluate (the counter
+        # works) — and matches the reattached structures.
         fresh = COAXIndex(table, groups=groups)
-        assert calls["n"] - build_only == build_only  # second build, same count
+        assert calls["n"] > 0
         assert fresh.n_rows == loaded.n_rows
         assert loaded.delta.per_model_inlier_counts == index.delta.per_model_inlier_counts
 
     def test_legacy_v2_archive_loads(self, tmp_path):
         """A format-v2 archive (no tombstones, no per-model masks) loads and
         re-derives the delta routing bookkeeping once."""
-        import json
-
         rng = np.random.default_rng(7)
         x = rng.uniform(0.0, 100.0, size=600)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=600)})
@@ -240,7 +257,7 @@ class TestIndexPersistence:
         ]
         index = COAXIndex(table, groups=groups)
         index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
-        path = save_index(index, tmp_path / "v3.npz")
+        path = save_index(index, tmp_path / "v3.npz", layout="npz")
         with np.load(path, allow_pickle=False) as archive:
             arrays = {key: archive[key] for key in archive.files}
         meta = json.loads(str(arrays["__meta__"]))
@@ -274,9 +291,10 @@ class TestIndexPersistence:
         index = COAXIndex(table, groups=[])
         index.insert({"x": 1.0, "y": 2.0})
         index.compact()
-        path = save_index(index, tmp_path / "clean.npz")
-        with np.load(path, allow_pickle=False) as archive:
-            assert not any(key.startswith("delta::") for key in archive.files)
+        path = save_index(index, tmp_path / "clean.coax")
+        assert not any(
+            key.startswith("delta::") for key in _manifest(path)["arrays"]
+        )
         assert load_index(path).n_pending == 0
 
     def test_spline_models_survive_round_trip(self, tmp_path):
@@ -309,26 +327,30 @@ class TestIndexPersistence:
             load_index(path)
 
     def test_unsupported_version_error_is_typed(self, airline_coax, tmp_path):
-        """A future version raises the typed error naming what IS readable."""
-        import json
-
-        path = save_index(airline_coax, tmp_path / "future.npz")
+        """A future version raises the typed error naming what IS readable —
+        in both the legacy single-file and the v6 directory layout."""
+        path = save_index(airline_coax, tmp_path / "future.npz", layout="npz")
         with np.load(path, allow_pickle=False) as archive:
             arrays = {key: archive[key] for key in archive.files}
         meta = json.loads(str(arrays["__meta__"]))
         meta["format_version"] = 99
         arrays["__meta__"] = np.array(json.dumps(meta))
-        future_path = tmp_path / "v99.npz"
-        with future_path.open("wb") as handle:
+        future_npz = tmp_path / "v99.npz"
+        with future_npz.open("wb") as handle:
             np.savez_compressed(handle, **arrays)
-        for loader in (load_index, load_engine):
-            with pytest.raises(UnsupportedFormatError) as excinfo:
-                loader(future_path)
-            assert excinfo.value.version == 99
-            assert excinfo.value.supported == tuple(SUPPORTED_VERSIONS)
-            for version in SUPPORTED_VERSIONS:
-                assert str(version) in str(excinfo.value)
-            assert isinstance(excinfo.value, ValueError)  # back-compat
+        future_dir = save_index(airline_coax, tmp_path / "v99.coax")
+        manifest = _manifest(future_dir)
+        manifest["meta"]["format_version"] = 99
+        (future_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        for future_path in (future_npz, future_dir):
+            for loader in (load_index, load_engine):
+                with pytest.raises(UnsupportedFormatError) as excinfo:
+                    loader(future_path)
+                assert excinfo.value.version == 99
+                assert excinfo.value.supported == tuple(SUPPORTED_VERSIONS)
+                for version in SUPPORTED_VERSIONS:
+                    assert str(version) in str(excinfo.value)
+                assert isinstance(excinfo.value, ValueError)  # back-compat
 
     def test_unserialisable_model_rejected(self):
         from repro.io.persistence import _model_from_dict, _model_to_dict
@@ -343,24 +365,24 @@ class TestIndexPersistence:
 
 
 class TestFormatVersionMatrix:
-    """Every supported on-disk version (v1–v5) loads — via ``load_index``
+    """Every supported on-disk version (v1–v6) loads — via ``load_index``
     into its natural type and via ``load_engine`` always into a sharded
     engine (flat archives become a 1-shard engine).
 
-    v5 is what ``save_index`` writes today; v3 (flat) and v4 (sharded)
-    are byte-identical minus the version stamp and any monitor sections,
-    so the fixtures derive them by rewriting the header; v2/v1 strip the
-    per-model masks resp. the whole delta section, as those formats did.
+    v6 is what ``save_index`` writes today (columnar directory); v5 is
+    what ``layout="npz"`` still writes; v3 (flat) and v4 (sharded) are
+    byte-identical to v5 minus the version stamp and any monitor
+    sections, so the fixtures derive them by rewriting the header; v2/v1
+    strip the per-model masks resp. the whole delta section, as those
+    formats did.
     """
 
     #: Flat-archive versions (load as COAXIndex / 1-shard engine).
-    FLAT_VERSIONS = (1, 2, 3, 5)
-    ALL_VERSIONS = (1, 2, 3, 4, 5)
+    FLAT_VERSIONS = (1, 2, 3, 5, 6)
+    ALL_VERSIONS = (1, 2, 3, 4, 5, 6)
 
     @staticmethod
     def _rewrite(arrays, meta, path):
-        import json
-
         arrays = dict(arrays)
         arrays["__meta__"] = np.array(json.dumps(meta))
         with path.open("wb") as handle:
@@ -370,8 +392,6 @@ class TestFormatVersionMatrix:
     @pytest.fixture(scope="class")
     def fixture_state(self, tmp_path_factory):
         """One CRUD-laden index plus one archive per format version."""
-        import json
-
         rng = np.random.default_rng(21)
         x = rng.uniform(0.0, 100.0, size=800)
         table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=800)})
@@ -386,12 +406,14 @@ class TestFormatVersionMatrix:
         index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
         base = tmp_path_factory.mktemp("versions")
         paths = {}
-        # v5: what save_index writes for a flat index today.
-        paths[5] = save_index(index, base / "v5.npz")
+        # v6: what save_index writes for a flat index today.
+        paths[6] = save_index(index, base / "v6.coax")
+        # v5: the legacy single-file layout, still written on request.
+        paths[5] = save_index(index, base / "v5.npz", layout="npz")
         with np.load(paths[5], allow_pickle=False) as archive:
             arrays = {key: archive[key] for key in archive.files}
         meta = json.loads(str(arrays["__meta__"]))
-        assert meta["format_version"] == FORMAT_VERSION == 5
+        assert meta["format_version"] == LEGACY_FORMAT_VERSION == 5
         # v3: identical layout, pre-maintenance version stamp.
         paths[3] = self._rewrite(
             arrays, dict(meta, format_version=3), base / "v3.npz"
@@ -422,7 +444,7 @@ class TestFormatVersionMatrix:
             table, config=EngineConfig(n_shards=3, workers=1), groups=groups
         )
         engine.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
-        engine_path = save_index(engine, base / "engine_v5.npz")
+        engine_path = save_index(engine, base / "engine_v5.npz", layout="npz")
         with np.load(engine_path, allow_pickle=False) as archive:
             engine_arrays = {key: archive[key] for key in archive.files}
         engine_meta = json.loads(str(engine_arrays["__meta__"]))
@@ -475,6 +497,174 @@ class TestFormatVersionMatrix:
         assert loaded.delete(new_id)
         loaded.compact()
 
+    @pytest.mark.parametrize("version", ALL_VERSIONS)
+    def test_every_version_converts_to_v6_on_save(
+        self, fixture_state, version, tmp_path
+    ):
+        """Loading any old format and saving writes a v6 directory that
+        re-loads mmap-backed and answers bit-identically."""
+        _, _, paths = fixture_state
+        loaded = load_index(paths[version])
+        converted_path = save_index(loaded, tmp_path / f"from_v{version}.coax")
+        assert converted_path.is_dir()
+        assert _manifest(converted_path)["meta"]["format_version"] == 6
+        converted = load_index(converted_path)
+        table = (
+            converted.table
+            if isinstance(converted, COAXIndex)
+            else converted.shards[0].table
+        )
+        assert all(_mmap_backed(table.column(name)) for name in table.schema)
+        for query in self.PROBES:
+            assert np.array_equal(
+                np.sort(converted.range_query(query)),
+                np.sort(loaded.range_query(query)),
+            )
+
+
+class TestColumnarZeroCopy:
+    """The v6 read path attaches columns instead of materialising them."""
+
+    @pytest.fixture()
+    def saved_index(self, tmp_path):
+        rng = np.random.default_rng(31)
+        n = 20_000
+        x = rng.uniform(0.0, 100.0, size=n)
+        y = 2.0 * x + rng.uniform(-1, 1, size=n)
+        y[::19] += 40.0  # outliers, so the outlier grid is non-trivial
+        table = Table({"x": x, "y": y, "z": rng.uniform(0.0, 10.0, size=n)})
+        groups = [
+            FDGroup(
+                predictor="x",
+                dependents=("y",),
+                models={"y": LinearFDModel(2.0, 0.0, 1.5, 1.5)},
+            )
+        ]
+        index = COAXIndex(table, groups=groups)
+        return save_index(index, tmp_path / "big.coax")
+
+    def test_loaded_columns_are_mapped(self, saved_index):
+        loaded = load_index(saved_index)
+        for name in loaded.table.schema:
+            assert _mmap_backed(loaded.table.column(name))
+        # The structured restore also reattaches the sub-index state
+        # (gathered column subsets, permutation, offsets) from the map.
+        for grid in (loaded._primary, loaded._outlier):
+            assert _mmap_backed(grid._row_order)
+            assert _mmap_backed(grid._sorted_keys)
+            for column in grid._columns.values():
+                assert _mmap_backed(column)
+
+    def test_queries_never_materialise_full_columns(
+        self, saved_index, monkeypatch
+    ):
+        """Larger-than-RAM smoke test stand-in: querying a mapped table
+        must never funnel a whole column through a materialising call.
+        Every full-column array of the loaded index is guarded; a
+        wholesale ``np.asarray`` / ``np.ascontiguousarray`` on any of
+        them (the call that would pull the file into memory under a
+        capped materialisation budget) fails the test."""
+        loaded = load_index(saved_index)
+        queries = [
+            Rectangle({"x": Interval(float(lo), float(lo) + 15.0)})
+            for lo in range(0, 90, 9)
+        ] + [Rectangle({"y": Interval(0.0, 120.0), "z": Interval(2.0, 8.0)})]
+        expected = [loaded.table.select(query) for query in queries]
+
+        guarded = {id(loaded.table.column(name)) for name in loaded.table.schema}
+        for grid in (loaded._primary, loaded._outlier):
+            guarded |= {id(column) for column in grid._columns.values()}
+            guarded |= {id(grid._row_order), id(grid._sorted_keys)}
+
+        real_asarray = np.asarray
+        real_ascontiguous = np.ascontiguousarray
+
+        def guarded_asarray(a, *args, **kwargs):
+            assert id(a) not in guarded, "full mapped column materialised"
+            return real_asarray(a, *args, **kwargs)
+
+        def guarded_ascontiguous(a, *args, **kwargs):
+            assert id(a) not in guarded, "full mapped column materialised"
+            return real_ascontiguous(a, *args, **kwargs)
+
+        monkeypatch.setattr(np, "asarray", guarded_asarray)
+        monkeypatch.setattr(np, "ascontiguousarray", guarded_ascontiguous)
+        results = loaded.batch_range_query(queries)
+        monkeypatch.undo()
+        assert sum(len(r) for r in results) > 0
+        for want, result in zip(expected, results):
+            assert np.array_equal(np.sort(result), want)
+
+
+class TestEngineExecutorPersistence:
+    """``workers`` / ``executor`` round-trip through the engine header and
+    are overridable at load time (deployment knobs — the override wins)."""
+
+    @staticmethod
+    def _engine(tmp_path, **config_kwargs):
+        rng = np.random.default_rng(41)
+        x = rng.uniform(0.0, 100.0, size=600)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=600)})
+        engine = ShardedCOAX(
+            table, config=EngineConfig(n_shards=3, **config_kwargs)
+        )
+        return save_index(engine, tmp_path / "engine.coax")
+
+    def test_saved_executor_round_trips(self, tmp_path):
+        path = self._engine(tmp_path, workers=4, executor="process")
+        loaded = load_engine(path)
+        assert loaded.executor == "process"
+        assert loaded.workers == 4
+        loaded.close()
+
+    def test_load_time_override_always_wins(self, tmp_path):
+        path = self._engine(tmp_path, workers=4, executor="process")
+        loaded = load_engine(path, workers=2, executor="thread")
+        assert loaded.executor == "thread"
+        assert loaded.workers == 2
+        # And the other direction: a thread-saved archive serves from
+        # processes on request.
+        path2 = self._engine(tmp_path, workers=1, executor="thread")
+        loaded2 = load_engine(path2, workers=3, executor="process")
+        assert loaded2.executor == "process"
+        assert loaded2.workers == 3
+        loaded.close()
+        loaded2.close()
+
+    def test_invalid_executor_override_rejected(self, tmp_path):
+        path = self._engine(tmp_path, workers=1)
+        with pytest.raises(ValueError, match="executor"):
+            load_engine(path, executor="fibers")
+
+    def test_flat_archive_wraps_with_requested_executor(self, tmp_path):
+        rng = np.random.default_rng(42)
+        x = rng.uniform(0.0, 100.0, size=400)
+        table = Table({"x": x, "y": 2.0 * x + rng.uniform(-1, 1, size=400)})
+        path = save_index(COAXIndex(table), tmp_path / "flat.coax")
+        engine = load_engine(path, workers=2, executor="process")
+        assert engine.n_shards == 1
+        assert engine.executor == "process"
+        assert engine.workers == 2
+        engine.close()
+
+    def test_pre_v6_archives_default_to_thread_executor(self, tmp_path):
+        path = self._engine(tmp_path, workers=2)
+        # Strip the executor field, as a v4/v5 writer would have.
+        with np.load(
+            save_index(load_engine(path), tmp_path / "legacy.npz", layout="npz"),
+            allow_pickle=False,
+        ) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        meta = json.loads(str(arrays["__meta__"]))
+        meta["engine"].pop("executor", None)
+        arrays["__meta__"] = np.array(json.dumps(meta))
+        legacy = tmp_path / "pre_v6.npz"
+        with legacy.open("wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        loaded = load_engine(legacy)
+        assert loaded.executor == "thread"
+        assert loaded.workers == 2
+
 
 class TestAdaptiveMonitorPersistence:
     """Format v5: drift-monitor state survives a save/load round trip."""
@@ -503,9 +693,8 @@ class TestAdaptiveMonitorPersistence:
         index.insert_batch({"x": bx, "y": 2.0 * bx + 1.0})
         monitor = index.maintenance.monitor("x->y")
         assert monitor.n_streamed == 150
-        path = save_index(index, tmp_path / "adaptive.npz")
-        with np.load(path, allow_pickle=False) as archive:
-            assert "monitor::x->y" in archive.files
+        path = save_index(index, tmp_path / "adaptive.coax")
+        assert "monitor::x->y" in _manifest(path)["arrays"]
         loaded = load_index(path)
         assert loaded.maintenance is not None
         restored = loaded.maintenance.monitor("x->y")
@@ -567,13 +756,11 @@ class TestAdaptiveMonitorPersistence:
     def test_pre_v5_archive_loads_with_fresh_monitors(self, tmp_path):
         """A re-stamped v3 archive of an adaptive index loads: the config
         round-trips, the monitors just start from scratch."""
-        import json
-
         index = COAXIndex(self._table(), config=self.CONFIG, groups=self.GROUPS)
         rng = np.random.default_rng(26)
         bx = rng.uniform(0.0, 100.0, size=150)
         index.insert_batch({"x": bx, "y": 2.0 * bx + 1.0})
-        path = save_index(index, tmp_path / "v5.npz")
+        path = save_index(index, tmp_path / "v5.npz", layout="npz")
         with np.load(path, allow_pickle=False) as archive:
             arrays = {key: archive[key] for key in archive.files}
         meta = json.loads(str(arrays["__meta__"]))

@@ -1,0 +1,68 @@
+"""Lint-level guard on the batch read path (format-v6 satellite).
+
+Mapped columns must *stream* through the batch kernels: a wholesale
+``np.ascontiguousarray`` or ``.copy()`` on a column-sized array anywhere in
+the batch read path would silently materialise the backing file and defeat
+the larger-than-RAM story that the v6 columnar layout exists to provide.
+
+This is a source-level check over the exact functions that make up that
+path -- the grid scatter kernels, the COAX batch entry points, the sharded
+dispatch (thread and process flavours), and the v6 restore path that wires
+mapped columns into live indexes.  The behavioural twin of this test (a
+monkeypatched ``np.asarray`` guard over a live mmap-backed index) lives in
+``tests/test_io.py::TestColumnarZeroCopy``.
+
+Copies on *small derived* arrays (per-cell run bounds in
+``kernels.segment_bisect``, compaction buffers, build-time id maps) are
+fine and deliberately out of scope: the banned tokens are checked only in
+the functions below, all of which handle column-sized data directly.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro.core import engine as engine_mod
+from repro.core.coax import COAXIndex
+from repro.core.engine import ShardedCOAX
+from repro.indexes.grid_file import SortedCellGridIndex
+from repro.io import persistence
+
+
+READ_PATH_FUNCTIONS = [
+    SortedCellGridIndex.batch_range_query_flat,
+    SortedCellGridIndex.batch_flat_from_bounds,
+    SortedCellGridIndex._batch_positions_from_bounds,
+    COAXIndex.batch_range_query,
+    COAXIndex.batch_scatter_flat,
+    ShardedCOAX.batch_range_query,
+    ShardedCOAX._batch_range_query_locked,
+    ShardedCOAX._scatter_processes,
+    engine_mod._scatter_worker,
+    persistence._read_columnar,
+    persistence._restore_grid,
+    persistence._restore_structured_index,
+]
+
+BANNED_TOKENS = ("ascontiguousarray", ".copy()")
+
+
+@pytest.mark.parametrize(
+    "func", READ_PATH_FUNCTIONS, ids=lambda f: f.__qualname__
+)
+def test_batch_read_path_never_materialises_columns(func):
+    source = inspect.getsource(func)
+    for token in BANNED_TOKENS:
+        assert token not in source, (
+            f"{func.__qualname__} contains '{token}': the batch read path "
+            "must not materialise whole mapped columns -- slice or index "
+            "into the mapped array instead"
+        )
+
+
+def test_read_path_functions_still_exist():
+    # Guard against silent renames hollowing out the parametrised check.
+    names = {f.__qualname__ for f in READ_PATH_FUNCTIONS}
+    assert len(names) == len(READ_PATH_FUNCTIONS)
