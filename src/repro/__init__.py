@@ -55,6 +55,7 @@ from repro.core import (
     COAXConfig,
     COAXIndex,
     DeltaStore,
+    EngineClosedError,
     EngineConfig,
     QueryResult,
     ShardedCOAX,
@@ -103,6 +104,7 @@ __all__ = [
     "create_index",
     "COAXConfig",
     "COAXIndex",
+    "EngineClosedError",
     "EngineConfig",
     "ShardedCOAX",
     "DeltaStore",

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     read_path,
     restart,
     scale,
+    serve,
     table1,
     theory,
     updates,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "restart": (restart.run, "Restart — v6 mmap cold start vs legacy npz copy-load"),
     "scale": (scale.run, "Scale — sharded scatter-gather execution and shard pruning"),
     "drift": (drift.run, "Drift — frozen vs adaptive FD models on a drifting stream"),
+    "serve": (serve.run, "Serve — asyncio front end with adaptive query coalescing"),
 }
 
 __all__ = [
@@ -58,6 +60,7 @@ __all__ = [
     "read_path",
     "restart",
     "scale",
+    "serve",
     "table1",
     "theory",
     "updates",

@@ -25,8 +25,16 @@ PathLike = Union[str, Path]
 #: join on a stable schema.  ``executor`` names the scatter backend that
 #: produced the row (``""`` where execution played no part);
 #: ``cold_start_s`` is the restart latency (``None`` outside the restart
-#: benchmark).
-STANDARD_FIELDS = {"executor": "", "cold_start_s": None}
+#: benchmark); ``offered_qps``/``p50_ms``/``p99_ms``/``clients`` are the
+#: serving-load axes (``None`` outside the serve benchmark).
+STANDARD_FIELDS = {
+    "executor": "",
+    "cold_start_s": None,
+    "offered_qps": None,
+    "p50_ms": None,
+    "p99_ms": None,
+    "clients": None,
+}
 
 
 def _standardised_rows(result: ExperimentResult) -> List[dict]:

@@ -16,6 +16,8 @@ Usage::
     python -m repro.cli restart-bench --smoke
     python -m repro.cli drift-bench --export BENCH_drift.json
     python -m repro.cli drift-bench --smoke
+    python -m repro.cli serve-bench --clients 1 64 256 --export BENCH_serve.json
+    python -m repro.cli serve-bench --smoke
     python -m repro.cli all --rows 20000
 
 Every experiment prints the paper-style text table produced by its driver
@@ -29,7 +31,10 @@ selects the scatter backend; ``restart-bench`` times the v6 mmap cold
 start against the legacy npz copy-load (``restart``); ``drift-bench``
 runs the drifting
 insert stream comparing frozen vs adaptive FD models (``drift``), every
-result verified against a full-scan oracle.  ``--smoke`` is the quick CI
+result verified against a full-scan oracle; ``serve-bench`` drives TCP
+load through the asyncio serving front end, comparing the adaptive
+query-coalescing server against a naive one-query-at-a-time baseline
+(``serve``), every served result verified against direct engine queries.  ``--smoke`` is the quick CI
 variant of each (asserting the batch/sharded/adaptive paths hold their
 guarantees), and ``--export`` writes the JSON artifact.
 """
@@ -54,6 +59,7 @@ COMMAND_ALIASES = {
     "scale-bench": "scale",
     "restart-bench": "restart",
     "drift-bench": "drift",
+    "serve-bench": "serve",
 }
 
 
@@ -113,7 +119,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-shards",
         type=int,
         default=None,
-        help="shard count of the saved engine (restart-bench)",
+        help="shard count of the saved engine (restart-bench, serve-bench)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        nargs="+",
+        default=None,
+        help="closed-loop client counts to sweep (serve-bench)",
+    )
+    parser.add_argument(
+        "--offered-qps",
+        type=int,
+        nargs="+",
+        default=None,
+        help="open-loop offered query rates to sweep (serve-bench)",
+    )
+    parser.add_argument(
+        "--swarm-clients",
+        type=int,
+        default=None,
+        help="concurrent connections of the swarm phase (serve-bench)",
     )
     parser.add_argument(
         "--smoke",
@@ -144,6 +170,9 @@ def _run_experiment(
     workers: Optional[Sequence[int]] = None,
     executor: Optional[str] = None,
     n_shards: Optional[int] = None,
+    clients: Optional[Sequence[int]] = None,
+    offered_qps: Optional[Sequence[int]] = None,
+    swarm_clients: Optional[int] = None,
     smoke: bool = False,
 ):
     """Run one experiment by id (or alias), returning its result object."""
@@ -167,6 +196,9 @@ def _run_experiment(
         "worker_counts": workers,
         "executor": executor,
         "n_shards": n_shards,
+        "client_counts": clients,
+        "offered_qps": offered_qps,
+        "swarm_clients": swarm_clients,
         "smoke": smoke or None,
     }
     for parameter, value in forwarded.items():
@@ -190,6 +222,9 @@ def run_experiment(
     workers: Optional[Sequence[int]] = None,
     executor: Optional[str] = None,
     n_shards: Optional[int] = None,
+    clients: Optional[Sequence[int]] = None,
+    offered_qps: Optional[Sequence[int]] = None,
+    swarm_clients: Optional[int] = None,
     smoke: bool = False,
 ) -> str:
     """Run one experiment by id (or alias) and return its formatted table."""
@@ -207,6 +242,9 @@ def run_experiment(
         workers=workers,
         executor=executor,
         n_shards=n_shards,
+        clients=clients,
+        offered_qps=offered_qps,
+        swarm_clients=swarm_clients,
         smoke=smoke,
     ).table()
 
@@ -238,6 +276,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers=args.workers,
                 executor=args.executor,
                 n_shards=args.n_shards,
+                clients=args.clients,
+                offered_qps=args.offered_qps,
+                swarm_clients=args.swarm_clients,
                 smoke=args.smoke,
             )
         except KeyError as exc:

@@ -11,7 +11,7 @@ path is built from.
 
 from repro.core.config import COAXConfig, EngineConfig
 from repro.core.delta import DeltaStore
-from repro.core.engine import ShardedCOAX
+from repro.core.engine import EngineClosedError, ShardedCOAX
 from repro.core.query_translation import (
     translate_bounds_batch,
     translate_query,
@@ -31,6 +31,7 @@ from repro.core.coax import COAXIndex, COAXBuildReport
 __all__ = [
     "COAXConfig",
     "EngineConfig",
+    "EngineClosedError",
     "ShardedCOAX",
     "DeltaStore",
     "translate_query",

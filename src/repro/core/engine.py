@@ -91,16 +91,29 @@ from repro.core.query_translation import (
     translate_query,
     translated_predictor_interval,
 )
-from repro.core.results import merge_flat_row_ids, merge_row_ids
+from repro.core.results import merge_flat_row_ids, merge_row_ids, split_counter_evenly
 from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.fd.groups import FDGroup, per_model_inlier_masks
 from repro.indexes.base import IndexBuildError, MultidimensionalIndex, QueryStats
 
-__all__ = ["ShardedCOAX"]
+__all__ = ["EngineClosedError", "ShardedCOAX"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+class EngineClosedError(RuntimeError):
+    """Raised when a query reaches an engine after :meth:`ShardedCOAX.shutdown`.
+
+    The serving layer calls engine entry points from worker threads while
+    the process may concurrently be tearing the engine down; this typed
+    error lets a server distinguish "the engine is going away" (drain the
+    connection gracefully) from a genuine execution failure.  It is also
+    raised — instead of the executor's bare ``RuntimeError`` — when a
+    scatter races a concurrent :meth:`ShardedCOAX.close` onto an already
+    shut-down worker pool.
+    """
 
 
 def _stats_snapshot(stats: QueryStats) -> Tuple[int, int, int, int, int]:
@@ -216,6 +229,7 @@ class ShardedCOAX(MultidimensionalIndex):
         self.stats = QueryStats()
         self._write_lock = threading.RLock()
         self._stats_lock = threading.Lock()
+        self._closed = False
         self._executor: Optional[ThreadPoolExecutor] = None
         self._process_pools: Optional[List[ProcessPoolExecutor]] = None
         self._spill_lock = threading.Lock()
@@ -370,11 +384,29 @@ class ShardedCOAX(MultidimensionalIndex):
         """
         items = list(items)
         if self._config.workers > 1 and len(items) > 1:
-            return list(self._ensure_executor().map(fn, items))
+            executor = self._ensure_executor()
+            try:
+                # Explicit submits instead of ``executor.map``: submission
+                # failures (a pool a concurrent ``close``/``shutdown`` just
+                # shut down) surface here synchronously and become the
+                # typed error, while exceptions raised *inside* ``fn``
+                # propagate from ``result()`` untouched.
+                futures = [executor.submit(fn, item) for item in items]
+            except RuntimeError as exc:
+                raise EngineClosedError(
+                    "engine worker pool was shut down while dispatching"
+                ) from exc
+            return [future.result() for future in futures]
         return [fn(item) for item in items]
+
+    def _check_open(self) -> None:
+        """Raise :class:`EngineClosedError` after :meth:`shutdown`."""
+        if self._closed:
+            raise EngineClosedError("engine has been shut down")
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         """The lazily created scatter pool (``workers`` threads)."""
+        self._check_open()
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self._config.workers,
@@ -396,6 +428,7 @@ class ShardedCOAX(MultidimensionalIndex):
         modules and start in milliseconds; replicas are attached from disk
         either way, so no engine state needs to survive the fork.
         """
+        self._check_open()
         if self._process_pools is None:
             try:
                 context = multiprocessing.get_context("fork")
@@ -459,6 +492,29 @@ class ShardedCOAX(MultidimensionalIndex):
                 shutil.rmtree(self._spill_dir, ignore_errors=True)
                 self._spill_dir = None
             self._spilled = [None] * len(self._shards)
+
+    def shutdown(self) -> None:
+        """Terminally close the engine (idempotent).
+
+        Unlike :meth:`close` — which only releases pools/spills and lets
+        later queries recreate them — ``shutdown`` marks the engine closed
+        first, so every subsequent query or mutation entry point raises
+        :class:`EngineClosedError` instead of resurrecting resources.  The
+        closed flag is set under the engine lock, which serialises the
+        shutdown against in-flight mutations; readers racing the pool
+        teardown get the same typed error from the dispatch guards.  This
+        is the teardown path the serving layer uses: worker threads still
+        holding a reference fail fast and typed rather than crashing on a
+        shut-down pool.
+        """
+        with self._write_lock:
+            self._closed = True
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` ran; queries then raise typed errors."""
+        return self._closed
 
     def __enter__(self) -> "ShardedCOAX":
         return self
@@ -689,6 +745,7 @@ class ShardedCOAX(MultidimensionalIndex):
         Scatter-gather over the visible shards; bit-identical (ids and
         order) to an unsharded COAX index over the same data.
         """
+        self._check_open()
         if query.is_empty:
             return np.empty(0, dtype=np.int64)
         with self._maintenance_guard():
@@ -738,19 +795,52 @@ class ShardedCOAX(MultidimensionalIndex):
         n_queries = len(queries)
         if n_queries == 0:
             return []
+        self._check_open()
         with self._maintenance_guard():
-            return self._batch_range_query_locked(queries, n_queries)
+            results, _ = self._batch_range_query_locked(queries, n_queries)
+            return results
+
+    def batch_range_query_attributed(
+        self, queries: Sequence[Rectangle]
+    ) -> Tuple[List[np.ndarray], List[QueryStats]]:
+        """Batch results plus one :class:`QueryStats` per query.
+
+        Same execution (and identical results/engine counters) as
+        :meth:`batch_range_query`, but the per-shard counter deltas are
+        split back onto the individual queries so a serving layer can
+        report honest per-query numbers instead of batch-global ones:
+
+        * ``rows_matched``, ``shards_pruned`` and ``queries`` (1 for a
+          live query, 0 for a statically empty one) are **exact** — the
+          flat result stream and the per-query visibility masks identify
+          them precisely.
+        * ``rows_examined`` / ``cells_visited`` / ``nodes_visited`` are
+          **attributed**: the batch kernels account those once per shard
+          sub-batch, so each shard's delta is divided evenly (largest-
+          remainder, see :func:`repro.core.results.split_counter_evenly`)
+          across exactly the queries dispatched to that shard.  Summing
+          the per-query stats always reproduces the batch-global counters
+          bit-for-bit.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return [], []
+        self._check_open()
+        with self._maintenance_guard():
+            return self._batch_range_query_locked(queries, n_queries, attribute=True)
 
     def _batch_range_query_locked(
-        self, queries: List[Rectangle], n_queries: int
-    ) -> List[np.ndarray]:
+        self, queries: List[Rectangle], n_queries: int, attribute: bool = False
+    ) -> Tuple[List[np.ndarray], List[QueryStats]]:
         bounds = batch_bounds(queries)
         live = np.ones(n_queries, dtype=bool)
         for lows, highs in bounds.values():
             live &= lows <= highs
         n_live = int(live.sum())
         if n_live == 0:
-            return [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+            empties = [np.empty(0, dtype=np.int64) for _ in range(n_queries)]
+            return empties, [QueryStats() for _ in range(n_queries)] if attribute else []
         translated_bounds, no_inlier = translate_bounds_batch(
             bounds, n_queries, self._groups
         )
@@ -760,7 +850,7 @@ class ShardedCOAX(MultidimensionalIndex):
         # shard's pre-sliced bound matrices and planner flags, so the
         # shard executes without re-deriving any of them.
         tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
-        shards_pruned = 0
+        pruned_per_query = np.zeros(n_queries, dtype=np.int64)
         for shard_no, shard in enumerate(self._shards):
             use_primary, use_outlier = plan_query_flags(
                 bounds,
@@ -773,10 +863,11 @@ class ShardedCOAX(MultidimensionalIndex):
             visible = use_primary | use_outlier
             if shard.n_pending:
                 visible |= live & batch_overlaps_box(bounds, n_queries, shard.delta.box)
-            shards_pruned += int(np.count_nonzero(live & ~visible))
+            pruned_per_query += live & ~visible
             slots = np.flatnonzero(visible)
             if len(slots):
                 tasks.append((shard_no, slots, use_primary[slots], use_outlier[slots]))
+        shards_pruned = int(pruned_per_query.sum())
 
         def run_shard(
             task: Tuple[int, np.ndarray, np.ndarray, np.ndarray],
@@ -844,7 +935,33 @@ class ShardedCOAX(MultidimensionalIndex):
                 nodes_visited=gathered.nodes_visited,
                 shards_pruned=shards_pruned,
             )
-        return results
+        per_query: List[QueryStats] = []
+        if attribute:
+            # Scan/directory counters accumulate per shard sub-batch; each
+            # shard's delta is attributed evenly over exactly the queries
+            # it was dispatched (tasks and scattered results are
+            # positionally aligned), so the per-query stats sum back to
+            # the batch-global counters exactly.
+            examined = np.zeros(n_queries, dtype=np.int64)
+            cells = np.zeros(n_queries, dtype=np.int64)
+            nodes = np.zeros(n_queries, dtype=np.int64)
+            for task, (_, _, delta) in zip(tasks, scattered):
+                slots = task[1]
+                examined[slots] += split_counter_evenly(delta.rows_examined, len(slots))
+                cells[slots] += split_counter_evenly(delta.cells_visited, len(slots))
+                nodes[slots] += split_counter_evenly(delta.nodes_visited, len(slots))
+            per_query = [
+                QueryStats(
+                    queries=int(live[i]),
+                    rows_examined=int(examined[i]),
+                    rows_matched=len(results[i]),
+                    cells_visited=int(cells[i]),
+                    nodes_visited=int(nodes[i]),
+                    shards_pruned=int(pruned_per_query[i]),
+                )
+                for i in range(n_queries)
+            ]
+        return results, per_query
 
     def _scatter_processes(
         self,
@@ -883,9 +1000,14 @@ class ShardedCOAX(MultidimensionalIndex):
                 use_primary,
                 use_outlier,
             )
-            futures.append(
-                pools[shard_no % len(pools)].submit(_scatter_worker, payload)
-            )
+            try:
+                futures.append(
+                    pools[shard_no % len(pools)].submit(_scatter_worker, payload)
+                )
+            except RuntimeError as exc:
+                raise EngineClosedError(
+                    "engine worker pool was shut down while dispatching"
+                ) from exc
         scattered: List[Tuple[np.ndarray, np.ndarray, QueryStats]] = []
         for task, future in zip(tasks, futures):
             shard_no, slots = task[0], task[1]
@@ -925,6 +1047,7 @@ class ShardedCOAX(MultidimensionalIndex):
         its mapping extension.
         """
         with self._write_lock:
+            self._check_open()
             columns = coerce_batch(batch, tuple(self._table.schema))
             n_new = len(next(iter(columns.values()))) if columns else 0
             global_ids = self._next_global_id + np.arange(n_new, dtype=np.int64)
@@ -1022,6 +1145,7 @@ class ShardedCOAX(MultidimensionalIndex):
         the engine lock for the whole batch.
         """
         with self._write_lock:
+            self._check_open()
             row_ids = np.unique(np.asarray(row_ids, dtype=np.int64))
             if len(row_ids) == 0:
                 return 0
@@ -1066,6 +1190,7 @@ class ShardedCOAX(MultidimensionalIndex):
         correct without cross-shard migration.
         """
         with self._write_lock:
+            self._check_open()
             columns = coerce_batch(batch, tuple(self._table.schema))
             row_ids = np.asarray(row_ids, dtype=np.int64)
             n_new = len(next(iter(columns.values()))) if columns else 0
@@ -1131,6 +1256,7 @@ class ShardedCOAX(MultidimensionalIndex):
         :meth:`_maintenance_guard`.
         """
         with self._write_lock:
+            self._check_open()
             if shard is not None:
                 self._shards[shard].compact()
                 self._note_shard_mutation(shard)
@@ -1242,6 +1368,7 @@ class ShardedCOAX(MultidimensionalIndex):
         self.stats = QueryStats()
         self._write_lock = threading.RLock()
         self._stats_lock = threading.Lock()
+        self._closed = False
         self._executor = None
         self._process_pools = None
         self._spill_lock = threading.Lock()

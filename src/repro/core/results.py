@@ -15,7 +15,31 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-__all__ = ["QueryResult", "merge_row_ids", "merge_flat_row_ids", "merge_row_ids_batch"]
+__all__ = [
+    "QueryResult",
+    "merge_row_ids",
+    "merge_flat_row_ids",
+    "merge_row_ids_batch",
+    "split_counter_evenly",
+]
+
+
+def split_counter_evenly(total: int, n_parts: int) -> np.ndarray:
+    """Split an integer work counter into ``n_parts`` shares, sum-preserving.
+
+    The attribution primitive of the flat batch path: the batch kernels
+    account their work (rows examined, cells visited) once per sub-batch,
+    so a per-query breakdown has to *divide* those deltas.  The split is
+    even with largest-remainder rounding — ``out.sum() == total`` exactly,
+    so per-query stats aggregated back always reproduce the batch-global
+    counters instead of drifting by rounding.
+    """
+    if n_parts <= 0:
+        return np.empty(0, dtype=np.int64)
+    base, remainder = divmod(int(total), n_parts)
+    out = np.full(n_parts, base, dtype=np.int64)
+    out[:remainder] += 1
+    return out
 
 
 def merge_row_ids(parts: Sequence[np.ndarray]) -> np.ndarray:

@@ -35,7 +35,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
-            "read_path", "crud", "restart", "scale", "drift",
+            "read_path", "crud", "restart", "scale", "drift", "serve",
         }
 
 

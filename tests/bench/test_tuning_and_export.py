@@ -145,7 +145,9 @@ class TestExport:
         path = export_csv(result, tmp_path / "demo.csv")
         content = path.read_text().splitlines()
         # The standard fields lead so every artifact joins on one schema.
-        assert content[0] == "executor,cold_start_s,a,b,c"
+        assert content[0] == (
+            "executor,cold_start_s,offered_qps,p50_ms,p99_ms,clients,a,b,c"
+        )
         assert len(content) == 3
 
     def test_export_rows_carry_standard_fields(self, result, tmp_path):
@@ -155,6 +157,11 @@ class TestExport:
         for row in payload["rows"]:
             assert row["executor"] == ""
             assert row["cold_start_s"] is None
+            # Serving-bench join fields ride every artifact too.
+            assert row["offered_qps"] is None
+            assert row["p50_ms"] is None
+            assert row["p99_ms"] is None
+            assert row["clients"] is None
 
     def test_export_json(self, result, tmp_path):
         path = export_json(result, tmp_path / "demo.json")

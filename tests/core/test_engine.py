@@ -22,7 +22,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.coax import COAXIndex
 from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
-from repro.core.engine import ShardedCOAX
+from repro.core.engine import EngineClosedError, ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
 from repro.fd.groups import FDGroup
@@ -829,3 +829,123 @@ class TestDelegatedAPI:
         engine = build_engine(linear_table(18), 2, 1)
         with pytest.raises(NotImplementedError):
             engine.column("x")
+
+
+class TestShutdown:
+    """Terminal shutdown: typed ``EngineClosedError``, unlike reusable close()."""
+
+    def test_shutdown_rejects_reads_and_writes(self):
+        engine = build_engine(linear_table(30), 2, 2)
+        probe = Rectangle({"x": Interval(10.0, 60.0)})
+        assert len(engine.range_query(probe)) > 0
+        assert not engine.closed
+        engine.shutdown()
+        assert engine.closed
+        with pytest.raises(EngineClosedError):
+            engine.range_query(probe)
+        with pytest.raises(EngineClosedError):
+            engine.batch_range_query([probe])
+        with pytest.raises(EngineClosedError):
+            engine.batch_range_query_attributed([probe])
+        with pytest.raises(EngineClosedError):
+            engine.insert_batch({"x": [1.0], "y": [2.0]})
+        with pytest.raises(EngineClosedError):
+            engine.delete_batch(np.array([0], dtype=np.int64))
+        with pytest.raises(EngineClosedError):
+            engine.compact()
+
+    def test_shutdown_is_idempotent(self):
+        engine = build_engine(linear_table(31), 2, 1)
+        engine.shutdown()
+        engine.shutdown()
+        assert engine.closed
+
+    def test_close_stays_reusable_but_shutdown_is_terminal(self):
+        engine = build_engine(linear_table(32), 2, 2)
+        probe = Rectangle({"x": Interval(10.0, 60.0)})
+        before = engine.range_query(probe)
+        engine.close()
+        # close() releases pools but the engine recreates them on demand.
+        assert np.array_equal(engine.range_query(probe), before)
+        engine.shutdown()
+        with pytest.raises(EngineClosedError):
+            engine.range_query(probe)
+
+    def test_concurrent_readers_get_typed_error_not_crash(self):
+        """Readers racing shutdown() see EngineClosedError, never a raw
+        RuntimeError from a dead worker pool."""
+        engine = build_engine(linear_table(33, n=1200), 4, 4)
+        probe = Rectangle({"x": Interval(0.0, 100.0)})
+        stop = threading.Event()
+        bad: list = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    engine.range_query(probe)
+                except EngineClosedError:
+                    return
+                except BaseException as exc:  # noqa: BLE001 - the assertion
+                    bad.append(exc)
+                    return
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        engine.shutdown()
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not bad, f"reader crashed with {bad!r}"
+
+
+class TestAttribution:
+    """Per-query stats attribution on the flat batch path."""
+
+    def test_attributed_results_match_plain_batch(self):
+        engine = build_engine(linear_table(34), 3, 2)
+        plain = engine.batch_range_query(PROBES)
+        attributed, stats = engine.batch_range_query_attributed(PROBES)
+        assert len(attributed) == len(stats) == len(PROBES)
+        for want, got in zip(plain, attributed):
+            assert np.array_equal(want, got)
+
+    def test_attribution_sums_reproduce_global_counters(self):
+        """The even-split attribution is *honest*: per-query stats add up
+        to the engine's batch-global counters exactly."""
+        for n_shards, workers in [(1, 1), (3, 2), (7, 1)]:
+            engine = build_engine(linear_table(35, n=900), n_shards, workers)
+            engine.stats.reset()
+            results, stats = engine.batch_range_query_attributed(PROBES)
+            total = engine.stats
+            assert sum(s.queries for s in stats) == total.queries
+            assert sum(s.rows_examined for s in stats) == total.rows_examined
+            assert sum(s.rows_matched for s in stats) == total.rows_matched
+            assert sum(s.cells_visited for s in stats) == total.cells_visited
+            assert sum(s.nodes_visited for s in stats) == total.nodes_visited
+            assert sum(s.shards_pruned for s in stats) == total.shards_pruned
+
+    def test_exact_fields_are_exact(self):
+        engine = build_engine(linear_table(36), 4, 1)
+        results, stats = engine.batch_range_query_attributed(PROBES)
+        for result, s in zip(results, stats):
+            assert s.rows_matched == len(result)
+        # The miss-everything probe prunes all four shards; its pruning is
+        # attributed to it alone, not smeared across the batch.
+        miss = PROBES.index(Rectangle({"x": Interval(1e6, 2e6)}))
+        assert stats[miss].shards_pruned == 4
+        empty = PROBES.index(Rectangle({"x": Interval(5.0, 1.0)}))
+        assert stats[empty].queries == 0  # dead on arrival, no work
+        assert stats[empty].rows_examined == 0
+
+    def test_empty_batch(self):
+        engine = build_engine(linear_table(37), 2, 1)
+        results, stats = engine.batch_range_query_attributed([])
+        assert results == [] and stats == []
+
+    def test_all_dead_batch_attributes_zero_work(self):
+        engine = build_engine(linear_table(38), 2, 1)
+        dead = [Rectangle({"x": Interval(5.0, 1.0)})] * 3
+        results, stats = engine.batch_range_query_attributed(dead)
+        assert all(len(r) == 0 for r in results)
+        assert all(stats_tuple(s) == (0, 0, 0, 0, 0, 0) for s in stats)

@@ -1,0 +1,165 @@
+"""Wire-protocol round trips: framing, query encoding, typed responses."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import struct
+
+import pytest
+
+from repro.data.predicates import Interval, Rectangle
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    query_from_wire,
+    query_to_wire,
+    read_frame,
+    split_response,
+)
+
+
+def frame_reader(*frames: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    for frame in frames:
+        reader.feed_data(frame)
+    reader.feed_eof()
+    return reader
+
+
+def read_all(*frames: bytes):
+    async def drain():
+        reader = frame_reader(*frames)
+        messages = []
+        while True:
+            message = await read_frame(reader)
+            if message is None:
+                return messages
+            messages.append(message)
+
+    return asyncio.run(drain())
+
+
+def test_frame_round_trip():
+    payload = {"id": 7, "op": "range", "bounds": {"x": [1.0, 2.0]}}
+    messages = read_all(encode_frame(payload))
+    assert messages == [payload]
+
+
+def test_multiple_frames_in_one_stream():
+    frames = [encode_frame({"id": i}) for i in range(3)]
+    assert [m["id"] for m in read_all(*frames)] == [0, 1, 2]
+
+
+def test_clean_eof_returns_none():
+    assert read_all() == []
+
+
+def test_oversized_length_prefix_rejected():
+    async def attempt():
+        reader = frame_reader(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        await read_frame(reader)
+
+    with pytest.raises(ProtocolError):
+        asyncio.run(attempt())
+
+
+def test_non_json_frame_rejected():
+    body = b"\xff\xfe not json"
+    frame = struct.pack(">I", len(body)) + body
+    with pytest.raises(ProtocolError):
+        read_all(frame)
+
+
+def test_non_object_json_rejected():
+    body = json.dumps([1, 2, 3]).encode()
+    frame = struct.pack(">I", len(body)) + body
+    with pytest.raises(ProtocolError):
+        read_all(frame)
+
+
+def test_truncated_frame_raises_incomplete_read():
+    frame = encode_frame({"id": 1})[:-2]
+    with pytest.raises(asyncio.IncompleteReadError):
+        read_all(frame)
+
+
+# ----------------------------------------------------------------------
+# Query encoding
+# ----------------------------------------------------------------------
+def test_range_query_round_trip():
+    query = Rectangle({"Distance": Interval(500, 800), "AirTime": Interval(60, 120)})
+    wire = query_to_wire(query)
+    parsed = query_from_wire(wire)
+    assert dict(parsed.items()) == dict(query.items())
+
+
+def test_infinite_bounds_travel_as_null():
+    query = Rectangle({"x": Interval(-math.inf, 10.0), "y": Interval(0.0, math.inf)})
+    wire = query_to_wire(query)
+    assert wire["bounds"]["x"] == [None, 10.0]
+    assert wire["bounds"]["y"] == [0.0, None]
+    parsed = query_from_wire(wire)
+    assert parsed.interval("x").low == -math.inf
+    assert parsed.interval("y").high == math.inf
+
+
+def test_point_query_parses_to_degenerate_rectangle():
+    parsed = query_from_wire({"op": "point", "point": {"x": 5.0, "y": 7.0}})
+    assert parsed.interval("x") == Interval(5.0, 5.0)
+    assert parsed.interval("y") == Interval(7.0, 7.0)
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        {"op": "scan"},
+        {"op": "range"},
+        {"op": "range", "bounds": [1, 2]},
+        {"op": "range", "bounds": {"x": [1.0]}},
+        {"op": "range", "bounds": {"x": [1.0, "high"]}},
+        {"op": "range", "bounds": {"x": [float("nan"), 1.0]}},
+        {"op": "range", "bounds": {"x": [True, 1.0]}},
+        {"op": "point"},
+        {"op": "point", "point": {}},
+        {"op": "point", "point": {"x": None}},
+    ],
+)
+def test_malformed_queries_rejected(message):
+    with pytest.raises(ProtocolError):
+        query_from_wire(message)
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def test_ok_response_round_trip():
+    payload = ok_response(3, [5, 9], stats={"rows_matched": 2}, server={"batched": 8})
+    (message,) = read_all(encode_frame(payload))
+    request_id, ok, body = split_response(message)
+    assert (request_id, ok) == (3, True)
+    assert body["row_ids"] == [5, 9]
+    assert body["stats"] == {"rows_matched": 2}
+    assert body["server"] == {"batched": 8}
+
+
+def test_error_response_round_trip():
+    payload = error_response(4, "overloaded", "queue full", retry_after_ms=2.5)
+    request_id, ok, body = split_response(payload)
+    assert (request_id, ok) == (4, False)
+    assert body["error"]["code"] == "overloaded"
+    assert body["error"]["retry_after_ms"] == 2.5
+
+
+def test_unknown_error_code_rejected():
+    with pytest.raises(ValueError):
+        error_response(1, "teapot", "I'm a teapot")
+
+
+def test_response_missing_ok_rejected():
+    with pytest.raises(ProtocolError):
+        split_response({"id": 1})
