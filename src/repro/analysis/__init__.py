@@ -1,0 +1,56 @@
+"""repro-lint: AST-based checkers for the repo's load-bearing invariants.
+
+``python -m repro.cli lint`` runs every registered pass over ``src/repro``
+and exits non-zero on any unwaived finding; see DESIGN.md §12 for the
+contracts, the waiver syntax, and how to add a pass.
+"""
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import (
+    AnalysisConfig,
+    AnalysisError,
+    Finding,
+    Project,
+    SourceModule,
+    Waiver,
+    findings_report,
+    write_report,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisError",
+    "Finding",
+    "Project",
+    "SourceModule",
+    "Waiver",
+    "findings_report",
+    "run_lint",
+    "write_report",
+]
+
+
+def run_lint(
+    root: Optional[Path] = None,
+    *,
+    export: Optional[Path] = None,
+    config: Optional[AnalysisConfig] = None,
+) -> Tuple[List[Finding], Dict[str, object]]:
+    """Run every registered pass over ``root`` (default: this package's tree).
+
+    Returns ``(findings, report)``; when ``export`` is given the JSON
+    report is also written there.  The CLI turns a non-empty unwaived
+    subset into exit status 1.
+    """
+    from repro.analysis.passes import ALL_PASSES
+
+    if root is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+    project = Project.load(Path(root), package="repro", config=config)
+    findings = project.run(ALL_PASSES)
+    report = findings_report(findings, ALL_PASSES)
+    if export is not None:
+        write_report(report, Path(export))
+    return findings, report

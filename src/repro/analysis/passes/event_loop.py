@@ -1,0 +1,143 @@
+"""Pass ``event-loop``: no blocking work on the asyncio loop.
+
+The serve layer (``repro.serve``) runs its protocol on a single asyncio
+event loop; one blocking call stalls every connected client.  The
+engine's entry points are seconds-scale NumPy work and the storage layer
+does real file I/O, so the serve code hands all of it to worker threads
+via ``loop.run_in_executor`` / ``asyncio.to_thread``.
+
+Inside every ``async def`` body of the configured module prefixes this
+pass flags direct calls to:
+
+* engine entry points (``AnalysisConfig.engine_entry_points``) — batch
+  queries, mutations, compaction;
+* ``time.sleep`` (the blocking one; ``asyncio.sleep`` is fine);
+* blocking file I/O — ``open``, ``Path.read_*``/``write_*``;
+* synchronous lock ``.acquire()`` — an *awaited* ``acquire()`` is an
+  asyncio primitive and is fine.
+
+Anything passed *into* ``run_in_executor``/``to_thread`` is exempt: that
+is precisely the sanctioned way to run blocking work.  Nested ``def``
+bodies are skipped — defining a sync helper inside an ``async def`` does
+not run it on the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.callgraph import iter_own_statements
+from repro.analysis.core import Finding, Project, SourceModule
+
+__all__ = ["EventLoopPass"]
+
+PASS_ID = "event-loop"
+
+_EXECUTOR_HANDOFFS = ("run_in_executor", "to_thread")
+_BLOCKING_PATH_IO = (
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+    "unlink",
+    "mkdir",
+    "rename",
+    "replace",
+)
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class EventLoopPass:
+    id = PASS_ID
+    description = (
+        "async def bodies in the serve layer never call blocking work "
+        "directly (engine entry points, time.sleep, file I/O, sync acquire)"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        prefixes = project.config.async_module_prefixes
+        for module in project.modules:
+            if not module.name.startswith(prefixes):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_async_def(module, node, project)
+
+    def _check_async_def(
+        self, module: SourceModule, func: ast.AsyncFunctionDef, project: Project
+    ) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        awaited: Set[int] = set()
+        for node in iter_own_statements(func):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node.func) in _EXECUTOR_HANDOFFS
+            ):
+                for arg in [*node.args, *node.keywords]:
+                    value = arg.value if isinstance(arg, ast.keyword) else arg
+                    for sub in ast.walk(value):
+                        exempt.add(id(sub))
+
+        config = project.config
+        for node in iter_own_statements(func):
+            if not isinstance(node, ast.Call) or id(node) in exempt:
+                continue
+            name = _call_name(node.func)
+            flagged = ""
+            if (
+                name in config.engine_entry_points
+                and isinstance(node.func, ast.Attribute)
+                and id(node) not in awaited
+            ):
+                flagged = (
+                    f"engine entry point .{name}() is blocking NumPy work — hand "
+                    "it to loop.run_in_executor/asyncio.to_thread"
+                )
+            elif name == "sleep" and self._is_time_sleep(node.func):
+                flagged = "time.sleep blocks the event loop — use asyncio.sleep"
+            elif name == "open" and isinstance(node.func, ast.Name):
+                flagged = (
+                    "open() is blocking file I/O — run it in an executor thread"
+                )
+            elif (
+                name in _BLOCKING_PATH_IO
+                and isinstance(node.func, ast.Attribute)
+                and id(node) not in awaited
+            ):
+                flagged = (
+                    f".{name}() is blocking file I/O — run it in an executor thread"
+                )
+            elif (
+                name == "acquire"
+                and isinstance(node.func, ast.Attribute)
+                and id(node) not in awaited
+            ):
+                flagged = (
+                    "synchronous .acquire() can block the loop — await an "
+                    "asyncio lock or run the critical section in an executor"
+                )
+            if flagged:
+                yield Finding(
+                    pass_id=PASS_ID,
+                    file=module.name,
+                    line=node.lineno,
+                    symbol=func.name,
+                    message=f"in async def {func.name}: {flagged}",
+                )
+
+    @staticmethod
+    def _is_time_sleep(func: ast.expr) -> bool:
+        """True for ``time.sleep`` / bare ``sleep`` imported from time."""
+        if isinstance(func, ast.Attribute):
+            return isinstance(func.value, ast.Name) and func.value.id == "time"
+        return isinstance(func, ast.Name)

@@ -1,0 +1,173 @@
+"""Pass ``generation-bump``: spill-generation coherence for the executor.
+
+The process-backed scatter executor keeps per-worker mmap replicas of
+spilled shards, keyed by the engine's spill generation.  Any engine
+mutation that touches shard contents must therefore bump the generation
+(``ShardedCOAX._note_shard_mutation``) *before the write lock is
+released* — otherwise a worker can serve a replica of the pre-mutation
+shard bytes and the executor silently returns stale rows.
+
+This pass runs a small abstract interpreter over every method of the
+configured engine classes.  The abstract state is one bit: *pending* —
+"a shard has been mutated and the generation not yet bumped".
+
+* A call (or first-class reference, e.g. an ``executor.submit`` argument)
+  to a shard mutator (``AnalysisConfig.shard_mutators``) on a receiver
+  other than ``self`` sets *pending*.
+* A call to the bump (``AnalysisConfig.generation_bump``) clears it.
+* *pending* must be clear at every ``return`` and at the fall-through
+  exit of every ``with self._write_lock:`` block — those are the points
+  where the lock is (about to be) released.
+
+Branches join pessimistically: if either arm of an ``if`` leaves a
+mutation unbumped, the join is *pending* — the pass over-approximates,
+and provably-unreachable arms take a waiver with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.core import Finding, Project, SourceModule
+
+__all__ = ["GenerationBumpPass"]
+
+PASS_ID = "generation-bump"
+
+
+def _is_write_lock_with(statement: ast.stmt) -> bool:
+    """True for ``with self._write_lock:`` — the *engine* lock only.
+
+    A nested ``with shard.write_lock:`` is not a release point of the
+    engine lock; mutations inside it stay pending until the engine-level
+    bump.
+    """
+    return isinstance(statement, (ast.With, ast.AsyncWith)) and any(
+        ast.unparse(item.context_expr) == "self._write_lock"
+        for item in statement.items
+    )
+
+
+class GenerationBumpPass:
+    id = PASS_ID
+    description = (
+        "engine mutation paths bump the spill generation before releasing "
+        "the write lock (process-executor replica cache coherence)"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        for module in project.modules:
+            for node in module.tree.body:
+                if (
+                    isinstance(node, ast.ClassDef)
+                    and node.name in config.engine_classes
+                ):
+                    for member in node.body:
+                        if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            yield from self._check_method(
+                                module, node.name, member, config
+                            )
+
+    def _check_method(
+        self,
+        module: SourceModule,
+        class_name: str,
+        method: ast.FunctionDef,
+        config,
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        qualname = f"{class_name}.{method.name}"
+
+        def report(line: int, where: str) -> None:
+            findings.append(
+                Finding(
+                    pass_id=PASS_ID,
+                    file=module.name,
+                    line=line,
+                    symbol=qualname,
+                    message=(
+                        f"shard mutation reaches {where} without bumping the "
+                        f"spill generation (self.{config.generation_bump}(...)) — "
+                        "executor replica caches would serve stale shard bytes"
+                    ),
+                )
+            )
+
+        def effect(statement: ast.stmt, pending: bool) -> bool:
+            """Apply one simple statement's mutator/bump effects."""
+            mutates = False
+            bumps = False
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Attribute):
+                    receiver_is_self = (
+                        isinstance(node.value, ast.Name) and node.value.id == "self"
+                    )
+                    if node.attr in config.shard_mutators and not receiver_is_self:
+                        mutates = True
+                    if node.attr == config.generation_bump:
+                        bumps = True
+            if mutates:
+                pending = True
+            if bumps:
+                pending = False
+            return pending
+
+        def interpret(statements: List[ast.stmt], pending: bool) -> bool:
+            for statement in statements:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs: their calls surface where invoked
+                if _is_write_lock_with(statement):
+                    inner = interpret(statement.body, pending)
+                    if inner:
+                        last = statement.body[-1] if statement.body else statement
+                        report(last.lineno, "the end of the write-lock block")
+                    pending = False
+                    continue
+                if isinstance(statement, ast.Return):
+                    pending = effect(statement, pending)
+                    if pending:
+                        report(statement.lineno, "a return")
+                        pending = False
+                    continue
+                if isinstance(statement, ast.If):
+                    test_pending = effect_expr(statement.test, pending)
+                    then_pending = interpret(statement.body, test_pending)
+                    else_pending = interpret(statement.orelse, test_pending)
+                    pending = then_pending or else_pending
+                    continue
+                if isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                    body_pending = interpret(statement.body, pending)
+                    else_pending = interpret(statement.orelse, body_pending)
+                    pending = pending or body_pending or else_pending
+                    continue
+                if isinstance(statement, ast.Try):
+                    body_pending = interpret(statement.body, pending)
+                    handler_pending = body_pending
+                    for handler in statement.handlers:
+                        handler_pending = (
+                            interpret(handler.body, body_pending) or handler_pending
+                        )
+                    else_pending = interpret(statement.orelse, body_pending)
+                    pending = interpret(
+                        statement.finalbody, handler_pending or else_pending
+                    )
+                    continue
+                if isinstance(statement, (ast.With, ast.AsyncWith)):
+                    for item in statement.items:
+                        pending = effect_expr(item.context_expr, pending)
+                    pending = interpret(statement.body, pending)
+                    continue
+                pending = effect(statement, pending)
+            return pending
+
+        def effect_expr(expr: ast.expr, pending: bool) -> bool:
+            wrapper = ast.Expr(value=expr)
+            return effect(wrapper, pending)
+
+        final = interpret(method.body, False)
+        if final:
+            last = method.body[-1] if method.body else method
+            report(last.lineno, "the end of the method")
+        yield from findings

@@ -1,0 +1,137 @@
+"""Pass ``materialize``: the mmap no-materialize policy, call-graph-aware.
+
+Format v6 stores columns as copy-on-write ``np.memmap`` views; the batch
+read path is fast *because* it slices those views lazily and never pulls
+a whole column into anonymous memory.  One stray ``np.ascontiguousarray``
+or ``.copy()`` on a column silently turns an O(touched-pages) query into
+an O(column-bytes) materialization — correct output, ruined perf, and no
+test fails.
+
+Earlier this was guarded by a token grep over a hand-listed function set
+(the retired ``tests/test_read_path_policy.py``), which rotted whenever a
+function was renamed or a new helper joined the read path.  This pass
+instead walks the project call graph from the configured entry points
+(``AnalysisConfig.materialize_entry_points``) and checks **every
+reachable function** — the list of roots is small and stable, and a root
+that no longer resolves is itself a finding, so a rename cannot silently
+shrink coverage.
+
+In reachable functions the pass bans:
+
+* ``ascontiguousarray(...)`` — always (it exists to materialize);
+* ``.copy()`` / ``.tolist()`` — always;
+* ``asarray(...)`` / ``np.array(...)`` — only when the argument's text
+  mentions a column-source marker (``_columns``, ``memmap``, …); small
+  id-array coercions are routine and stay legal.
+
+Write-side maintenance reachable from the read roots only through
+over-approximate call edges (compaction rebuilds, save-path snapshots)
+materializes *by design* and is excluded via
+``AnalysisConfig.materialize_stop_functions`` — the walk neither checks
+nor descends into those.  Legitimate small-derived-array cases on the
+read path itself carry the inline waiver::
+
+    out = block.copy()  # repro-lint: allow[materialize] per-query result rows, not a column
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import iter_with_nested
+from repro.analysis.core import Finding, Project
+
+__all__ = ["MaterializePass"]
+
+PASS_ID = "materialize"
+
+_ALWAYS_BANNED_CALLS = ("ascontiguousarray",)
+_ALWAYS_BANNED_METHODS = ("copy", "tolist")
+_COLUMN_GUARDED_CALLS = ("asarray", "array")
+
+
+class MaterializePass:
+    id = PASS_ID
+    description = (
+        "batch read path (call-graph walk from its entry points) never "
+        "materializes mmap-backed columns"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph
+        config = project.config
+        roots = list(config.materialize_entry_points)
+        for root in roots:
+            if graph.resolve(root) is None:
+                module_name = root.split(":", 1)[0]
+                yield Finding(
+                    pass_id=PASS_ID,
+                    file=module_name,
+                    line=1,
+                    symbol=root,
+                    message=(
+                        f"materialize entry point {root!r} does not resolve — "
+                        "update AnalysisConfig.materialize_entry_points after "
+                        "the rename so read-path coverage cannot rot"
+                    ),
+                )
+        reachable = graph.reachable_from(
+            roots, stop=config.materialize_stop_functions
+        )
+        for key in sorted(reachable):
+            info = graph.resolve(key)
+            yield from self._check_function(info, config)
+
+    def _check_function(self, info, config) -> Iterator[Finding]:
+        for node in iter_with_nested(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._call_name(node.func)
+            is_method = isinstance(node.func, ast.Attribute)
+            message = ""
+            if name in _ALWAYS_BANNED_CALLS:
+                message = (
+                    f"{name}() materializes its input into anonymous memory"
+                )
+            elif name in _ALWAYS_BANNED_METHODS and is_method and not node.args:
+                message = (
+                    f".{name}() copies the underlying buffer — on an mmap "
+                    "column that is an O(column-bytes) materialization"
+                )
+            elif name in _COLUMN_GUARDED_CALLS and self._touches_column(
+                node, config.column_source_markers
+            ):
+                message = (
+                    f"{name}() on column-sourced data forces the whole mmap "
+                    "view resident"
+                )
+            if message:
+                yield Finding(
+                    pass_id=PASS_ID,
+                    file=info.module.name,
+                    line=node.lineno,
+                    symbol=info.qualname,
+                    message=(
+                        f"on the batch read path ({info.qualname}): {message}; "
+                        "slice the memmap view lazily, or waive with "
+                        "'# repro-lint: allow[materialize] <reason>' if the "
+                        "array is a small per-query derivative"
+                    ),
+                )
+
+    @staticmethod
+    def _call_name(func: ast.expr) -> str:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return ""
+
+    @staticmethod
+    def _touches_column(call: ast.Call, markers) -> bool:
+        for arg in [*call.args, *[kw.value for kw in call.keywords]]:
+            text = ast.unparse(arg)
+            if any(marker in text for marker in markers):
+                return True
+        return False

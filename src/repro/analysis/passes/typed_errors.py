@@ -1,0 +1,174 @@
+"""Pass ``typed-errors``: the error-contract rules.
+
+Three rules:
+
+1. **No bare ``except:``** — anywhere.  It swallows ``KeyboardInterrupt``
+   and ``SystemExit`` and hides every programming error.
+2. **No swallow-style ``except Exception``** — a handler catching
+   ``Exception``/``BaseException`` must re-raise (contain a ``raise``);
+   one that logs-and-continues turns every future bug into silence.  The
+   two protocol-boundary sites that *translate* rather than swallow carry
+   waivers with reasons.
+3. **Public entry points raise typed errors** — in the configured module
+   prefixes (serve layer, engine), public functions raise only the
+   project's typed error hierarchy (classes defined in the analyzed tree)
+   plus the small allow-list of builtins that are documented API
+   semantics (``ValueError`` for bad arguments, ``KeyError`` for missing
+   names, …).  A ``raise RuntimeError("not started")`` forces callers
+   into blanket handlers; give the condition a name instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Set
+
+from repro.analysis.core import Finding, Project, SourceModule
+
+__all__ = ["TypedErrorsPass"]
+
+PASS_ID = "typed-errors"
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+#: Builtin names that are exception classes; anything else raised is
+#: assumed to be a project-defined (typed) error.
+_BUILTIN_EXCEPTIONS: Set[str] = {
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+}
+
+
+def _exception_names(handler_type) -> Iterator[str]:
+    """Names mentioned in an ``except <type>:`` clause (tuples unpacked)."""
+    if handler_type is None:
+        return
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+class TypedErrorsPass:
+    id = PASS_ID
+    description = (
+        "no bare/swallowed broad excepts; public serve/engine entry points "
+        "raise only the typed repro error hierarchy"
+    )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        project_errors = self._project_error_classes(project)
+        for module in project.modules:
+            yield from self._check_excepts(module)
+            if module.name.startswith(project.config.raise_policy_prefixes):
+                yield from self._check_raises(module, project, project_errors)
+
+    # ------------------------------------------------------------------
+    # Rules 1 + 2: except hygiene
+    # ------------------------------------------------------------------
+    def _check_excepts(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield Finding(
+                    pass_id=PASS_ID,
+                    file=module.name,
+                    line=node.lineno,
+                    message=(
+                        "bare 'except:' swallows SystemExit/KeyboardInterrupt "
+                        "— catch the typed error you expect"
+                    ),
+                )
+                continue
+            broad = [
+                name for name in _exception_names(node.type) if name in _BROAD_NAMES
+            ]
+            if broad and not self._reraises(node):
+                yield Finding(
+                    pass_id=PASS_ID,
+                    file=module.name,
+                    line=node.lineno,
+                    message=(
+                        f"'except {broad[0]}' without re-raise swallows every "
+                        "future bug — catch the typed errors you expect, or "
+                        "waive at a protocol boundary that translates the "
+                        "exception onto the wire"
+                    ),
+                )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise)
+            for statement in handler.body
+            for node in ast.walk(statement)
+        )
+
+    # ------------------------------------------------------------------
+    # Rule 3: typed raises at public entry points
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _project_error_classes(project: Project) -> Set[str]:
+        names: Set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    names.add(node.name)
+        return names
+
+    def _check_raises(
+        self, module: SourceModule, project: Project, project_errors: Set[str]
+    ) -> Iterator[Finding]:
+        config = project.config
+        for owner, func in self._public_functions(module):
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                name = self._raised_name(node.exc)
+                if not name:
+                    continue  # 'raise exc' re-raise of a bound variable
+                if name in config.allowed_builtin_raises:
+                    continue
+                if name in project_errors and name not in _BUILTIN_EXCEPTIONS:
+                    continue  # project-defined typed error
+                if name in _BUILTIN_EXCEPTIONS or name in _BROAD_NAMES:
+                    qualname = f"{owner}.{func.name}" if owner else func.name
+                    yield Finding(
+                        pass_id=PASS_ID,
+                        file=module.name,
+                        line=node.lineno,
+                        symbol=qualname,
+                        message=(
+                            f"public entry point {qualname} raises builtin "
+                            f"{name} — raise a typed repro error so callers "
+                            "can handle the condition by name"
+                        ),
+                    )
+
+    @staticmethod
+    def _public_functions(module: SourceModule):
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith("_"):
+                    yield "", node
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                for member in node.body:
+                    if isinstance(
+                        member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and not member.name.startswith("_"):
+                        yield node.name, member
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str:
+        node = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""

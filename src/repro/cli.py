@@ -19,6 +19,7 @@ Usage::
     python -m repro.cli serve-bench --clients 1 64 256 --export BENCH_serve.json
     python -m repro.cli serve-bench --smoke
     python -m repro.cli all --rows 20000
+    python -m repro.cli lint --export repro_lint_findings.json
 
 Every experiment prints the paper-style text table produced by its driver
 in :mod:`repro.bench.experiments`.  ``update-bench`` is the command for the
@@ -37,6 +38,10 @@ query-coalescing server against a naive one-query-at-a-time baseline
 (``serve``), every served result verified against direct engine queries.  ``--smoke`` is the quick CI
 variant of each (asserting the batch/sharded/adaptive paths hold their
 guarantees), and ``--export`` writes the JSON artifact.
+
+``lint`` is not an experiment: it runs the repro-lint static-analysis
+suite (:mod:`repro.analysis`) over ``src/repro`` and exits non-zero on
+any unwaived finding; ``--export`` writes the structured JSON report.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ from typing import List, Optional, Sequence
 from repro.bench.experiments import EXPERIMENTS
 from repro.bench.export import export_json
 
-__all__ = ["main", "build_parser", "run_experiment"]
+__all__ = ["main", "build_parser", "run_experiment", "run_lint_command"]
 
 #: Command spellings accepted in addition to the experiment registry ids.
 COMMAND_ALIASES = {
@@ -71,7 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), 'update-bench', 'all' to run everything, or 'list'",
+        help=(
+            "experiment id (see 'list'), 'update-bench', 'all' to run "
+            "everything, 'list', or 'lint' (static-analysis gate)"
+        ),
     )
     parser.add_argument("--rows", type=int, default=None, help="dataset size (records)")
     parser.add_argument("--queries", type=int, default=None, help="queries per workload")
@@ -249,6 +257,28 @@ def run_experiment(
     ).table()
 
 
+def run_lint_command(export: Optional[str] = None) -> int:
+    """Run the repro-lint static-analysis suite over ``src/repro``.
+
+    Prints every finding (waived ones annotated), writes the structured
+    JSON report when ``--export`` is given, and exits 1 on any unwaived
+    finding — this is the CI gate.
+    """
+    from repro.analysis import run_lint
+
+    findings, report = run_lint(export=Path(export) if export else None)
+    for finding in findings:
+        print(finding.render())
+    counts = report["counts"]
+    print(
+        f"repro-lint: {counts['findings']} finding(s), "
+        f"{counts['unwaived']} unwaived, {counts['waived']} waived"
+    )
+    if export:
+        print(f"wrote {export}")
+    return 1 if counts["unwaived"] else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -258,6 +288,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, (_, description) in sorted(EXPERIMENTS.items()):
             print(f"{name:12s} {description}")
         return 0
+
+    if args.experiment == "lint":
+        return run_lint_command(export=args.export)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -481,6 +481,7 @@ class DeltaStore:
         row_ids = np.asarray(payload["__row_ids__"], dtype=np.int64)
         inlier = np.asarray(payload["__inlier__"], dtype=bool)
         columns = {
+            # repro-lint: allow[materialize] the delta store is the heap-owned mutable side by design, bounded by the compaction trigger; restore normalizes dtype once
             name: np.asarray(payload[f"column::{name}"], dtype=np.float64)
             for name in self._schema
         }

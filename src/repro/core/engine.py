@@ -322,7 +322,7 @@ class ShardedCOAX(MultidimensionalIndex):
         # are never renumbered or reused.
         self._shard_of = assignment.astype(np.int64)
         self._local_of = np.empty(n_rows, dtype=np.int64)
-        for shard_no, global_ids in enumerate(shard_global_ids):
+        for global_ids in shard_global_ids:
             self._local_of[global_ids] = np.arange(len(global_ids), dtype=np.int64)
         self._global_of: List[np.ndarray] = [ids.copy() for ids in shard_global_ids]
         self._next_global_id = int(n_rows)

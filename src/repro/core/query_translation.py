@@ -83,8 +83,8 @@ def _group_effective_bounds(
     """
     if group.predictor in bounds:
         direct_lows, direct_highs = bounds[group.predictor]
-        lows = direct_lows.copy()
-        highs = direct_highs.copy()
+        lows = direct_lows.copy()  # repro-lint: allow[materialize] per-batch bound arrays, O(queries) not O(rows)
+        highs = direct_highs.copy()  # repro-lint: allow[materialize] per-batch bound arrays, O(queries) not O(rows)
     else:
         lows = np.full(n_queries, -np.inf)
         highs = np.full(n_queries, np.inf)

@@ -17,7 +17,7 @@ exploits (documented in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -65,13 +65,16 @@ class AirlineConfig:
             raise ValueError("outlier_fraction must be in [0, 1)")
 
 
-def generate_airline_dataset(config: AirlineConfig = AirlineConfig()) -> Tuple[Table, Dict[str, np.ndarray]]:
+def generate_airline_dataset(
+    config: Optional[AirlineConfig] = None,
+) -> Tuple[Table, Dict[str, np.ndarray]]:
     """Generate the synthetic airline table.
 
     Returns the table plus ground-truth metadata: ``{"outliers": mask}``
     where the mask marks records generated outside the FD pattern for at
     least one group.
     """
+    config = config if config is not None else AirlineConfig()
     rng = np.random.default_rng(config.seed)
     n = config.n_rows
 

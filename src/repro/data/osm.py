@@ -11,7 +11,7 @@ tuned so the default primary-index ratio is about 73% (Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -48,11 +48,14 @@ class OSMConfig:
             raise ValueError("outlier_fraction must be in [0, 1)")
 
 
-def generate_osm_dataset(config: OSMConfig = OSMConfig()) -> Tuple[Table, Dict[str, np.ndarray]]:
+def generate_osm_dataset(
+    config: Optional[OSMConfig] = None,
+) -> Tuple[Table, Dict[str, np.ndarray]]:
     """Generate the synthetic OSM table.
 
     Returns the table plus ground-truth metadata ``{"outliers": mask}``.
     """
+    config = config if config is not None else OSMConfig()
     rng = np.random.default_rng(config.seed)
     n = config.n_rows
 

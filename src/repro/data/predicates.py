@@ -226,6 +226,7 @@ class Rectangle:
             break
         mask = np.ones(n_rows, dtype=bool)
         for name, interval in self._intervals.items():
+            # repro-lint: allow[materialize] zero-copy view for ndarray/memmap input; the coercion exists for list-valued oracle columns
             mask &= interval.contains(np.asarray(columns[name]))
         return mask
 

@@ -114,9 +114,10 @@ def _knn_rectangle(
 
 def generate_knn_queries(
     table: Table,
-    config: WorkloadConfig = WorkloadConfig(),
+    config: Optional[WorkloadConfig] = None,
 ) -> QueryWorkload:
     """Range queries built from K nearest neighbours of random records."""
+    config = config if config is not None else WorkloadConfig()
     rng = np.random.default_rng(config.seed)
     dims = list(config.dimensions) if config.dimensions else list(table.schema)
     matrix, _ = _standardised_matrix(table, dims)
@@ -131,9 +132,10 @@ def generate_knn_queries(
 
 def generate_point_queries(
     table: Table,
-    config: WorkloadConfig = WorkloadConfig(),
+    config: Optional[WorkloadConfig] = None,
 ) -> QueryWorkload:
     """Point queries: existing records with lower bound == upper bound."""
+    config = config if config is not None else WorkloadConfig()
     rng = np.random.default_rng(config.seed)
     dims = list(config.dimensions) if config.dimensions else list(table.schema)
     anchors = rng.integers(0, table.n_rows, size=config.n_queries)
@@ -147,7 +149,7 @@ def generate_point_queries(
 def generate_selectivity_queries(
     table: Table,
     target_selectivity: int,
-    config: WorkloadConfig = WorkloadConfig(),
+    config: Optional[WorkloadConfig] = None,
     *,
     tolerance: float = 0.5,
     max_refinements: int = 12,
@@ -162,6 +164,7 @@ def generate_selectivity_queries(
     """
     if target_selectivity <= 0:
         raise ValueError("target_selectivity must be positive")
+    config = config if config is not None else WorkloadConfig()
     target = min(int(target_selectivity), table.n_rows)
     k = max(2, min(target, table.n_rows))
     probe_config = WorkloadConfig(

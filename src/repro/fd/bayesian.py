@@ -78,7 +78,7 @@ class BayesianLinearRegression:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Forget all observations and return to the prior."""
-        self._precision = self._V0_inv.copy()
+        self._precision = self._V0_inv.copy()  # repro-lint: allow[materialize] 2x2 prior matrix, O(1)
         self._precision_mean = self._V0_inv @ self._m0
         self._a = self._a0
         self._b = self._b0
@@ -118,8 +118,8 @@ class BayesianLinearRegression:
                 f"posterior state must have {self.STATE_LENGTH} entries, "
                 f"got {len(state)}"
             )
-        self._precision = state[:4].reshape(2, 2).copy()
-        self._precision_mean = state[4:6].copy()
+        self._precision = state[:4].reshape(2, 2).copy()  # repro-lint: allow[materialize] 8-entry posterior state, O(1)
+        self._precision_mean = state[4:6].copy()  # repro-lint: allow[materialize] 8-entry posterior state, O(1)
         self._yty = float(state[6])
         self._n = float(state[7])
 

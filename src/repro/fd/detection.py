@@ -101,7 +101,7 @@ def evaluate_pair(
     *,
     predictor: str,
     dependent: str,
-    config: DetectionConfig = DetectionConfig(),
+    config: Optional[DetectionConfig] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> FDCandidate:
     """Evaluate a single candidate soft FD ``predictor -> dependent``.
@@ -110,6 +110,7 @@ def evaluate_pair(
     ``accepted`` flag and the recorded metrics so callers (and tests) can
     inspect why a pair was rejected.
     """
+    config = config if config is not None else DetectionConfig()
     rng = rng if rng is not None else np.random.default_rng(config.seed)
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
@@ -235,7 +236,7 @@ def _evaluate_spline(
 def detect_soft_fds(
     table: Table,
     *,
-    config: DetectionConfig = DetectionConfig(),
+    config: Optional[DetectionConfig] = None,
     columns: Optional[Sequence[str]] = None,
 ) -> List[FDCandidate]:
     """Evaluate every unordered attribute pair of ``table`` in both directions.
@@ -245,6 +246,7 @@ def detect_soft_fds(
     attribute lets the other be predicted.  Returns the accepted candidates
     sorted by descending score.
     """
+    config = config if config is not None else DetectionConfig()
     names = list(columns) if columns is not None else list(table.schema)
     rng = np.random.default_rng(config.seed)
     accepted: List[FDCandidate] = []

@@ -132,9 +132,11 @@ def per_model_inlier_masks(
     """
     masks: Dict[str, np.ndarray] = {}
     for group in groups:
+        # repro-lint: allow[materialize] zero-copy for float64 ndarray/memmap input; coerces list-valued insert batches on the write path
         predictor_values = np.asarray(columns[group.predictor], dtype=np.float64)
         for dependent in group.dependents:
             model = group.model_for(dependent)
+            # repro-lint: allow[materialize] zero-copy for float64 ndarray/memmap input; coerces list-valued insert batches on the write path
             dependent_values = np.asarray(columns[dependent], dtype=np.float64)
             masks[f"{group.predictor}->{dependent}"] = model.within_margin(
                 predictor_values, dependent_values

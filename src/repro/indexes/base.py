@@ -357,6 +357,7 @@ class MultidimensionalIndex(ABC):
         physical reclaim (dropping the rows from the directory and the
         column copies) is the job of compaction, not of the delete itself.
         """
+        # repro-lint: allow[lock-discipline] single-structure primitive: the owning COAXIndex/engine entry point holds the write lock around every call (see the class concurrency contract)
         row_ids = np.asarray(row_ids, dtype=np.int64)
         if len(row_ids) == 0 or self.n_rows == 0:
             return 0

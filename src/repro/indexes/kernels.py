@@ -236,8 +236,8 @@ def segment_bisect(
     starts = np.asarray(starts, dtype=np.int64)
     stops = np.asarray(stops, dtype=np.int64)
     values = np.asarray(values, dtype=np.float64)
-    lo = starts.copy()
-    hi = stops.copy()
+    lo = starts.copy()  # repro-lint: allow[materialize] per-segment search cursors, O(touched cells) not O(rows)
+    hi = stops.copy()  # repro-lint: allow[materialize] per-segment search cursors, O(touched cells) not O(rows)
     if len(starts) == 0:
         return lo
     max_len = int(np.max(stops - starts, initial=0))

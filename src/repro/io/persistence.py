@@ -416,7 +416,9 @@ def _restore_structured_index(
     table = Table(columns)
     groups = [_group_from_dict(item) for item in meta["groups"]]
     config = _config_from_dict(meta["config"])
+    # repro-lint: allow[materialize] dtype-preserving view of the archived id arrays: zero-copy on v6 mmap (already int64), copies only for legacy archives
     inlier_ids = np.asarray(arrays["partition::inlier_ids"], dtype=np.int64)
+    # repro-lint: allow[materialize] dtype-preserving view of the archived id arrays: zero-copy on v6 mmap (already int64), copies only for legacy archives
     outlier_ids = np.asarray(arrays["partition::outlier_ids"], dtype=np.int64)
     partition = PartitionResult(
         inlier_ids=inlier_ids,
@@ -456,6 +458,7 @@ def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXInd
             if key.startswith(prefix)
         }
     tombstone = (
+        # repro-lint: allow[materialize] dtype-preserving view of the archived bitmask: zero-copy on v6 mmap (already bool)
         np.asarray(arrays["__tombstone__"], dtype=bool)
         if "__tombstone__" in arrays
         else None
@@ -469,6 +472,7 @@ def _restore_flat_index(meta: Dict, arrays: Mapping[str, np.ndarray]) -> COAXInd
     else:
         columns = {name: arrays[f"column::{name}"] for name in meta["schema"]}
         row_ids = (
+            # repro-lint: allow[materialize] dtype-preserving view of the archived id array: zero-copy on v6 mmap (already int64)
             np.asarray(arrays["__row_ids__"], dtype=np.int64)
             if "__row_ids__" in arrays
             else None
@@ -734,6 +738,7 @@ def _restore_engine(
             for key, array in arrays.items()
             if key.startswith(prefix)
         }
+        # repro-lint: allow[materialize] dtype-preserving view of the archived id array: zero-copy on v6 mmap (already int64)
         global_of.append(np.asarray(shard_arrays.pop("__global_of__"), dtype=np.int64))
         shards.append(_restore_flat_index(shard_meta, shard_arrays))
     config = EngineConfig(

@@ -38,6 +38,7 @@ from repro.serve.server import (
     NaiveQueryServer,
     QueryServer,
     ServerConfig,
+    ServerNotStartedError,
 )
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "ServeResult",
     "ServerConfig",
     "ServerError",
+    "ServerNotStartedError",
     "ServerOverloadedError",
     "ServerShuttingDownError",
 ]

@@ -94,6 +94,7 @@ class EngineDispatcher:
             results, stats = await loop.run_in_executor(
                 self._executor, self._run, queries
             )
+        # repro-lint: allow[typed-errors] thread-pool boundary: the engine's exception is re-homed onto every waiter's future, then typed at the protocol layer
         except Exception as exc:  # noqa: BLE001 - typed at the protocol layer
             for entry in batch:
                 if not entry.future.done():

@@ -54,11 +54,16 @@ from repro.serve.protocol import (
 
 __all__ = [
     "ServerConfig",
+    "ServerNotStartedError",
     "QueryServer",
     "CoalescingQueryServer",
     "NaiveQueryServer",
     "stats_to_wire",
 ]
+
+
+class ServerNotStartedError(RuntimeError):
+    """A lifecycle-dependent attribute was read before ``start()``."""
 
 
 def stats_to_wire(stats: Optional[QueryStats]) -> Optional[Dict[str, int]]:
@@ -124,7 +129,7 @@ class QueryServer:
     def port(self) -> int:
         """The actually bound TCP port (useful with ``port=0``)."""
         if self._server is None or not self._server.sockets:
-            raise RuntimeError("server is not started")
+            raise ServerNotStartedError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
@@ -260,6 +265,7 @@ class QueryServer:
                 payload = error_response(request_id, "shutting_down", str(exc))
             except ProtocolError as exc:
                 payload = error_response(request_id, "bad_request", str(exc))
+            # repro-lint: allow[typed-errors] protocol boundary: unexpected failures are translated to a typed 'internal' wire response, never swallowed
             except Exception as exc:  # noqa: BLE001 - typed onto the wire
                 payload = error_response(request_id, "internal", str(exc))
             try:

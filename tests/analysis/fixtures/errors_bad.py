@@ -1,0 +1,59 @@
+"""Seeded violations for the typed-errors pass (see engine_bad.py docstring)."""
+
+
+class CustomError(RuntimeError):
+    pass
+
+
+def parse(data):
+    try:
+        return int(data)
+    except:  # EXPECT[typed-errors]
+        return 0
+
+
+def swallow(fn):
+    try:
+        fn()
+    except Exception:  # EXPECT[typed-errors]
+        return None
+
+
+def translate(fn):
+    try:
+        fn()
+    except Exception as exc:  # re-raises: not a swallow
+        raise CustomError("translated") from exc
+
+
+def waived_swallow(fn):
+    try:
+        fn()
+    # repro-lint: allow[typed-errors] fixture: proves a reasoned waiver suppresses the finding
+    except Exception:
+        return None
+
+
+def reasonless(fn):
+    try:
+        fn()
+    # repro-lint: allow[typed-errors]
+    except Exception:  # EXPECT[typed-errors] (the reasonless waiver above suppresses nothing)
+        return None
+
+
+def entry(flag):
+    if flag:
+        raise RuntimeError("untyped")  # EXPECT[typed-errors]
+    raise CustomError("typed")
+
+
+def allowed_builtin(n):
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    raise NotImplementedError
+
+
+def _private(flag):
+    # Private helpers are outside the public raise policy.
+    raise RuntimeError("internal")

@@ -1,0 +1,35 @@
+"""Seeded violations for the materialize pass (see engine_bad.py docstring)."""
+
+import numpy as np
+
+
+def batch_range_query(columns, ids):
+    # The configured entry point: everything reachable from here is on
+    # the read path.
+    values = helper(columns)
+    snapshot = stopper(columns)
+    return values, snapshot
+
+
+def helper(columns):
+    col = np.asarray(columns["x"])  # EXPECT[materialize]
+    out = col.copy()  # EXPECT[materialize]
+    listy = out.tolist()  # EXPECT[materialize]
+    contig = np.ascontiguousarray(out)  # EXPECT[materialize]
+    bounds = ids_only(out)
+    return contig, listy, bounds
+
+
+def ids_only(out):
+    small = out[:2].copy()  # repro-lint: allow[materialize] fixture: proves a reasoned waiver suppresses the finding
+    return small
+
+
+def stopper(columns):
+    # Configured stop function: materializes by design, never checked.
+    return np.ascontiguousarray(columns["x"])
+
+
+def off_path(columns):
+    # Never called from the entry point: not reachable, not checked.
+    return np.ascontiguousarray(columns["x"])

@@ -1,0 +1,42 @@
+"""Seeded violations for the event-loop pass (see engine_bad.py docstring)."""
+
+import asyncio
+import time
+
+
+async def blocking_handler(engine, lock, payload):
+    time.sleep(0.01)  # EXPECT[event-loop]
+    engine.insert_batch(payload)  # EXPECT[event-loop]
+    lock.acquire()  # EXPECT[event-loop]
+    handle = open("results.txt")  # EXPECT[event-loop]
+    return handle
+
+
+async def good_handler(loop, engine, alock, payload):
+    # Executor handoff is the sanctioned route for blocking work.
+    rows = await loop.run_in_executor(None, engine.batch_range_query, payload)
+    await asyncio.sleep(0)
+    await alock.acquire()  # awaited: an asyncio primitive, not blocking
+    return rows
+
+
+async def thread_handler(engine, payload):
+    return await asyncio.to_thread(engine.batch_range_query, payload)
+
+
+async def waived_handler(engine, payload):
+    return engine.range_query(payload)  # repro-lint: allow[event-loop] fixture: proves a reasoned waiver suppresses the finding
+
+
+def sync_helper(engine, payload):
+    # Not an async def: blocking calls are the engine thread's job.
+    time.sleep(0.01)
+    return engine.batch_range_query(payload)
+
+
+async def outer():
+    def inner(engine, payload):
+        # Nested sync def does not run on the loop by being defined here.
+        return engine.batch_range_query(payload)
+
+    return inner

@@ -1,0 +1,114 @@
+"""Unit tests of the over-approximating project call graph."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.core import Project, SourceModule
+
+
+def _project(*named_sources):
+    modules = [
+        SourceModule(Path(f"{name.replace('.', '/')}.py"), name, source)
+        for name, source in named_sources
+    ]
+    return Project(modules)
+
+
+def test_local_and_from_import_calls_resolve():
+    project = _project(
+        (
+            "pkg.a",
+            "from pkg.b import helper\n"
+            "def entry():\n"
+            "    helper()\n"
+            "    local()\n"
+            "def local():\n"
+            "    pass\n",
+        ),
+        ("pkg.b", "def helper():\n    pass\n"),
+    )
+    graph = CallGraph.build(project)
+    entry = graph.resolve("pkg.a:entry")
+    assert entry.callees == {"pkg.b:helper", "pkg.a:local"}
+
+
+def test_attribute_calls_fan_out_by_simple_name():
+    project = _project(
+        (
+            "pkg.a",
+            "def entry(index):\n"
+            "    return index.scan(1)\n",
+        ),
+        ("pkg.b", "class Grid:\n    def scan(self, q):\n        pass\n"),
+        ("pkg.c", "class Flat:\n    def scan(self, q):\n        pass\n"),
+    )
+    graph = CallGraph.build(project)
+    assert graph.resolve("pkg.a:entry").callees == {
+        "pkg.b:Grid.scan",
+        "pkg.c:Flat.scan",
+    }
+
+
+def test_external_module_alias_calls_are_skipped():
+    project = _project(
+        (
+            "pkg.a",
+            "import numpy as np\n"
+            "import shutil\n"
+            "def entry(x):\n"
+            "    shutil.copy(x, x)\n"
+            "    return np.copy(x)\n",
+        ),
+        ("pkg.b", "class Box:\n    def copy(self, a, b):\n        pass\n"),
+    )
+    graph = CallGraph.build(project)
+    # np.copy / shutil.copy are external: the same-name method is NOT an edge.
+    assert graph.resolve("pkg.a:entry").callees == set()
+
+
+def test_nested_defs_fold_into_the_enclosing_function():
+    project = _project(
+        (
+            "pkg.a",
+            "def entry():\n"
+            "    def run():\n"
+            "        worker()\n"
+            "    return run\n"
+            "def worker():\n"
+            "    pass\n",
+        ),
+    )
+    graph = CallGraph.build(project)
+    assert graph.resolve("pkg.a:entry").callees == {"pkg.a:worker"}
+
+
+def test_reachability_with_stop_functions():
+    project = _project(
+        (
+            "pkg.a",
+            "def root():\n"
+            "    mid()\n"
+            "    stop()\n"
+            "def mid():\n"
+            "    leaf()\n"
+            "def stop():\n"
+            "    hidden()\n"
+            "def hidden():\n"
+            "    pass\n"
+            "def leaf():\n"
+            "    pass\n",
+        ),
+    )
+    graph = CallGraph.build(project)
+    reachable = graph.reachable_from(["pkg.a:root"])
+    assert reachable == {
+        "pkg.a:root",
+        "pkg.a:mid",
+        "pkg.a:stop",
+        "pkg.a:hidden",
+        "pkg.a:leaf",
+    }
+    pruned = graph.reachable_from(["pkg.a:root"], stop=["pkg.a:stop"])
+    assert pruned == {"pkg.a:root", "pkg.a:mid", "pkg.a:leaf"}

@@ -1,0 +1,49 @@
+"""The repository itself lints clean — the acceptance gate, as a test.
+
+Every contract the five passes encode is supposed to hold on the current
+tree: any unwaived finding here means either a real violation slipped in
+or a pass regressed into a false positive.  Both must fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import run_lint
+from repro.analysis.passes import ALL_PASSES
+from repro.cli import main
+
+
+def test_repo_has_zero_unwaived_findings():
+    findings, report = run_lint()
+    unwaived = [finding for finding in findings if not finding.waived]
+    assert unwaived == [], "\n".join(f.render() for f in unwaived)
+    assert report["counts"]["unwaived"] == 0
+
+
+def test_every_waiver_in_the_tree_carries_a_reason():
+    findings, _ = run_lint()
+    for finding in findings:
+        if finding.waived:
+            assert finding.waiver_reason, finding.render()
+
+
+def test_pass_registry_ids_are_unique_and_described():
+    ids = [lint_pass.id for lint_pass in ALL_PASSES]
+    assert len(ids) == len(set(ids))
+    for lint_pass in ALL_PASSES:
+        assert lint_pass.description
+
+
+def test_cli_lint_exits_zero_and_exports_report(tmp_path, capsys):
+    target = tmp_path / "repro_lint_findings.json"
+    status = main(["lint", "--export", str(target)])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "repro-lint:" in out
+    report = json.loads(target.read_text())
+    assert report["tool"] == "repro-lint"
+    assert report["counts"]["unwaived"] == 0
+    assert {entry["id"] for entry in report["passes"]} == {
+        p.id for p in ALL_PASSES
+    }

@@ -59,7 +59,7 @@ def tables_and_queries(draw):
     table = Table(columns)
     n_queries = draw(st.integers(min_value=1, max_value=4))
     queries = []
-    for q in range(n_queries):
+    for _ in range(n_queries):
         intervals = {}
         for name in names:
             if draw(st.booleans()):

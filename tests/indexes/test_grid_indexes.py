@@ -7,6 +7,7 @@ import pytest
 
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
+from repro.indexes.base import IndexBuildError
 from repro.indexes.column_files import ColumnFilesIndex
 from repro.indexes.grid_file import SortedCellGridIndex
 from repro.indexes.sorted_array import SortedColumnIndex
@@ -74,7 +75,7 @@ class TestUniformGrid:
             assert row_id in result
 
     def test_invalid_cells(self, table):
-        with pytest.raises(Exception):
+        with pytest.raises(IndexBuildError):
             UniformGridIndex(table, cells_per_dim=0)
 
     def test_cell_sizes_sum_to_rows(self, table):
@@ -112,7 +113,7 @@ class TestSortedCellGrid:
         assert len(index.grid_dimensions) == table.n_dims - 1
 
     def test_unknown_sort_dimension(self, table):
-        with pytest.raises(Exception):
+        with pytest.raises(IndexBuildError):
             SortedCellGridIndex(table, sort_dimension="zzz")
 
     def test_quantile_cells_are_balanced(self, table):
@@ -160,7 +161,7 @@ class TestSortedColumn:
         assert SortedColumnIndex(table, sort_dimension="a").directory_bytes() == 0
 
     def test_unknown_sort_dimension(self, table):
-        with pytest.raises(Exception):
+        with pytest.raises(IndexBuildError):
             SortedColumnIndex(table, sort_dimension="zzz")
 
     def test_scan_is_bounded_by_sorted_range(self, table):
