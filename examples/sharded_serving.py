@@ -16,11 +16,16 @@ API. This example:
 3. verifies the engine is bit-identical to an unsharded COAX index;
 4. runs the full CRUD cycle — inserts routed by partition key, deletes,
    in-place updates — with per-shard independent compaction;
-5. saves the engine as a format-6 columnar archive (a directory of raw
+5. saves the engine as a format-7 columnar archive (a directory of raw
    column files plus a manifest) and times the restart: ``load_engine``
    attaches the columns with copy-on-write ``np.memmap`` and reattaches
    the saved grids — milliseconds, no rebuild, no model evaluation —
-   while still adopting old flat/npz archives as 1-shard engines.
+   while still adopting old flat/npz archives as 1-shard engines;
+6. demonstrates workload-adaptive layout recovery: an engine with
+   ``EngineConfig.layout`` enabled watches a skewed query stream,
+   re-partitions itself at compaction to put its boundaries where the
+   queries are, and then *recovers* when the hot region moves — the
+   build-time quantile boundaries are a starting point, not a sentence.
 
 Run with::
 
@@ -39,6 +44,7 @@ from repro import (
     COAXIndex,
     EngineConfig,
     Interval,
+    LayoutConfig,
     Rectangle,
     ShardedCOAX,
     load_engine,
@@ -132,7 +138,7 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 5. Persistence: format-6 columnar archive, instant restart.
+    # 5. Persistence: format-7 columnar archive, instant restart.
     # ------------------------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
         path = save_index(engine, Path(tmp) / "airline.coax")
@@ -146,13 +152,65 @@ def main() -> None:
         )
         print("persistence")
         print("-----------")
-        print(f"archive            : {path.name}/ ({size_mb:.1f} MB, format v6 columnar)")
+        print(f"archive            : {path.name}/ ({size_mb:.1f} MB, format v7 columnar)")
         print(f"cold start         : {restart_ms:.1f} ms — mmap attach, no rebuild")
         print(f"restored executor  : {restored.executor} (load-time override wins)")
         print(f"restored shards    : {restored.n_shards}, round-trip identical: {match}")
         assert match
         restored.close()
     engine.close()
+    print()
+
+    # ------------------------------------------------------------------
+    # 6. Workload-adaptive layout: the engine re-partitions itself when
+    #    the observed query distribution says the boundaries are wrong,
+    #    and recovers again when the hot region moves.
+    # ------------------------------------------------------------------
+    adaptive = ShardedCOAX(
+        table,
+        config=EngineConfig(
+            n_shards=4,
+            workers=1,
+            layout=LayoutConfig(
+                enabled=True, sketch_size=256, min_queries=128, min_gain=1.1
+            ),
+        ),
+    )
+    dim = adaptive.partition_dimension
+    lo, hi = float(table.min(dim)), float(table.max(dim))
+    span = hi - lo
+
+    def hot_burst(region_start: float, rng_seed: int) -> None:
+        """256 narrow queries concentrated in one tenth of the domain."""
+        rng = np.random.default_rng(rng_seed)
+        starts = rng.uniform(region_start, region_start + 0.08 * span, 256)
+        adaptive.batch_range_query(
+            [Rectangle({dim: Interval(s, s + 0.02 * span)}) for s in starts]
+        )
+
+    print("adaptive layout")
+    print("---------------")
+    print(f"build boundaries   : {np.round(adaptive.shard_boundaries, 1).tolist()}")
+    hot_burst(lo, rng_seed=17)          # every query in the lowest decile
+    adaptive.compact()                   # the re-layout decision point
+    print(f"after hot low skew : {np.round(adaptive.shard_boundaries, 1).tolist()}")
+    hot_burst(lo + 0.7 * span, rng_seed=19)  # the workload moves
+    adaptive.compact()
+    print(f"after shift high   : {np.round(adaptive.shard_boundaries, 1).tolist()}")
+    monitor = adaptive.layout
+    assert monitor is not None
+    print(f"re-layouts adopted : {monitor.epoch}")
+    burst_check = [
+        Rectangle({dim: Interval(lo + 0.7 * span, lo + 0.75 * span)}),
+        Rectangle(),
+    ]
+    same = all(
+        np.array_equal(np.sort(adaptive.range_query(q)), np.sort(oracle.range_query(q)))
+        for q in burst_check
+    )
+    print(f"still bit-identical to unsharded COAX: {same}")
+    assert same
+    adaptive.close()
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ from repro.core import (
     DeltaStore,
     EngineClosedError,
     EngineConfig,
+    LayoutConfig,
     QueryResult,
     ShardedCOAX,
     translate_query,
@@ -106,6 +107,7 @@ __all__ = [
     "COAXIndex",
     "EngineClosedError",
     "EngineConfig",
+    "LayoutConfig",
     "ShardedCOAX",
     "DeltaStore",
     "QueryResult",

@@ -199,6 +199,12 @@ class AnalysisConfig:
                 "compact",
                 "shutdown",
             ),
+            "LayoutMonitor": (
+                "observe",
+                "note_adopted",
+                "reset",
+                "load_state",
+            ),
         }
     )
     #: Classes whose ``self._write_lock`` is the *engine* (outermost) lock.
@@ -215,6 +221,9 @@ class AnalysisConfig:
         "delete_where",
         "apply_refresh",
         "_swap_reclaimed",
+        # Adopting a layout proposal replaces every shard's contents, so
+        # the spill generations must be bumped before the lock releases.
+        "note_adopted",
     )
     #: The generation-bump call every engine mutation path must make.
     generation_bump: str = "_note_shard_mutation"

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     fig7,
     fig8,
     headline,
+    layout,
     read_path,
     restart,
     scale,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "scale": (scale.run, "Scale — sharded scatter-gather execution and shard pruning"),
     "drift": (drift.run, "Drift — frozen vs adaptive FD models on a drifting stream"),
     "serve": (serve.run, "Serve — asyncio front end with adaptive query coalescing"),
+    "layout": (layout.run, "Layout — workload-adaptive shard boundaries vs static"),
 }
 
 __all__ = [
@@ -57,6 +59,7 @@ __all__ = [
     "fig7",
     "fig8",
     "headline",
+    "layout",
     "read_path",
     "restart",
     "scale",

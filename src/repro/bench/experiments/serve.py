@@ -338,7 +338,9 @@ def run(
             async with server:
                 for n_clients in client_counts:
                     before = server.snapshot()
+                    stats_before = engine.stats.snapshot()
                     point = await _closed_loop(server, queries, n_clients)
+                    window = engine.stats.delta(stats_before)
                     verified_total += _verify(
                         expected, point["results"], queries, f"closed-loop/{name}"
                     )
@@ -355,6 +357,8 @@ def run(
                         "p50_ms": round(point["p50_ms"], 3),
                         "p99_ms": round(point["p99_ms"], 3),
                         "mean_ms": round(point["mean_ms"], 3),
+                        "shards_pruned": window.shards_pruned,
+                        "rows_examined": window.rows_examined,
                         "mismatched_queries": 0,
                     }
                     if name == "coalescing":
@@ -380,9 +384,11 @@ def run(
                     if name == "naive"
                     else CoalescingQueryServer(engine, config=_bench_config(max_batch))
                 )
+                stats_before = engine.stats.snapshot()
                 async with server:
                     offered = queries[: min(len(queries), max(rate, 256))]
                     point = await _open_loop(server, offered, pool_size, rate)
+                window = engine.stats.delta(stats_before)
                 verified_total += _verify(
                     expected, point["results"], queries, f"open-loop/{name}"
                 )
@@ -400,6 +406,8 @@ def run(
                         "throughput_qps": int(point["throughput_qps"]),
                         "p50_ms": round(point["p50_ms"], 3),
                         "p99_ms": round(point["p99_ms"], 3),
+                        "shards_pruned": window.shards_pruned,
+                        "rows_examined": window.rows_examined,
                         "mismatched_queries": 0,
                     }
                 )
@@ -407,8 +415,10 @@ def run(
         # ----------------------------- swarm -----------------------------
         n_swarm = _max_clients(swarm_clients)
         server = CoalescingQueryServer(engine, config=_bench_config(max_batch))
+        stats_before = engine.stats.snapshot()
         async with server:
             point = await _swarm(server, queries, n_swarm)
+        window = engine.stats.delta(stats_before)
         verified_total += _verify(expected, point["results"], queries, "swarm")
         rows.append(
             {
@@ -423,6 +433,8 @@ def run(
                 "throughput_qps": int(point["throughput_qps"]),
                 "p50_ms": round(point["p50_ms"], 3),
                 "p99_ms": round(point["p99_ms"], 3),
+                "shards_pruned": window.shards_pruned,
+                "rows_examined": window.rows_examined,
                 "mismatched_queries": 0,
             }
         )

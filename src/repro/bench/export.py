@@ -26,7 +26,11 @@ PathLike = Union[str, Path]
 #: produced the row (``""`` where execution played no part);
 #: ``cold_start_s`` is the restart latency (``None`` outside the restart
 #: benchmark); ``offered_qps``/``p50_ms``/``p99_ms``/``clients`` are the
-#: serving-load axes (``None`` outside the serve benchmark).
+#: serving-load axes (``None`` outside the serve benchmark);
+#: ``shards_pruned``/``rows_examined`` are the engine's pruning-work
+#: counters over the row's measurement window (``None`` where the row
+#: did not sample engine statistics), so pruning efficiency is visible
+#: in serving trajectories, not just engine benches.
 STANDARD_FIELDS = {
     "executor": "",
     "cold_start_s": None,
@@ -34,6 +38,8 @@ STANDARD_FIELDS = {
     "p50_ms": None,
     "p99_ms": None,
     "clients": None,
+    "shards_pruned": None,
+    "rows_examined": None,
 }
 
 

@@ -18,6 +18,8 @@ Usage::
     python -m repro.cli drift-bench --smoke
     python -m repro.cli serve-bench --clients 1 64 256 --export BENCH_serve.json
     python -m repro.cli serve-bench --smoke
+    python -m repro.cli layout-bench --rows 1000000 --export BENCH_layout.json
+    python -m repro.cli layout-bench --smoke
     python -m repro.cli all --rows 20000
     python -m repro.cli lint --export repro_lint_findings.json
 
@@ -35,7 +37,11 @@ insert stream comparing frozen vs adaptive FD models (``drift``), every
 result verified against a full-scan oracle; ``serve-bench`` drives TCP
 load through the asyncio serving front end, comparing the adaptive
 query-coalescing server against a naive one-query-at-a-time baseline
-(``serve``), every served result verified against direct engine queries.  ``--smoke`` is the quick CI
+(``serve``), every served result verified against direct engine queries;
+``layout-bench`` runs the skewed-then-shifting stream comparing the
+workload-adaptive shard layout against the static build-time partition
+(``layout``), every eval result verified against a full-scan oracle.
+``--smoke`` is the quick CI
 variant of each (asserting the batch/sharded/adaptive paths hold their
 guarantees), and ``--export`` writes the JSON artifact.
 
@@ -65,6 +71,7 @@ COMMAND_ALIASES = {
     "restart-bench": "restart",
     "drift-bench": "drift",
     "serve-bench": "serve",
+    "layout-bench": "layout",
 }
 
 

@@ -9,7 +9,7 @@ plain rectangles and FD groups) and are combined by the index class.  The
 path is built from.
 """
 
-from repro.core.config import COAXConfig, EngineConfig
+from repro.core.config import COAXConfig, EngineConfig, LayoutConfig
 from repro.core.delta import DeltaStore
 from repro.core.engine import EngineClosedError, ShardedCOAX
 from repro.core.query_translation import (
@@ -31,6 +31,7 @@ from repro.core.coax import COAXIndex, COAXBuildReport
 __all__ = [
     "COAXConfig",
     "EngineConfig",
+    "LayoutConfig",
     "EngineClosedError",
     "ShardedCOAX",
     "DeltaStore",

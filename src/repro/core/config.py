@@ -7,7 +7,7 @@ from typing import Optional, Tuple
 
 from repro.fd.detection import DetectionConfig
 
-__all__ = ["COAXConfig", "EngineConfig", "MaintenanceConfig"]
+__all__ = ["COAXConfig", "EngineConfig", "LayoutConfig", "MaintenanceConfig"]
 
 #: Index types that may serve as the outlier index.
 OUTLIER_INDEX_CHOICES: Tuple[str, ...] = ("sorted_cell_grid", "uniform_grid", "rtree", "full_scan")
@@ -91,6 +91,60 @@ class MaintenanceConfig:
             raise ValueError(
                 "refit_outside_excess must be at least remargin_outside_excess"
             )
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Workload-adaptive shard layout (``ShardedCOAX`` re-partitioning).
+
+    When ``enabled``, the engine feeds a bounded sketch of recent query
+    intervals on the partition dimension — plus per-shard hit / prune /
+    rows-examined counters — into a
+    :class:`~repro.core.layout.LayoutMonitor`.  At every *full*
+    :meth:`~repro.core.engine.ShardedCOAX.compact` the monitor proposes
+    new range boundaries (a weighted-quantile split of the query-mass
+    histogram, optionally changing the shard count within
+    ``[min_shards, max_shards]``) and the engine adopts them only when
+    the cost model predicts at least a ``min_gain`` reduction of rows
+    examined on the sketched workload.  Re-partitioning reuses the
+    transactional reclaim-rebuild path, so results stay bit-identical
+    across a layout change.
+
+    Disabled by default: the partition boundaries then stay exactly as
+    built (static quantiles of the build data), the paper's setting.
+    """
+
+    #: Master switch; everything below is inert when False.
+    enabled: bool = False
+    #: Ring-buffer capacity of sketched query intervals (older queries
+    #: are overwritten, so the sketch tracks the *recent* workload).
+    sketch_size: int = 512
+    #: Resolution of the query-mass histogram the quantile split uses.
+    histogram_bins: int = 64
+    #: Minimum sketched queries before any proposal (fewer always vetoes).
+    min_queries: int = 256
+    #: Adopt a proposal only when ``old_cost / new_cost`` is at least
+    #: this factor on the sketched workload (hysteresis against churn).
+    min_gain: float = 1.2
+    #: Smallest shard count a proposal may choose.
+    min_shards: int = 1
+    #: Largest shard count a proposal may choose; ``None`` keeps the
+    #: current shard count as the ceiling (boundaries move, count fixed).
+    max_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sketch_size < 1:
+            raise ValueError("sketch_size must be at least 1")
+        if self.histogram_bins < 2:
+            raise ValueError("histogram_bins must be at least 2")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be at least 1")
+        if self.min_gain < 1.0:
+            raise ValueError("min_gain must be at least 1.0")
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be at least 1")
+        if self.max_shards is not None and self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be at least min_shards")
 
 
 @dataclass(frozen=True)
@@ -187,10 +241,17 @@ class EngineConfig:
     executor: str = "thread"
     #: Configuration every per-shard COAX index is built with.
     coax: COAXConfig = field(default_factory=COAXConfig)
+    #: Workload-adaptive layout (disabled by default: static boundaries).
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError("n_shards must be at least 1")
+        if self.layout.enabled and self.partitioning != "range":
+            raise ValueError(
+                "adaptive layout learns range boundaries; it requires "
+                'partitioning="range"'
+            )
         if self.partitioning not in PARTITIONING_CHOICES:
             raise ValueError(
                 f"partitioning must be one of {PARTITIONING_CHOICES}, "

@@ -84,7 +84,8 @@ import numpy as np
 from repro.core.coax import COAXBuildReport, COAXIndex, learn_groups
 from repro.core.config import COAXConfig, EngineConfig
 from repro.core.delta import BatchLike, coerce_batch
-from repro.fd.maintenance import REFIT, REUSE, MaintenanceManager
+from repro.core.layout import LayoutMonitor, LayoutProposal
+from repro.fd.maintenance import REUSE, MaintenanceManager
 from repro.core.planner import batch_overlaps_box, plan_query_flags
 from repro.core.query_translation import (
     translate_bounds_batch,
@@ -289,6 +290,15 @@ class ShardedCOAX(MultidimensionalIndex):
                 )
             else:
                 self._boundaries = np.zeros(config.n_shards - 1, dtype=np.float64)
+
+        # Workload-adaptive layout: the monitor sketches query intervals
+        # on the partition dimension and full compactions consult it (see
+        # compact()).  Range partitioning only — config validation rejects
+        # the hash combination — and engine-owned like maintenance, so one
+        # decision re-partitions every shard consistently.
+        self._layout: Optional[LayoutMonitor] = None
+        if config.layout.enabled and config.partitioning == "range":
+            self._layout = LayoutMonitor(config.layout, config.n_shards)
 
         # Scatter the build rows and construct one COAX index per shard —
         # in parallel when workers > 1 (each build is independent NumPy
@@ -565,6 +575,15 @@ class ShardedCOAX(MultidimensionalIndex):
         return self._maintenance
 
     @property
+    def layout(self) -> Optional[LayoutMonitor]:
+        """The workload-layout monitor (``None`` when adaptation is off).
+
+        Like maintenance it is strictly engine-owned: one sketch, one
+        decision, every shard re-partitioned consistently.
+        """
+        return self._layout
+
+    @property
     def partition_dimension(self) -> Optional[str]:
         """Attribute the range partitioner splits on (``None`` for hash)."""
         return self._partition_dim
@@ -731,11 +750,14 @@ class ShardedCOAX(MultidimensionalIndex):
         With adaptive maintenance enabled, a full compaction can swap the
         models *and* re-partition every shard; a query translating with
         one generation of groups while shards execute another would lose
-        rows.  Readers therefore serialise against the engine lock — only
-        in the adaptive configuration; the default (frozen-model) engine
-        keeps its lock-free read path, because its groups never change.
+        rows.  The same hazard exists with adaptive *layout*: a re-layout
+        replaces the shard list, the boundaries and the id mapping in one
+        step.  Readers therefore serialise against the engine lock in
+        either adaptive configuration; the default (frozen) engine keeps
+        its lock-free read path, because neither groups nor layout ever
+        change.
         """
-        if self._maintenance is not None:
+        if self._maintenance is not None or self._layout is not None:
             return self._write_lock
         return nullcontext()
 
@@ -755,6 +777,7 @@ class ShardedCOAX(MultidimensionalIndex):
         translated = translate_query(query, self._groups)
         visits = self._scalar_visit_mask(query, translated)
         gathered = QueryStats()
+        examined_by = np.zeros(len(self._shards), dtype=np.int64)
         parts: List[np.ndarray] = []
         for shard_no, visible in enumerate(visits):
             if not visible:
@@ -767,7 +790,9 @@ class ShardedCOAX(MultidimensionalIndex):
                 before = _stats_snapshot(shard.stats)
                 local_ids = shard.range_query(query)
                 parts.append(self._global_of[shard_no][local_ids])
-                gathered.merge(_stats_delta(before, shard.stats))
+                shard_delta = _stats_delta(before, shard.stats)
+            gathered.merge(shard_delta)
+            examined_by[shard_no] = shard_delta.rows_examined
         merged = merge_row_ids(parts)
         with self._stats_lock:
             self.stats.record(
@@ -776,6 +801,19 @@ class ShardedCOAX(MultidimensionalIndex):
                 cells_visited=gathered.cells_visited,
                 nodes_visited=gathered.nodes_visited,
                 shards_pruned=len(self._shards) - sum(visits),
+            )
+        if self._layout is not None:
+            # Outside the stats lock: the monitor has its own leaf lock.
+            visit_mask = np.asarray(visits, dtype=bool)
+            interval = translated.interval(self._partition_dim)
+            if interval.is_unbounded:
+                interval = query.interval(self._partition_dim)
+            self._layout.observe(
+                np.array([interval.low]),
+                np.array([interval.high]),
+                hits=visit_mask.astype(np.int64),
+                pruned=(~visit_mask).astype(np.int64),
+                examined=examined_by,
             )
         return merged
 
@@ -851,6 +889,8 @@ class ShardedCOAX(MultidimensionalIndex):
         # shard executes without re-deriving any of them.
         tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
         pruned_per_query = np.zeros(n_queries, dtype=np.int64)
+        hits_by = np.zeros(len(self._shards), dtype=np.int64)
+        pruned_by = np.zeros(len(self._shards), dtype=np.int64)
         for shard_no, shard in enumerate(self._shards):
             use_primary, use_outlier = plan_query_flags(
                 bounds,
@@ -864,7 +904,9 @@ class ShardedCOAX(MultidimensionalIndex):
             if shard.n_pending:
                 visible |= live & batch_overlaps_box(bounds, n_queries, shard.delta.box)
             pruned_per_query += live & ~visible
+            pruned_by[shard_no] = int(np.count_nonzero(live & ~visible))
             slots = np.flatnonzero(visible)
+            hits_by[shard_no] = len(slots)
             if len(slots):
                 tasks.append((shard_no, slots, use_primary[slots], use_outlier[slots]))
         shards_pruned = int(pruned_per_query.sum())
@@ -934,6 +976,28 @@ class ShardedCOAX(MultidimensionalIndex):
                 cells_visited=gathered.cells_visited,
                 nodes_visited=gathered.nodes_visited,
                 shards_pruned=shards_pruned,
+            )
+        if self._layout is not None:
+            # Outside the stats lock: the monitor has its own leaf lock.
+            # Sketch the *translated* partition-dim intervals when the
+            # translator produced any (those drive primary-box pruning),
+            # the original bounds otherwise.
+            examined_by = np.zeros(len(self._shards), dtype=np.int64)
+            for task, (_, _, delta) in zip(tasks, scattered):
+                examined_by[task[0]] = delta.rows_examined
+            if self._partition_dim in translated_bounds:
+                part_lows, part_highs = translated_bounds[self._partition_dim]
+            elif self._partition_dim in bounds:
+                part_lows, part_highs = bounds[self._partition_dim]
+            else:
+                part_lows = np.full(n_queries, -np.inf)
+                part_highs = np.full(n_queries, np.inf)
+            self._layout.observe(
+                part_lows[live],
+                part_highs[live],
+                hits=hits_by,
+                pruned=pruned_by,
+                examined=examined_by,
             )
         per_query: List[QueryStats] = []
         if attribute:
@@ -1231,6 +1295,120 @@ class ShardedCOAX(MultidimensionalIndex):
             self._observe_columns(columns, masks)
             return row_ids
 
+    def _evaluate_layout(self) -> Optional[LayoutProposal]:
+        """Cost-model verdict on re-partitioning (caller holds the engine
+        lock).  ``None`` keeps the current layout — monitor disabled, too
+        few sketched queries, or the predicted win below the threshold."""
+        if self._layout is None or self._partition_dim is None:
+            return None
+        parts: List[np.ndarray] = []
+        for shard in self._shards:
+            local_live = shard.live_row_ids()
+            if len(local_live):
+                parts.append(shard.table.column(self._partition_dim)[local_live])
+            if shard.n_pending:
+                parts.append(shard.delta.column(self._partition_dim))
+        if not parts:
+            return None
+        return self._layout.propose(np.concatenate(parts), self._boundaries)
+
+    def _gather_live_rows(self) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """Every live record (main-structure plus pending) with its global
+        id, gathered across all shards (caller holds the engine lock).
+
+        Local row id == local table position, so main-structure values are
+        plain gathers from the shard tables; pending rows come straight
+        from the delta buffers.  A row updated in place is tombstoned in
+        the main structure and re-buffered under the same id, so the two
+        sources are disjoint and the union is exactly the live set.
+        """
+        schema = tuple(self._table.schema)
+        column_parts: Dict[str, List[np.ndarray]] = {name: [] for name in schema}
+        id_parts: List[np.ndarray] = []
+        for shard_no, shard in enumerate(self._shards):
+            local_live = shard.live_row_ids()
+            if len(local_live):
+                for name in schema:
+                    column_parts[name].append(shard.table.column(name)[local_live])
+                id_parts.append(self._global_of[shard_no][local_live])
+            if shard.n_pending:
+                pending_local = shard.delta.row_ids
+                for name in schema:
+                    column_parts[name].append(shard.delta.column(name))
+                id_parts.append(self._global_of[shard_no][pending_local])
+        if not id_parts:
+            return (
+                {name: np.empty(0, dtype=np.float64) for name in schema},
+                np.empty(0, dtype=np.int64),
+            )
+        return (
+            {name: np.concatenate(parts) for name, parts in column_parts.items()},
+            np.concatenate(id_parts),
+        )
+
+    def _rebuild_layout(self, proposal: LayoutProposal, groups: List[FDGroup]) -> None:
+        """Adopt a layout proposal: gather, re-route, rebuild, swap.
+
+        Caller holds the engine lock (readers are excluded through
+        :meth:`_maintenance_guard`, which always guards when a layout
+        monitor exists).  Phase 1 is pure — live rows are gathered and
+        fresh shards built without mutating anything, so a build failure
+        leaves the engine on the old layout, fully consistent.  Phase 2
+        swaps shard list, boundaries and the global-id mapping and resizes
+        the spill bookkeeping; global ids survive verbatim (dead ids map
+        to the ``-1`` local sentinel no shard ever matches), so results
+        are bit-identical across the re-layout.
+        """
+        columns, global_ids = self._gather_live_rows()
+        boundaries = np.asarray(proposal.boundaries, dtype=np.float64)
+        n_new = proposal.n_shards
+        values = columns[self._partition_dim]
+        assignment = np.searchsorted(boundaries, values, side="right")
+        member_rows: List[np.ndarray] = []
+        shard_globals: List[np.ndarray] = []
+        for shard_no in range(n_new):
+            members = np.flatnonzero(assignment == shard_no)
+            # Ascending global ids inside each shard: deterministic local
+            # numbering regardless of gather order.
+            members = members[np.argsort(global_ids[members], kind="stable")]
+            member_rows.append(members)
+            shard_globals.append(global_ids[members].astype(np.int64))
+
+        def build(members: np.ndarray) -> COAXIndex:
+            return COAXIndex(
+                Table({name: array[members] for name, array in columns.items()}),
+                config=self._shard_config,
+                groups=groups,
+                dimensions=self._dimensions,
+            )
+
+        fresh = self._map_shards(build, member_rows)
+
+        # Phase 2: swaps and bookkeeping only, nothing below can fail.
+        self._shards = fresh
+        self._boundaries = boundaries
+        self._global_of = shard_globals
+        total = self._next_global_id
+        self._shard_of = np.zeros(total, dtype=np.int64)
+        # Dead ids resolve to local -1: the clipped-searchsorted liveness
+        # and position lookups of the shards can never match it.
+        self._local_of = np.full(total, -1, dtype=np.int64)
+        for shard_no, ids in enumerate(shard_globals):
+            self._shard_of[ids] = shard_no
+            self._local_of[ids] = np.arange(len(ids), dtype=np.int64)
+        if n_new != self._config.n_shards:
+            self._config = replace(self._config, n_shards=n_new)
+        with self._spill_lock:
+            # Strictly increasing generations across the re-layout: a
+            # reused (shard, generation) pair would alias an old spill
+            # path and worker replica caches would serve stale bytes.
+            base = (max(self._generations) + 1) if self._generations else 1
+            for spilled in self._spilled:
+                if spilled is not None and os.path.exists(spilled[1]):
+                    shutil.rmtree(spilled[1], ignore_errors=True)
+            self._generations = [base] * n_new
+            self._spilled = [None] * n_new
+
     def compact(self, shard: Optional[int] = None) -> "ShardedCOAX":
         """Fold delta stores and reclaim tombstones — per shard.
 
@@ -1254,6 +1432,17 @@ class ShardedCOAX(MultidimensionalIndex):
         during the build phase leaves the whole engine on the old models,
         mutually consistent.  Queries exclude the refresh window through
         :meth:`_maintenance_guard`.
+
+        Workload-adaptive layout composes here too: the full compaction
+        first asks the shared drift monitors for a model verdict, then
+        the layout monitor for a boundary verdict.  When a re-layout is
+        accepted, ONE gather-and-rebuild serves both tiers — the fresh
+        shards are built directly with the refreshed groups (whether the
+        model tier asked for a refit or only wider margins; see
+        ``MaintenanceOutcome.requires_rebuild``), pending rows are folded
+        in and tombstones reclaimed by construction, so the per-shard
+        folds below are skipped.  When the layout verdict is a veto, the
+        model tiers apply exactly as before.
         """
         with self._write_lock:
             self._check_open()
@@ -1261,45 +1450,59 @@ class ShardedCOAX(MultidimensionalIndex):
                 self._shards[shard].compact()
                 self._note_shard_mutation(shard)
                 return self
+            outcome = None
             refreshed = False
             if self._maintenance is not None:
                 outcome = self._maintenance.refresh(self._groups)
                 refreshed = outcome.action != REUSE
-                if outcome.action == REFIT:
-                    new_groups = list(outcome.groups)
-                    # Phase 1: pure builds, nothing mutated anywhere — a
-                    # failure leaves engine, shards and monitors on the
-                    # old generation, mutually consistent.
-                    prepared = self._map_shards(
-                        lambda s: s._build_reclaimed(new_groups), self._shards
-                    )
-                    # Phase 2: commit — swaps and bookkeeping only.
-                    for shard_index, fresh in zip(self._shards, prepared):
-                        with shard_index.write_lock:
-                            shard_index._swap_reclaimed(fresh)
-                            shard_index.delta.clear()
-                    self._groups = new_groups
+            proposal = self._evaluate_layout()
+            if proposal is not None:
+                # One rebuild serves the model and the layout tier: route
+                # every live row by the proposed boundaries and build the
+                # new shards with the (possibly refreshed) groups.
+                new_groups = list(outcome.groups) if refreshed else list(self._groups)
+                self._rebuild_layout(proposal, new_groups)
+                self._groups = new_groups
+                if refreshed:
                     self._maintenance.commit(outcome)
-                elif refreshed:
-                    # Margins only widened: adoption is structure-free and
-                    # safe per shard (see COAXIndex.apply_refresh).
-                    self._groups = list(outcome.groups)
-                    self._map_shards(
-                        lambda s: s.apply_refresh(self._groups),
-                        self._shards,
-                    )
-                    self._maintenance.commit(outcome)
-            self._map_shards(lambda s: s.compact(), self._shards)
+                self._layout.note_adopted(proposal)
+            elif outcome is not None and outcome.requires_rebuild:
+                new_groups = list(outcome.groups)
+                # Phase 1: pure builds, nothing mutated anywhere — a
+                # failure leaves engine, shards and monitors on the
+                # old generation, mutually consistent.
+                prepared = self._map_shards(
+                    lambda s: s._build_reclaimed(new_groups), self._shards
+                )
+                # Phase 2: commit — swaps and bookkeeping only.
+                for shard_index, fresh in zip(self._shards, prepared):
+                    with shard_index.write_lock:
+                        shard_index._swap_reclaimed(fresh)
+                        shard_index.delta.clear()
+                self._groups = new_groups
+                self._maintenance.commit(outcome)
+            elif refreshed:
+                # Margins only widened: adoption is structure-free and
+                # safe per shard (see COAXIndex.apply_refresh).
+                self._groups = list(outcome.groups)
+                self._map_shards(
+                    lambda s: s.apply_refresh(self._groups),
+                    self._shards,
+                )
+                self._maintenance.commit(outcome)
+            if proposal is None:
+                self._map_shards(lambda s: s.compact(), self._shards)
             self._note_shard_mutation(np.arange(len(self._shards)))
-            if refreshed:
+            if refreshed or proposal is not None:
                 # The refreshed band's baseline follows the inlier
-                # fractions the shard folds just recomputed/merged — the
+                # fractions the rebuild/folds just recomputed — the
                 # engine-level analogue of the flat index's post-fold
                 # rebind, so both configurations damp the reactive
                 # triggers identically.
-                self._maintenance.rebind(
-                    self._groups, self._aggregate_inlier_fractions()
-                )
+                if self._maintenance is not None:
+                    self._maintenance.rebind(
+                        self._groups, self._aggregate_inlier_fractions()
+                    )
             return self
 
     # ------------------------------------------------------------------
@@ -1378,6 +1581,9 @@ class ShardedCOAX(MultidimensionalIndex):
         self._groups = list(groups)
         self._partition_dim = partition_dimension
         self._boundaries = np.asarray(boundaries, dtype=np.float64)
+        self._layout = None
+        if config.layout.enabled and config.partitioning == "range":
+            self._layout = LayoutMonitor(config.layout, config.n_shards)
         self._shards = shards
         self._shard_config = shards[0].config
         # Drift maintenance is strictly engine-owned: a shard refreshing

@@ -121,6 +121,21 @@ class MaintenanceOutcome:
     #: Per-model decisions keyed by ``predictor->dependent``.
     decisions: Dict[str, RefreshDecision]
 
+    @property
+    def requires_rebuild(self) -> bool:
+        """Whether adopting ``groups`` needs a reclaim-rebuild.
+
+        ``refit`` replaces models, which re-partitions rows between the
+        primary and outlier structures — only a rebuild applies that.  A
+        ``remargin`` merely widens bands and is structure-free.  Callers
+        that rebuild *anyway* (e.g. a workload-adaptive re-layout in
+        :meth:`repro.core.engine.ShardedCOAX.compact`) may fold either
+        tier into their rebuild: building with the refreshed ``groups``
+        subsumes both the refit re-partition and the margin widening, so
+        the two maintenance dimensions compose in one pass.
+        """
+        return self.action == REFIT
+
 
 class ModelMonitor:
     """Streaming health monitor of one linear soft-FD model.

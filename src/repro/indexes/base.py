@@ -163,6 +163,44 @@ class QueryStats:
         self.shards_pruned += other.shards_pruned
         return self
 
+    def snapshot(self) -> "QueryStats":
+        """An independent copy of the current counter values.
+
+        The live object keeps accumulating; the snapshot never changes.
+        Monitors that need windowed rates pair this with :meth:`delta` —
+        neither touches the live counters, so the documented cumulative
+        semantics above are preserved for every other reader (no hidden
+        resets).
+        """
+        return QueryStats(
+            queries=self.queries,
+            rows_examined=self.rows_examined,
+            rows_matched=self.rows_matched,
+            cells_visited=self.cells_visited,
+            nodes_visited=self.nodes_visited,
+            shards_pruned=self.shards_pruned,
+        )
+
+    def delta(self, since: "QueryStats") -> "QueryStats":
+        """Counter increments since an earlier :meth:`snapshot`.
+
+        Returns a new object holding ``self - since`` per counter; both
+        inputs are left untouched.  Taking a snapshot before a window and
+        calling ``stats.delta(before)`` after it yields exactly the work
+        of that window even while other readers rely on the cumulative
+        totals.  Negative values only arise when ``since`` postdates a
+        :meth:`reset`, in which case the window spans the reset and has
+        no meaningful delta.
+        """
+        return QueryStats(
+            queries=self.queries - since.queries,
+            rows_examined=self.rows_examined - since.rows_examined,
+            rows_matched=self.rows_matched - since.rows_matched,
+            cells_visited=self.cells_visited - since.cells_visited,
+            nodes_visited=self.nodes_visited - since.nodes_visited,
+            shards_pruned=self.shards_pruned - since.shards_pruned,
+        )
+
     @property
     def mean_rows_examined(self) -> float:
         """Average rows examined per query."""

@@ -67,6 +67,7 @@ from repro.core.config import (
     COAXConfig,
     EngineConfig,
     EXECUTOR_CHOICES,
+    LayoutConfig,
     MaintenanceConfig,
 )
 from repro.core.engine import ShardedCOAX
@@ -92,7 +93,7 @@ __all__ = [
 
 #: Version written for every archive (flat and sharded; the two layouts
 #: are distinguished by the presence of the ``engine`` header section).
-FORMAT_VERSION = 6
+FORMAT_VERSION = 7
 
 #: The single-file ``.npz`` layout still written by
 #: ``save_index(..., layout="npz")`` for compatibility tooling.
@@ -107,8 +108,11 @@ SHARDED_FORMAT_VERSION = FORMAT_VERSION
 #: tombstone bitmap, the live-row count and the per-model routing masks,
 #: 4 the sharded-engine archive, 5 the drift-monitor state of adaptive
 #: model maintenance, 6 the mmap-backed columnar directory layout with
-#: structured O(metadata) restore).
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
+#: structured O(metadata) restore, 7 the workload-adaptive layout state
+#: of the sharded engine — ``layout::<name>`` arrays plus the layout
+#: knobs/epoch in the ``engine`` header; pre-7 archives load with an
+#: empty monitor).
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 #: Header file of a columnar (v6) archive directory; written last, so its
 #: presence certifies the archive is complete.
@@ -389,8 +393,12 @@ def _index_payload(
 
 
 def _strip_structured(meta: Dict, arrays: Dict[str, np.ndarray]) -> None:
-    """Drop the v6 structured sections for the legacy ``.npz`` layout."""
+    """Drop the v6+ sections for the legacy (v5) ``.npz`` layout."""
     meta.pop("structured", None)
+    if "engine" in meta:
+        meta["engine"].pop("layout", None)
+    for key in [key for key in arrays if key.startswith("layout::")]:
+        del arrays[key]
     for shard_meta in meta.get("shards", ()):
         shard_meta.pop("structured", None)
     structured_markers = ("partition::", "primary::", "outlier::")
@@ -538,6 +546,25 @@ def _load_monitor_state(maintenance, arrays: Mapping[str, np.ndarray]) -> None:
         maintenance.load_state(payload)
 
 
+def _load_layout_state(monitor, arrays: Mapping[str, np.ndarray]) -> None:
+    """Restore the layout monitor's sketch from ``layout::<name>`` arrays.
+
+    Archives written before format v7 (or with adaptive layout disabled)
+    carry no such arrays: the monitor then starts fresh — empty sketch,
+    epoch 0 — exactly the state a newly built adaptive engine has.
+    """
+    if monitor is None:
+        return
+    prefix = "layout::"
+    payload = {
+        key[len(prefix):]: np.asarray(array)
+        for key, array in arrays.items()
+        if key.startswith(prefix)
+    }
+    if payload:
+        monitor.load_state(payload)
+
+
 # ----------------------------------------------------------------------
 # On-disk layouts
 # ----------------------------------------------------------------------
@@ -680,12 +707,18 @@ def _build_archive(index: Union[COAXIndex, ShardedCOAX]) -> Tuple[Dict, Dict[str
                     "config": _config_to_dict(engine_config.coax),
                     "groups": [_group_to_dict(group) for group in index.groups],
                     "next_global_id": int(index.next_row_id),
+                    # Format v7: the workload-adaptive layout knobs (the
+                    # monitor's sketch rides along as ``layout::`` arrays).
+                    "layout": asdict(engine_config.layout),
                 },
                 "shards": shard_metas,
             }
             if index.maintenance is not None:
                 for name, state in index.maintenance.state().items():
                     arrays[f"monitor::{name}"] = state
+            if index.layout is not None:
+                for name, state in index.layout.state().items():
+                    arrays[f"layout::{name}"] = state
     else:
         with index.write_lock:
             meta, arrays = _index_payload(index)
@@ -748,6 +781,9 @@ def _restore_engine(
         workers=int(workers if workers is not None else engine_meta.get("workers", 1)),
         executor=executor if executor is not None else engine_meta.get("executor", "thread"),
         coax=_config_from_dict(engine_meta["config"]),
+        # Archives written before format v7 carry no layout section; the
+        # default (disabled) configuration is exactly their behaviour.
+        layout=LayoutConfig(**dict(engine_meta.get("layout", {}))),
     )
     groups = [_group_from_dict(item) for item in engine_meta["groups"]]
     engine = ShardedCOAX._from_shards(
@@ -761,6 +797,7 @@ def _restore_engine(
         partition_dimension=engine_meta.get("partition_dimension"),
     )
     _load_monitor_state(engine.maintenance, arrays)
+    _load_layout_state(engine.layout, arrays)
     return engine
 
 

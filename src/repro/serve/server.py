@@ -161,14 +161,31 @@ class QueryServer:
         """Subclass hook: fail queries still queued at stop time."""
 
     def snapshot(self) -> Dict[str, float]:
-        """Serving counters (extended by subclasses)."""
-        return {
+        """Serving counters (extended by subclasses).
+
+        Engine-side pruning work (``shards_pruned`` / ``rows_examined``)
+        and — when the engine runs workload-adaptive layout — the layout
+        epoch and sketch depth ride along, so a serving dashboard can see
+        pruning efficiency and re-layout activity without reaching into
+        the engine.
+        """
+        counters = {
             "connections": self.connections_accepted,
             "requests": self.requests,
             "bad_requests": self.bad_requests,
             "batches": self.dispatcher.batches,
             "dispatched": self.dispatcher.queries,
         }
+        engine = self.dispatcher.engine
+        stats = getattr(engine, "stats", None)
+        if stats is not None:
+            counters["shards_pruned"] = stats.shards_pruned
+            counters["rows_examined"] = stats.rows_examined
+        layout = getattr(engine, "layout", None)
+        if layout is not None:
+            counters["layout_epoch"] = layout.epoch
+            counters["layout_observed"] = layout.observed
+        return counters
 
     # ------------------------------------------------------------------
     # Connection handling

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     fig7,
     fig8,
     headline,
+    layout,
     read_path,
     restart,
     table1,
@@ -36,6 +37,7 @@ class TestRegistry:
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
             "read_path", "crud", "restart", "scale", "drift", "serve",
+            "layout",
         }
 
 
@@ -220,6 +222,39 @@ class TestDrift:
         assert adaptive["primary_fraction"] > frozen["primary_fraction"]
         for row in query:
             assert row["mismatched_queries"] == 0
+
+
+class TestLayout:
+    def test_smoke_mode_structure_and_gates(self):
+        """The driver's internal gates (oracle identity on every phase,
+        >=1 adopted re-layout, the deterministic post-shift rows_examined
+        advantage) all hold at CI scale; the reported rows are
+        spot-checked for shape and the static/adaptive contrast."""
+        result = layout.run(smoke=True)
+        assert {row["engine"] for row in result.rows} == {"static", "adaptive"}
+        assert {row["phase"] for row in result.rows} == {
+            "skew", "shift-before-adapt", "shift-after-adapt",
+        }
+        for row in result.rows:
+            assert row["mismatched_queries"] == 0
+        by_phase: dict = {}
+        for row in result.rows:
+            by_phase.setdefault(row["phase"], {})[row["engine"]] = row
+        for phase, engines in by_phase.items():
+            # Same queries, same live rows: matched counts must agree.
+            assert (
+                engines["static"]["rows_matched"]
+                == engines["adaptive"]["rows_matched"]
+            ), phase
+            assert engines["static"]["layout_epoch"] == 0
+        # One adoption per workload regime: skew, then the shift.
+        assert by_phase["skew"]["adaptive"]["layout_epoch"] == 1
+        assert by_phase["shift-after-adapt"]["adaptive"]["layout_epoch"] == 2
+        post = by_phase["shift-after-adapt"]
+        assert (
+            post["adaptive"]["rows_examined"] * 1.5
+            <= post["static"]["rows_examined"]
+        )
 
 
 class TestReadPath:

@@ -146,7 +146,8 @@ class TestExport:
         content = path.read_text().splitlines()
         # The standard fields lead so every artifact joins on one schema.
         assert content[0] == (
-            "executor,cold_start_s,offered_qps,p50_ms,p99_ms,clients,a,b,c"
+            "executor,cold_start_s,offered_qps,p50_ms,p99_ms,clients,"
+            "shards_pruned,rows_examined,a,b,c"
         )
         assert len(content) == 3
 
@@ -162,6 +163,8 @@ class TestExport:
             assert row["p50_ms"] is None
             assert row["p99_ms"] is None
             assert row["clients"] is None
+            assert row["shards_pruned"] is None
+            assert row["rows_examined"] is None
 
     def test_export_json(self, result, tmp_path):
         path = export_json(result, tmp_path / "demo.json")

@@ -21,7 +21,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
+from repro.core.config import COAXConfig, EngineConfig, LayoutConfig, MaintenanceConfig
 from repro.core.engine import EngineClosedError, ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Table
@@ -361,6 +361,96 @@ class TestEquivalenceProperty:
                 oracle_copy_results, [loaded.range_query(q) for q in PROBES]
             ):
                 assert np.array_equal(want, got)
+        finally:
+            for engine in engines.values():
+                engine.close()
+
+
+class TestReLayoutEquivalenceProperty:
+    """Satellite: the workload-adaptive re-layout is invisible to query
+    results.  Engines at 1/2/7 shards run hot skewed traffic (feeding
+    the layout sketch) interleaved with CRUD and compactions (the
+    re-layout points); after every round each engine must stay
+    bit-identical to the unsharded COAX oracle, across every adopted
+    boundary change and any shard-count change within the budget.
+    """
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(
+        max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_relayout_under_interleaved_crud_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        table = linear_table(seed)
+        oracle = COAXIndex(table, groups=linear_groups())
+        layout = LayoutConfig(
+            enabled=True, sketch_size=64, min_queries=8, min_gain=1.0, max_shards=8
+        )
+        engines = {
+            shards: build_engine(table, shards, 1, layout=layout)
+            for shards in (1, 2, 7)
+        }
+        reference_ids = set(range(table.n_rows))
+        try:
+            for round_no in range(3):
+                # Hot traffic in one narrow random region: this is what
+                # the monitor learns from, and it must come back exactly
+                # the oracle's rows while doing so.
+                low = float(rng.uniform(0.0, 80.0))
+                hot = [
+                    Rectangle(
+                        {
+                            "x": Interval(low + d, low + d + 3.0),
+                            "y": Interval(2.0 * (low + d) - 2.0, 2.0 * (low + d) + 8.0),
+                        }
+                    )
+                    for d in np.linspace(0.0, 10.0, 12)
+                ]
+                expected_hot = [oracle.range_query(query) for query in hot]
+                for engine in engines.values():
+                    for want, got in zip(expected_hot, engine.batch_range_query(hot)):
+                        assert np.array_equal(want, got)
+                # Interleaved CRUD, mirrored into the oracle.
+                k = int(rng.integers(5, 40))
+                bx = rng.uniform(low, low + 12.0, size=k)
+                by = 2.0 * bx + rng.uniform(-1.0, 1.0, size=k)
+                expected_ids = oracle.insert_batch({"x": bx, "y": by})
+                reference_ids.update(int(i) for i in expected_ids)
+                live = np.array(sorted(reference_ids), dtype=np.int64)
+                doomed = rng.choice(
+                    live, size=min(len(live), int(rng.integers(1, 30))), replace=False
+                )
+                reference_ids.difference_update(int(i) for i in doomed)
+                survivors = np.array(sorted(reference_ids), dtype=np.int64)
+                targets = np.unique(
+                    rng.choice(
+                        survivors,
+                        size=min(len(survivors), int(rng.integers(1, 20))),
+                        replace=False,
+                    )
+                )
+                ux = rng.uniform(0.0, 100.0, size=len(targets))
+                uy = 2.0 * ux + rng.uniform(-1.0, 1.0, size=len(targets))
+                deleted_oracle = oracle.delete_batch(doomed)
+                oracle.update_batch(targets, {"x": ux, "y": uy})
+                oracle.compact()
+                for shards, engine in engines.items():
+                    got_ids = engine.insert_batch({"x": bx, "y": by})
+                    assert np.array_equal(got_ids, expected_ids), shards
+                    assert engine.delete_batch(doomed) == deleted_oracle, shards
+                    engine.update_batch(targets, {"x": ux, "y": uy})
+                    engine.compact()  # the re-layout point
+                    assert_engine_matches_oracle(engine, oracle, PROBES)
+                    assert engine.n_pending == oracle.n_pending, shards
+                    assert engine.n_live == oracle.n_live, shards
+            # The concentrated workload at min_gain=1.0 must have made at
+            # least one engine adopt — otherwise this property never
+            # exercised a re-layout at all.
+            epochs = {
+                shards: engine.layout.epoch if engine.layout is not None else 0
+                for shards, engine in engines.items()
+            }
+            assert any(epoch >= 1 for epoch in epochs.values()), epochs
         finally:
             for engine in engines.values():
                 engine.close()

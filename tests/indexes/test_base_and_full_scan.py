@@ -72,6 +72,44 @@ class TestQueryStats:
         stats.reset()
         assert stats.shards_pruned == 0
 
+    def test_snapshot_is_an_independent_copy(self):
+        stats = QueryStats()
+        stats.record(rows_examined=10, rows_matched=3, shards_pruned=2)
+        frozen = stats.snapshot()
+        stats.record(rows_examined=20, rows_matched=5)
+        # The snapshot keeps the values at capture time...
+        assert frozen.queries == 1
+        assert frozen.rows_examined == 10
+        assert frozen.shards_pruned == 2
+        # ...while the live counters kept accumulating.
+        assert stats.queries == 2
+        assert stats.rows_examined == 30
+
+    def test_delta_windows_the_counters(self):
+        stats = QueryStats()
+        stats.record(rows_examined=10, rows_matched=3, cells_visited=4)
+        before = stats.snapshot()
+        stats.record(rows_examined=20, rows_matched=5, shards_pruned=6)
+        stats.record(rows_examined=5, nodes_visited=2)
+        window = stats.delta(before)
+        assert window.queries == 2
+        assert window.rows_examined == 25
+        assert window.rows_matched == 5
+        assert window.cells_visited == 0
+        assert window.nodes_visited == 2
+        assert window.shards_pruned == 6
+        # Neither operand is mutated: cumulative semantics are preserved.
+        assert stats.queries == 3 and stats.rows_examined == 35
+        assert before.queries == 1 and before.rows_examined == 10
+
+    def test_delta_of_fresh_snapshot_is_zero(self):
+        stats = QueryStats()
+        stats.record(rows_examined=7)
+        window = stats.delta(stats.snapshot())
+        assert window.queries == 0
+        assert window.rows_examined == 0
+        assert window.mean_rows_examined == 0.0
+
 
 class TestRegistry:
     def test_known_indexes_registered(self):

@@ -126,3 +126,20 @@ class TestScaleBench:
         payload = json.loads(target.read_text())
         assert payload["experiment"] == "scale"
         assert payload["rows"]
+
+
+class TestLayoutBench:
+    def test_alias_registered(self):
+        from repro.cli import COMMAND_ALIASES
+
+        assert COMMAND_ALIASES["layout-bench"] == "layout"
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["layout-bench", "--smoke", "--rows", "200000",
+             "--n-shards", "8", "--export", "layout.json"]
+        )
+        assert args.smoke is True
+        assert args.rows == 200_000
+        assert args.n_shards == 8
+        assert args.export == "layout.json"

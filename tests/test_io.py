@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import json
+import shutil
 
 import numpy as np
 import pytest
 
 from repro.core.coax import COAXIndex
-from repro.core.config import COAXConfig, EngineConfig, MaintenanceConfig
+from repro.core.config import COAXConfig, EngineConfig, LayoutConfig, MaintenanceConfig
 from repro.core.engine import ShardedCOAX
 from repro.data.predicates import Interval, Rectangle
 from repro.data.queries import WorkloadConfig, generate_knn_queries
@@ -365,21 +366,23 @@ class TestIndexPersistence:
 
 
 class TestFormatVersionMatrix:
-    """Every supported on-disk version (v1–v6) loads — via ``load_index``
+    """Every supported on-disk version (v1–v7) loads — via ``load_index``
     into its natural type and via ``load_engine`` always into a sharded
     engine (flat archives become a 1-shard engine).
 
-    v6 is what ``save_index`` writes today (columnar directory); v5 is
-    what ``layout="npz"`` still writes; v3 (flat) and v4 (sharded) are
-    byte-identical to v5 minus the version stamp and any monitor
+    v7 is what ``save_index`` writes today (columnar directory with
+    layout-monitor state); v6 is the same directory minus the layout
+    sections, so the fixture derives it by re-stamping the manifest; v5
+    is what ``layout="npz"`` still writes; v3 (flat) and v4 (sharded)
+    are byte-identical to v5 minus the version stamp and any monitor
     sections, so the fixtures derive them by rewriting the header; v2/v1
     strip the per-model masks resp. the whole delta section, as those
     formats did.
     """
 
     #: Flat-archive versions (load as COAXIndex / 1-shard engine).
-    FLAT_VERSIONS = (1, 2, 3, 5, 6)
-    ALL_VERSIONS = (1, 2, 3, 4, 5, 6)
+    FLAT_VERSIONS = (1, 2, 3, 5, 6, 7)
+    ALL_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
     @staticmethod
     def _rewrite(arrays, meta, path):
@@ -388,6 +391,26 @@ class TestFormatVersionMatrix:
         with path.open("wb") as handle:
             np.savez_compressed(handle, **arrays)
         return path
+
+    @staticmethod
+    def _restamp_directory(source, target, version):
+        """Derive an older columnar archive: copy + rewrite the manifest.
+
+        Dropping the ``layout::`` sections and the engine's layout config
+        alongside the version stamp reproduces what a v6 writer emitted.
+        """
+        shutil.copytree(source, target)
+        manifest = json.loads((target / MANIFEST_NAME).read_text())
+        manifest["meta"]["format_version"] = version
+        if isinstance(manifest["meta"].get("engine"), dict):
+            manifest["meta"]["engine"].pop("layout", None)
+        manifest["arrays"] = {
+            key: entry
+            for key, entry in manifest["arrays"].items()
+            if not key.startswith("layout::")
+        }
+        (target / MANIFEST_NAME).write_text(json.dumps(manifest))
+        return target
 
     @pytest.fixture(scope="class")
     def fixture_state(self, tmp_path_factory):
@@ -406,8 +429,11 @@ class TestFormatVersionMatrix:
         index.insert_batch({"x": [10.0, 20.0], "y": [20.1, 700.0]})
         base = tmp_path_factory.mktemp("versions")
         paths = {}
-        # v6: what save_index writes for a flat index today.
-        paths[6] = save_index(index, base / "v6.coax")
+        # v7: what save_index writes for a flat index today.
+        paths[7] = save_index(index, base / "v7.coax")
+        assert _manifest(paths[7])["meta"]["format_version"] == FORMAT_VERSION == 7
+        # v6: the same columnar directory minus the layout sections.
+        paths[6] = self._restamp_directory(paths[7], base / "v6.coax", 6)
         # v5: the legacy single-file layout, still written on request.
         paths[5] = save_index(index, base / "v5.npz", layout="npz")
         with np.load(paths[5], allow_pickle=False) as archive:
@@ -498,16 +524,16 @@ class TestFormatVersionMatrix:
         loaded.compact()
 
     @pytest.mark.parametrize("version", ALL_VERSIONS)
-    def test_every_version_converts_to_v6_on_save(
+    def test_every_version_converts_to_current_on_save(
         self, fixture_state, version, tmp_path
     ):
-        """Loading any old format and saving writes a v6 directory that
-        re-loads mmap-backed and answers bit-identically."""
+        """Loading any old format and saving writes a current (v7)
+        directory that re-loads mmap-backed and answers bit-identically."""
         _, _, paths = fixture_state
         loaded = load_index(paths[version])
         converted_path = save_index(loaded, tmp_path / f"from_v{version}.coax")
         assert converted_path.is_dir()
-        assert _manifest(converted_path)["meta"]["format_version"] == 6
+        assert _manifest(converted_path)["meta"]["format_version"] == FORMAT_VERSION
         converted = load_index(converted_path)
         table = (
             converted.table
@@ -519,6 +545,109 @@ class TestFormatVersionMatrix:
             assert np.array_equal(
                 np.sort(converted.range_query(query)),
                 np.sort(loaded.range_query(query)),
+            )
+
+
+class TestLayoutStatePersistence:
+    """v7 round-trips the workload-adaptive layout monitor; pre-v7
+    archives load with an empty monitor (or none, when layout is off)."""
+
+    @pytest.fixture()
+    def adaptive_engine(self):
+        rng = np.random.default_rng(47)
+        n = 4_000
+        x = rng.uniform(0.0, 100.0, size=n)
+        table = Table(
+            {
+                "x": x,
+                "y": 2.0 * x + rng.uniform(-1, 1, size=n),
+                "z": rng.uniform(0.0, 10.0, size=n),
+            }
+        )
+        engine = ShardedCOAX(
+            table,
+            config=EngineConfig(
+                n_shards=3,
+                workers=1,
+                layout=LayoutConfig(
+                    enabled=True, sketch_size=64, min_queries=8, min_gain=1.0
+                ),
+            ),
+        )
+        # A hot region much narrower than the build-time shards, so the
+        # monitor has something to learn and (at min_gain=1.0) adopt.
+        for low in np.linspace(1.0, 6.0, 24):
+            engine.range_query(
+                Rectangle(
+                    {
+                        "x": Interval(low, low + 2.0),
+                        "y": Interval(2 * low, 2 * low + 4.0),
+                    }
+                )
+            )
+        engine.compact()
+        return engine
+
+    PROBES = (
+        Rectangle({"x": Interval(2.0, 7.0)}),
+        Rectangle({"y": Interval(10.0, 30.0)}),
+        Rectangle(),
+    )
+
+    def test_monitor_state_round_trips(self, adaptive_engine, tmp_path):
+        engine = adaptive_engine
+        assert engine.layout is not None
+        assert engine.layout.epoch >= 1  # the fixture workload adopted
+        path = save_index(engine, tmp_path / "adaptive.coax")
+        assert _manifest(path)["meta"]["format_version"] == FORMAT_VERSION
+        loaded = load_engine(path)
+        assert loaded.layout is not None
+        assert loaded.layout.epoch == engine.layout.epoch
+        assert loaded.layout.observed == engine.layout.observed
+        original = engine.layout.state()
+        restored = loaded.layout.state()
+        assert set(original) == set(restored)
+        for name in original:
+            assert np.array_equal(np.asarray(original[name]), np.asarray(restored[name]))
+        for query in self.PROBES:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(engine.range_query(query)),
+            )
+
+    def test_pre_v7_archive_loads_with_empty_monitor(
+        self, adaptive_engine, tmp_path
+    ):
+        engine = adaptive_engine
+        path = save_index(engine, tmp_path / "adaptive.coax")
+        legacy = TestFormatVersionMatrix._restamp_directory(
+            path, tmp_path / "v6.coax", 6
+        )
+        loaded = load_engine(legacy)
+        # v6 carried no layout section: the engine comes up with the
+        # default (disabled) layout config and no monitor, but answers
+        # queries over the adopted shard boundaries bit-identically.
+        assert loaded.layout is None
+        assert loaded.n_shards == engine.n_shards
+        for query in self.PROBES:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(engine.range_query(query)),
+            )
+
+    def test_legacy_npz_strips_layout_state(self, adaptive_engine, tmp_path):
+        engine = adaptive_engine
+        path = save_index(engine, tmp_path / "adaptive.npz", layout="npz")
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["__meta__"]))
+            assert not any(key.startswith("layout::") for key in archive.files)
+        assert "layout" not in meta.get("engine", {})
+        loaded = load_engine(path)
+        assert loaded.layout is None
+        for query in self.PROBES:
+            assert np.array_equal(
+                np.sort(loaded.range_query(query)),
+                np.sort(engine.range_query(query)),
             )
 
 
