@@ -21,10 +21,14 @@ the query pipeline, and the columnar delta-store update subsystem.
 """
 
 from repro.data import (
+    MATERIALIZE,
+    Aggregate,
     Interval,
+    MaterializeIds,
     Rectangle,
     Schema,
     Table,
+    TopK,
     AirlineConfig,
     OSMConfig,
     generate_airline_dataset,
@@ -78,6 +82,10 @@ from repro.stats.profile import TableProfile, profile_table
 __version__ = "1.0.0"
 
 __all__ = [
+    "MATERIALIZE",
+    "Aggregate",
+    "MaterializeIds",
+    "TopK",
     "Interval",
     "Rectangle",
     "Schema",

@@ -256,10 +256,17 @@ class AnalysisConfig:
     materialize_entry_points: Tuple[str, ...] = (
         "repro.core.coax:COAXIndex.batch_range_query",
         "repro.core.coax:COAXIndex.batch_scatter_flat",
+        "repro.core.coax:COAXIndex.batch_scatter_aggregate",
+        "repro.core.delta:DeltaStore.fold_aggregate_batch",
         "repro.core.engine:ShardedCOAX.batch_range_query",
         "repro.core.engine:ShardedCOAX.batch_range_query_attributed",
+        "repro.core.engine:ShardedCOAX.batch_aggregate_partial",
+        "repro.core.engine:ShardedCOAX.batch_aggregate_attributed",
         "repro.core.engine:_scatter_worker",
+        "repro.core.engine:_aggregate_worker",
+        "repro.indexes.base:MultidimensionalIndex.batch_aggregate_partial",
         "repro.indexes.grid_file:SortedCellGridIndex.batch_range_query_flat",
+        "repro.indexes.grid_file:SortedCellGridIndex.batch_aggregate_from_bounds",
         "repro.io.persistence:_read_columnar",
         "repro.io.persistence:_restore_grid",
         "repro.io.persistence:_restore_structured_index",

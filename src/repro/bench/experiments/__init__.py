@@ -9,6 +9,7 @@ the paper and benchmarks the delta-store update subsystem.
 
 from repro.bench.experiments import (
     ablations,
+    agg,
     appendix_g,
     crud,
     drift,
@@ -46,11 +47,13 @@ EXPERIMENTS = {
     "drift": (drift.run, "Drift — frozen vs adaptive FD models on a drifting stream"),
     "serve": (serve.run, "Serve — asyncio front end with adaptive query coalescing"),
     "layout": (layout.run, "Layout — workload-adaptive shard boundaries vs static"),
+    "agg": (agg.run, "Aggregates/kNN — executor pushdown vs materialize-then-reduce"),
 }
 
 __all__ = [
     "EXPERIMENTS",
     "ablations",
+    "agg",
     "appendix_g",
     "crud",
     "drift",

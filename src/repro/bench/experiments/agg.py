@@ -1,0 +1,281 @@
+"""Aggregate/kNN executor benchmark — pushdown vs materialize-then-reduce.
+
+The executor refactor's headline claim is that COUNT/SUM/MIN/MAX/AVG over
+a rectangle never needs the candidate row ids: the grid kernels fold
+covered runs in place (run lengths, prefix-sum differences, segment
+reductions) and only boundary cells gather.  This driver measures exactly
+that claim on the Airline and OSM datasets (``BENCH_agg.json``):
+
+* **aggregate workload** — rectangles at ~10% selectivity on each
+  dataset's primary sort dimension (exact by bisection, so covered runs
+  fold id-free), each op executed two ways on the *same* index: the
+  aggregate executor (``batch_aggregate``) vs the materialize-then-reduce
+  baseline (``batch_range_query`` + NumPy reduction over the gathered
+  column).  Results are verified against each other per query — COUNT
+  exactly, the float folds to 1e-9 — before any number is reported.
+* **kNN workload** — ``knn`` ring search vs the brute-force baseline
+  (full-column distances + one exact ``lexsort``), verified id-for-id
+  including the ``(distance, row_id)`` tie-break.
+
+``rows_examined`` is the honest work metric: the aggregate path counts
+only the rows it actually gathers (boundary cells), the baseline counts
+its materialised candidates.  ``smoke=True`` shrinks to CI scale and
+asserts the deterministic gate — for COUNT/SUM/AVG the pushdown examines
+at least :data:`SMOKE_EXAMINED_FACTOR` x fewer rows than the baseline —
+so a regression that silently reintroduces id materialisation (or breaks
+run coverage) fails the pipeline, not just a latency chart.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.experiments.datasets import airline_table, osm_table
+from repro.bench.reporting import ExperimentResult
+from repro.core.coax import COAXIndex
+from repro.core.config import COAXConfig
+from repro.data.executors import Aggregate
+from repro.data.predicates import Interval, Rectangle
+from repro.data.table import Table
+
+__all__ = ["run"]
+
+#: Aggregate ops folded per dataset (COUNT carries no value column).
+AGG_OPS: Tuple[str, ...] = ("count", "sum", "avg", "min", "max")
+
+#: Ops whose fold never gathers covered runs (COUNT folds run lengths,
+#: SUM/AVG fold prefix-sum differences); MIN/MAX gather run *values* and
+#: are reported but not gated.
+FOLD_ONLY_OPS: Tuple[str, ...] = ("count", "sum", "avg")
+
+#: Smoke gate: pushdown must examine at least this factor fewer rows than
+#: materialize-then-reduce on the ~10% selectivity workload.
+SMOKE_EXAMINED_FACTOR = 5.0
+
+#: Target selectivity of the aggregate rectangles.
+SELECTIVITY = 0.10
+
+#: Per-dataset (value column, kNN point dimensions).  The aggregate
+#: rectangles constrain the built index's *primary sort dimension*
+#: (``build_report.primary_sort_dimension`` — FD detection is
+#: data-dependent, so it cannot be hard-coded): exact by bisection inside
+#: every cell, so covered runs fold id-free, while a grid-axis constraint
+#: would leave boundary cells on the gather path and understate the
+#: pushdown.  kNN points mix a grid axis with an FD-predicted axis on
+#: Airline (exercising the ring search's Equation-2 translation) and use
+#: the classic spatial pair on OSM.
+DATASET_PLAN = {
+    "Airline": ("AirTime", ("Distance", "ScheduledArrTime")),
+    "OSM": ("Longitude", ("Latitude", "Longitude")),
+}
+
+
+def _selectivity_queries(
+    table: Table, dim: str, n_queries: int, rng: np.random.Generator
+) -> List[Rectangle]:
+    """Rectangles covering ~``SELECTIVITY`` of the rows along ``dim``."""
+    values = np.sort(np.asarray(table.column(dim), dtype=np.float64))
+    n = len(values)
+    width = max(int(n * SELECTIVITY), 1)
+    starts = rng.integers(0, max(n - width, 1), size=n_queries)
+    return [
+        Rectangle({dim: Interval(float(values[s]), float(values[min(s + width, n - 1)]))})
+        for s in starts
+    ]
+
+
+def _reduce_baseline(
+    op: str, ids_per_query: List[np.ndarray], values: Optional[np.ndarray]
+) -> np.ndarray:
+    """The materialize-then-reduce answer: NumPy reduction per id set."""
+    out = np.empty(len(ids_per_query), dtype=np.float64)
+    for slot, ids in enumerate(ids_per_query):
+        if op == "count":
+            out[slot] = len(ids)
+        elif len(ids) == 0:
+            out[slot] = 0.0 if op == "sum" else np.nan
+        else:
+            gathered = values[ids]
+            if op == "sum":
+                out[slot] = np.sum(gathered)
+            elif op == "avg":
+                out[slot] = np.sum(gathered) / len(gathered)
+            elif op == "min":
+                out[slot] = np.min(gathered)
+            else:
+                out[slot] = np.max(gathered)
+    return out
+
+
+def _brute_knn(
+    table: Table, point: Dict[str, float], k: int
+) -> np.ndarray:
+    """Brute-force kNN baseline: full-column distances, one exact sort."""
+    n = table.n_rows
+    keys = np.zeros(n, dtype=np.float64)
+    for dim, target in point.items():
+        diff = np.asarray(table.column(dim), dtype=np.float64) - float(target)
+        keys += diff * diff
+    ids = np.arange(n, dtype=np.int64)
+    return ids[np.lexsort((ids, keys))[:k]]
+
+
+def run(
+    n_rows: int = 1_000_000,
+    n_queries: int = 128,
+    n_points: int = 32,
+    k_neighbours: int = 50,
+    seed: int = 13,
+    smoke: bool = False,
+    repeats: int = 2,
+) -> ExperimentResult:
+    """Run the aggregate/kNN executor benchmark and return its table.
+
+    Every mode is timed ``repeats`` times and the minimum reported.
+    ``smoke`` shrinks to CI scale and asserts the examined-rows gate (see
+    the module docstring); result verification runs in every mode.
+    """
+    if smoke:
+        n_rows = min(n_rows, 8_000)
+        n_queries = min(n_queries, 48)
+        n_points = min(n_points, 8)
+    rows: List[Dict[str, object]] = []
+    notes: List[str] = []
+    gate_failures: List[str] = []
+
+    for dataset, maker, dataset_seed in (
+        ("Airline", airline_table, seed),
+        ("OSM", osm_table, seed + 1),
+    ):
+        table = maker(n_rows, seed=dataset_seed)
+        rng = np.random.default_rng(dataset_seed)
+        value_col, point_dims = DATASET_PLAN[dataset]
+        index = COAXIndex(table, config=COAXConfig())
+        sel_dim = index.build_report.primary_sort_dimension
+        queries = _selectivity_queries(table, sel_dim, n_queries, rng)
+        notes.append(f"{dataset}: aggregate rectangles constrain {sel_dim!r}")
+
+        # Materialize-then-reduce baseline: ids once, then every reduction.
+        index.batch_range_query(queries[: min(8, n_queries)])  # warm-up
+        examined_before = index.stats.rows_examined
+        base_seconds = np.inf
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            ids_per_query = index.batch_range_query(queries)
+            base_seconds = min(base_seconds, time.perf_counter() - start)
+        base_examined = (index.stats.rows_examined - examined_before) // max(repeats, 1)
+        column = np.asarray(table.column(value_col), dtype=np.float64)
+
+        for op in AGG_OPS:
+            spec = Aggregate(op, None if op == "count" else value_col)
+            baseline = _reduce_baseline(op, ids_per_query, column)
+            reduce_seconds = np.inf
+            for _ in range(max(repeats, 1)):
+                start = time.perf_counter()
+                _reduce_baseline(op, ids_per_query, column)
+                reduce_seconds = min(reduce_seconds, time.perf_counter() - start)
+
+            index.batch_aggregate(queries[: min(8, n_queries)], spec)  # warm-up
+            examined_before = index.stats.rows_examined
+            push_seconds = np.inf
+            pushed = None
+            for _ in range(max(repeats, 1)):
+                start = time.perf_counter()
+                pushed = index.batch_aggregate(queries, spec)
+                push_seconds = min(push_seconds, time.perf_counter() - start)
+            push_examined = (
+                index.stats.rows_examined - examined_before
+            ) // max(repeats, 1)
+
+            if op in ("count", "min", "max"):
+                equal = np.array_equal(pushed, baseline, equal_nan=True)
+            else:
+                equal = np.allclose(pushed, baseline, rtol=1e-9, atol=1e-9, equal_nan=True)
+            if not equal:
+                raise AssertionError(
+                    f"aggregate pushdown diverged from materialize-then-reduce on "
+                    f"{dataset}/{op}"
+                )
+            total_base = base_seconds + reduce_seconds
+            examined_ratio = base_examined / max(push_examined, 1)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "workload": f"agg:{op}",
+                    "queries": len(queries),
+                    "pushdown_s": round(push_seconds, 4),
+                    "materialize_s": round(total_base, 4),
+                    "speedup": round(total_base / max(push_seconds, 1e-9), 2),
+                    "pushdown_rows_examined": int(push_examined),
+                    "materialize_rows_examined": int(base_examined),
+                    "examined_ratio": round(examined_ratio, 1),
+                }
+            )
+            if smoke and op in FOLD_ONLY_OPS and examined_ratio < SMOKE_EXAMINED_FACTOR:
+                gate_failures.append(
+                    f"{dataset}/{op}: examined ratio {examined_ratio:.1f} < "
+                    f"{SMOKE_EXAMINED_FACTOR}"
+                )
+
+        # kNN: ring search vs brute force, id-for-id including tie-breaks.
+        sample = rng.integers(0, table.n_rows, size=n_points)
+        points = [
+            {dim: float(np.asarray(table.column(dim))[row]) for dim in point_dims}
+            for row in sample
+        ]
+        brute = [_brute_knn(table, point, k_neighbours) for point in points]
+        brute_seconds = np.inf
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            for point in points:
+                _brute_knn(table, point, k_neighbours)
+            brute_seconds = min(brute_seconds, time.perf_counter() - start)
+        examined_before = index.stats.rows_examined
+        ring_seconds = np.inf
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            ring = [index.knn(point, k_neighbours) for point in points]
+            ring_seconds = min(ring_seconds, time.perf_counter() - start)
+        ring_examined = (index.stats.rows_examined - examined_before) // max(repeats, 1)
+        for got, want in zip(ring, brute):
+            if not np.array_equal(got, want):
+                raise AssertionError(f"kNN ring search diverged from brute force on {dataset}")
+        rows.append(
+            {
+                "dataset": dataset,
+                "workload": f"knn:k={k_neighbours}",
+                "queries": len(points),
+                "pushdown_s": round(ring_seconds, 4),
+                "materialize_s": round(brute_seconds, 4),
+                "speedup": round(brute_seconds / max(ring_seconds, 1e-9), 2),
+                "pushdown_rows_examined": int(ring_examined),
+                "materialize_rows_examined": int(table.n_rows * len(points)),
+                "examined_ratio": round(
+                    table.n_rows * len(points) / max(ring_examined, 1), 1
+                ),
+            }
+        )
+
+    notes.append(
+        "aggregate pushdown verified against materialize-then-reduce per query "
+        "(COUNT/MIN/MAX exactly, SUM/AVG to 1e-9); kNN verified id-for-id vs brute force"
+    )
+    if smoke:
+        if gate_failures:
+            raise AssertionError(
+                "aggregate pushdown examined-rows gate failed: " + "; ".join(gate_failures)
+            )
+        notes.append(
+            f"smoke mode: asserted pushdown examines >= {SMOKE_EXAMINED_FACTOR}x fewer "
+            "rows than materialize-then-reduce for COUNT/SUM/AVG"
+        )
+
+    return ExperimentResult(
+        experiment="agg",
+        description="Aggregate/kNN executors — pushdown vs materialize-then-reduce",
+        rows=rows,
+        notes=notes,
+    )

@@ -20,6 +20,8 @@ Usage::
     python -m repro.cli serve-bench --smoke
     python -m repro.cli layout-bench --rows 1000000 --export BENCH_layout.json
     python -m repro.cli layout-bench --smoke
+    python -m repro.cli agg-bench --rows 1000000 --export BENCH_agg.json
+    python -m repro.cli agg-bench --smoke
     python -m repro.cli all --rows 20000
     python -m repro.cli lint --export repro_lint_findings.json
 
@@ -40,7 +42,11 @@ query-coalescing server against a naive one-query-at-a-time baseline
 (``serve``), every served result verified against direct engine queries;
 ``layout-bench`` runs the skewed-then-shifting stream comparing the
 workload-adaptive shard layout against the static build-time partition
-(``layout``), every eval result verified against a full-scan oracle.
+(``layout``), every eval result verified against a full-scan oracle;
+``agg-bench`` runs the aggregate/kNN executor benchmark (``agg``),
+comparing aggregate pushdown and ring-search kNN against the
+materialize-then-reduce and brute-force baselines with per-query result
+verification.
 ``--smoke`` is the quick CI
 variant of each (asserting the batch/sharded/adaptive paths hold their
 guarantees), and ``--export`` writes the JSON artifact.
@@ -72,6 +78,7 @@ COMMAND_ALIASES = {
     "drift-bench": "drift",
     "serve-bench": "serve",
     "layout-bench": "layout",
+    "agg-bench": "agg",
 }
 
 

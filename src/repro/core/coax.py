@@ -58,6 +58,7 @@ from repro.core.query_translation import (
     translate_query,
 )
 from repro.core.results import QueryResult, merge_flat_row_ids, merge_row_ids
+from repro.data.executors import Aggregate, AggregatePartial, TopK, merge_topk
 from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.fd.detection import DetectionConfig, FDCandidate, detect_soft_fds, evaluate_pair
@@ -657,6 +658,202 @@ class COAXIndex(MultidimensionalIndex):
             cells_visited=cells_after - cells_before,
         )
         return flat_ids, flat_qids
+
+    # ------------------------------------------------------------------
+    # Executors: aggregate pushdown and top-k/kNN across all three stores
+    # ------------------------------------------------------------------
+    def batch_aggregate_partial(
+        self, queries: Sequence[Rectangle], spec: Aggregate
+    ) -> AggregatePartial:
+        """Per-query aggregate accumulators merged across primary/outlier/delta.
+
+        The aggregate twin of :meth:`batch_range_query`: the batch is
+        translated and planned once, each sub-index folds its routed
+        sub-batch with its own pushdown (the grid family folds candidate
+        runs without gathering ids), the delta store folds the pending
+        rows in one blocked broadcast, and the three partials merge
+        component-wise — exact because the row subsets are disjoint.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        partial = AggregatePartial.identity(n_queries)
+        if n_queries == 0:
+            return partial
+        bounds = batch_bounds(queries)
+        live = np.ones(n_queries, dtype=bool)
+        for lows, highs in bounds.values():
+            live &= lows <= highs
+        n_live = int(live.sum())
+        if n_live == 0:
+            self.stats.record_batch(0, aggregates=n_queries)
+            return partial
+        translated_bounds, no_inlier = translate_bounds_batch(
+            bounds, n_queries, self._groups
+        )
+        use_primary, use_outlier = plan_query_flags(
+            bounds,
+            translated_bounds,
+            no_inlier,
+            n_queries,
+            primary_box=self._primary_box,
+            outlier_box=self._outlier_box,
+        )
+        partial.merge(
+            self.batch_scatter_aggregate(
+                queries,
+                np.arange(n_queries, dtype=np.int64),
+                bounds,
+                translated_bounds,
+                use_primary,
+                use_outlier,
+                n_live,
+                spec,
+            )
+        )
+        return partial
+
+    def batch_scatter_aggregate(
+        self,
+        queries: Sequence[Rectangle],
+        slots: np.ndarray,
+        bounds,
+        translated_bounds,
+        use_primary: np.ndarray,
+        use_outlier: np.ndarray,
+        n_live: int,
+        spec: Aggregate,
+    ) -> AggregatePartial:
+        """Execute a pre-planned aggregate sub-batch, returning accumulators.
+
+        The aggregate twin of :meth:`batch_scatter_flat` with the same
+        calling convention: ``slots`` selects the sub-batch out of
+        ``queries`` and the columnar bounds / planner flags are
+        positionally aligned with it, so the sharded engine pays batch
+        translation and planning once for all shards.  Returns one
+        :class:`AggregatePartial` slot per sub-query; the caller owns the
+        cross-shard merge, which moves O(sub-batch) floats through a
+        process pool instead of O(rows) ids.
+        """
+        n_sub = len(slots)
+        partial = AggregatePartial.identity(n_sub)
+        rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        partial.merge(
+            self._primary.batch_aggregate_from_bounds(
+                translated_bounds, n_sub, use_primary, int(use_primary.sum()), spec
+            )
+        )
+        if isinstance(self._outlier, SortedCellGridIndex):
+            partial.merge(
+                self._outlier.batch_aggregate_from_bounds(
+                    bounds, n_sub, use_outlier, int(use_outlier.sum()), spec
+                )
+            )
+        else:
+            outlier_slots = np.flatnonzero(use_outlier)
+            if len(outlier_slots):
+                sub = self._outlier.batch_aggregate_partial(
+                    [queries[slots[i]] for i in outlier_slots], spec
+                )
+                partial.merge_at(outlier_slots, sub)
+        if self._delta.n_pending:
+            self._delta.fold_aggregate_batch(
+                [queries[i] for i in slots], spec, partial
+            )
+        rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        self.stats.record_batch(
+            n_live,
+            rows_examined=rows_after - rows_before + self._delta.n_pending * n_live,
+            rows_matched=int(partial.count.sum()),
+            cells_visited=cells_after - cells_before,
+            aggregates=n_sub,
+        )
+        return partial
+
+    def _knn_aux_axes(self, point: Mapping[str, float]) -> Dict[int, Tuple[float, float, float]]:
+        """FD translation of the query point onto the primary's grid axes.
+
+        For a predictor axis not in the point whose dependent *is* in the
+        point, Equation 2's linear model yields a distance bound valid for
+        every primary (inlier) row: with ``coordinate = (y - intercept) /
+        slope``, ``|v_dep - y| >= |slope|·|v_pred - coordinate| - slack``
+        where ``slack = max(eps_lb, eps_ub)`` bounds the residual.  The
+        ring search uses it to seed and prune on axes the point never
+        names.  Spline models (no global slope) and near-flat slopes carry
+        no usable bound and are skipped.
+        """
+        aux: Dict[int, Tuple[float, float, float]] = {}
+        grid_dims = self._primary.grid_dimensions
+        for group in self._groups:
+            if group.predictor not in grid_dims or group.predictor in point:
+                continue
+            axis = grid_dims.index(group.predictor)
+            for dependent in group.dependents:
+                if dependent not in point:
+                    continue
+                model = group.model_for(dependent)
+                slope = getattr(model, "slope", None)
+                if slope is None or abs(slope) < 1e-12:
+                    continue
+                coordinate = (float(point[dependent]) - model.intercept) / slope
+                aux[axis] = (coordinate, abs(slope), max(model.eps_lb, model.eps_ub))
+                break
+        return aux
+
+    def knn_partial(
+        self, point: Mapping[str, float], k: int, *, metric: str = "l2"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """kNN candidates merged across primary (ring search), outlier, delta."""
+        rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        rings_before = self._primary.stats.rings_expanded + self._outlier.stats.rings_expanded
+        parts = [
+            self._primary.knn_partial(
+                point, k, metric=metric, aux_axes=self._knn_aux_axes(point)
+            ),
+            self._outlier.knn_partial(point, k, metric=metric),
+            self._delta.knn_candidates(point, k, metric),
+        ]
+        keys, ids = merge_topk(parts, k)
+        rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        rings_after = self._primary.stats.rings_expanded + self._outlier.stats.rings_expanded
+        self.stats.record(
+            rows_examined=rows_after - rows_before + self._delta.n_pending,
+            cells_visited=cells_after - cells_before,
+            knn_queries=1,
+            rings_expanded=rings_after - rings_before,
+        )
+        return keys, ids
+
+    def topk_partial(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """By-column top-k candidates merged across primary/outlier/delta."""
+        if query.is_empty:
+            self.stats.record(knn_queries=1)
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        plan = self.plan(query)
+        rows_before = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_before = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        parts = []
+        if plan.use_primary:
+            parts.append(
+                self._primary.topk_partial(plan.primary_query.intersect(query), spec)
+            )
+        if plan.use_outlier:
+            parts.append(self._outlier.topk_partial(plan.outlier_query, spec))
+        parts.append(self._delta.topk_candidates(query, spec))
+        keys, ids = merge_topk(parts, spec.k, largest=spec.largest)
+        rows_after = self._primary.stats.rows_examined + self._outlier.stats.rows_examined
+        cells_after = self._primary.stats.cells_visited + self._outlier.stats.cells_visited
+        self.stats.record(
+            rows_examined=rows_after - rows_before + self._delta.n_pending,
+            cells_visited=cells_after - cells_before,
+            knn_queries=1,
+        )
+        return keys, ids
 
     def translated_query(self, query: Rectangle) -> Rectangle:
         """The rewritten query the primary index receives (for inspection)."""

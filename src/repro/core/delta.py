@@ -27,6 +27,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.data.executors import (
+    Aggregate,
+    AggregatePartial,
+    TopK,
+    point_distances,
+    select_topk,
+)
 from repro.data.predicates import Rectangle
 from repro.data.table import Table
 from repro.fd.groups import FDGroup, per_model_inlier_masks
@@ -451,6 +458,69 @@ class DeltaStore:
             for row, i in enumerate(block):
                 results[i] = np.sort(row_ids[mask[row]])
         return results
+
+    def fold_aggregate_batch(
+        self,
+        queries: Sequence[Rectangle],
+        spec: Aggregate,
+        partial: AggregatePartial,
+    ) -> None:
+        """Fold buffered rows matching each query into ``partial`` in place.
+
+        The executor-aware sibling of :meth:`scan_batch`: the same blocked
+        broadcast match, but the matching rows are folded straight into the
+        caller's per-query accumulators — their row ids are never gathered,
+        keeping the aggregate path materialization-free end to end.
+        ``partial`` must have one slot per query.
+        """
+        if self._size == 0 or not queries:
+            return
+        queries = list(queries)
+        live = [i for i, query in enumerate(queries) if not query.is_empty]
+        if not live:
+            return
+        dims = sorted({dim for i in live for dim in queries[i].constrained_dims})
+        values = self._buffers[spec.column][: self._size] if spec.column else None
+        for block_start in range(0, len(live), self.SCAN_BATCH_BLOCK):
+            block = live[block_start : block_start + self.SCAN_BATCH_BLOCK]
+            mask = np.ones((len(block), self._size), dtype=bool)
+            for dim in dims:
+                lows = np.array([queries[i].interval(dim).low for i in block])
+                highs = np.array([queries[i].interval(dim).high for i in block])
+                column = self._buffers[dim][: self._size]
+                mask &= (column >= lows[:, None]) & (column <= highs[:, None])
+            block_rows, pending_rows = np.nonzero(mask)
+            if len(block_rows) == 0:
+                continue
+            qids = np.asarray(block, dtype=np.int64)[block_rows]
+            partial.fold_values(qids, None if values is None else values[pending_rows])
+
+    def knn_candidates(
+        self, point: Mapping[str, float], k: int, metric: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-k ``(distance key, row id)`` candidates among the pending rows.
+
+        Mergeable with the main-structure candidates via
+        :func:`repro.data.executors.merge_topk` (pending row ids are
+        disjoint from compacted ones by construction).
+        """
+        if self._size == 0:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        keys = point_distances(self.columns(), None, point, metric)
+        return select_topk(keys, self._row_ids[: self._size], k)
+
+    def topk_candidates(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """By-column top-k candidates among pending rows matching ``query``."""
+        if self._size == 0 or query.is_empty:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        mask = query.matches(self.columns())
+        if not mask.any():
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        keys = self._buffers[spec.column][: self._size][mask].astype(np.float64)
+        ids = self._row_ids[: self._size][mask]
+        return select_topk(keys, ids, spec.k, largest=spec.largest)
 
     def pending_table(self) -> Optional[Table]:
         """The buffered records as a :class:`Table` (``None`` when empty)."""

@@ -93,6 +93,7 @@ from repro.core.query_translation import (
     translated_predictor_interval,
 )
 from repro.core.results import merge_flat_row_ids, merge_row_ids, split_counter_evenly
+from repro.data.executors import Aggregate, AggregatePartial, TopK, merge_topk
 from repro.data.predicates import Rectangle, batch_bounds
 from repro.data.table import Table
 from repro.fd.groups import FDGroup, per_model_inlier_masks
@@ -117,7 +118,7 @@ class EngineClosedError(RuntimeError):
     """
 
 
-def _stats_snapshot(stats: QueryStats) -> Tuple[int, int, int, int, int]:
+def _stats_snapshot(stats: QueryStats) -> Tuple[int, ...]:
     """Immutable copy of the counters a shard task may advance."""
     return (
         stats.queries,
@@ -125,10 +126,13 @@ def _stats_snapshot(stats: QueryStats) -> Tuple[int, int, int, int, int]:
         stats.rows_matched,
         stats.cells_visited,
         stats.nodes_visited,
+        stats.aggregates,
+        stats.knn_queries,
+        stats.rings_expanded,
     )
 
 
-def _stats_delta(before: Tuple[int, int, int, int, int], stats: QueryStats) -> QueryStats:
+def _stats_delta(before: Tuple[int, ...], stats: QueryStats) -> QueryStats:
     """Counter advance of one shard between a snapshot and now."""
     return QueryStats(
         queries=stats.queries - before[0],
@@ -136,6 +140,37 @@ def _stats_delta(before: Tuple[int, int, int, int, int], stats: QueryStats) -> Q
         rows_matched=stats.rows_matched - before[2],
         cells_visited=stats.cells_visited - before[3],
         nodes_visited=stats.nodes_visited - before[4],
+        aggregates=stats.aggregates - before[5],
+        knn_queries=stats.knn_queries - before[6],
+        rings_expanded=stats.rings_expanded - before[7],
+    )
+
+
+def _stats_counters(delta: QueryStats) -> Tuple[int, ...]:
+    """Process-transport form of a counter delta (inverse of the literal below)."""
+    return (
+        delta.queries,
+        delta.rows_examined,
+        delta.rows_matched,
+        delta.cells_visited,
+        delta.nodes_visited,
+        delta.aggregates,
+        delta.knn_queries,
+        delta.rings_expanded,
+    )
+
+
+def _stats_from_counters(counters: Tuple[int, ...]) -> QueryStats:
+    """Rebuild a counter delta shipped back from a worker process."""
+    return QueryStats(
+        queries=counters[0],
+        rows_examined=counters[1],
+        rows_matched=counters[2],
+        cells_visited=counters[3],
+        nodes_visited=counters[4],
+        aggregates=counters[5],
+        knn_queries=counters[6],
+        rings_expanded=counters[7],
     )
 
 
@@ -187,17 +222,49 @@ def _scatter_worker(payload):
         n_sub,
     )
     delta = _stats_delta(before, replica.stats)
-    return (
-        local_ids,
-        sub_qids,
-        (
-            delta.queries,
-            delta.rows_examined,
-            delta.rows_matched,
-            delta.cells_visited,
-            delta.nodes_visited,
-        ),
+    return (local_ids, sub_qids, _stats_counters(delta))
+
+
+def _aggregate_worker(payload):
+    """One shard sub-batch aggregate fold inside a worker process.
+
+    The twin of :func:`_scatter_worker` for the aggregate executor: it
+    runs the same ``batch_scatter_aggregate`` core the thread path runs
+    and ships back only the :class:`AggregatePartial` state arrays —
+    O(sub-batch) floats — plus the stats counter advance, never row ids.
+    """
+    (
+        shard_no,
+        spill_path,
+        sub_queries,
+        sub_bounds,
+        sub_translated,
+        use_primary,
+        use_outlier,
+        spec,
+    ) = payload
+    cached = _REPLICA_CACHE.get(shard_no)
+    if cached is None or cached[0] != spill_path:
+        from repro.io.persistence import load_index
+
+        replica = load_index(spill_path)
+        _REPLICA_CACHE[shard_no] = (spill_path, replica)
+    else:
+        replica = cached[1]
+    n_sub = len(sub_queries)
+    before = _stats_snapshot(replica.stats)
+    partial = replica.batch_scatter_aggregate(
+        sub_queries,
+        np.arange(n_sub, dtype=np.int64),
+        sub_bounds,
+        sub_translated,
+        use_primary,
+        use_outlier,
+        n_sub,
+        spec,
     )
+    delta = _stats_delta(before, replica.stats)
+    return (partial.state(), _stats_counters(delta))
 
 
 class ShardedCOAX(MultidimensionalIndex):
@@ -1076,13 +1143,7 @@ class ShardedCOAX(MultidimensionalIndex):
         for task, future in zip(tasks, futures):
             shard_no, slots = task[0], task[1]
             local_ids, sub_qids, counters = future.result()
-            delta = QueryStats(
-                queries=counters[0],
-                rows_examined=counters[1],
-                rows_matched=counters[2],
-                cells_visited=counters[3],
-                nodes_visited=counters[4],
-            )
+            delta = _stats_from_counters(counters)
             scattered.append(
                 (self._global_of[shard_no][local_ids], slots[sub_qids], delta)
             )
@@ -1091,6 +1152,352 @@ class ShardedCOAX(MultidimensionalIndex):
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:
         """Positions equal global row ids (the engine-wide invariant)."""
         return self.range_query(query)
+
+    # ------------------------------------------------------------------
+    # Executors: aggregates, top-k and kNN over the shard fleet
+    # ------------------------------------------------------------------
+    def aggregate(self, query: Rectangle, spec: Aggregate) -> float:
+        """One finalised aggregate value (the singular convenience form)."""
+        values, _ = self.batch_aggregate_attributed([query], spec)
+        return float(values[0])
+
+    def batch_aggregate(self, queries: Sequence[Rectangle], spec: Aggregate) -> np.ndarray:
+        """Finalised aggregate values, one per query."""
+        return self.batch_aggregate_partial(queries, spec).finalize(spec)
+
+    def knn(self, point: Mapping[str, float], k: int, *, metric: str = "l2") -> np.ndarray:
+        """The k nearest global row ids (see :meth:`knn_partial`)."""
+        _, ids = self.knn_partial(point, k, metric=metric)
+        return ids
+
+    def topk(self, query: Rectangle, spec: TopK) -> np.ndarray:
+        """The top-k global row ids by column (see :meth:`topk_partial`)."""
+        _, ids = self.topk_partial(query, spec)
+        return ids
+
+    def batch_aggregate_partial(
+        self, queries: Sequence[Rectangle], spec: Aggregate
+    ) -> AggregatePartial:
+        """Per-query accumulators, scatter-gathered as partials not ids.
+
+        The aggregate twin of :meth:`batch_range_query`: the batch is
+        translated and planned once, every visible shard folds its
+        sub-batch with :meth:`COAXIndex.batch_scatter_aggregate`, and the
+        gather merges one :class:`AggregatePartial` slot per query — so
+        only O(shards × batch) accumulator floats cross the executor
+        boundary, never candidate row ids.  Results are exact (bit-for-bit
+        for COUNT/MIN/MAX) against an unsharded index because the shards'
+        row subsets are disjoint.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return AggregatePartial.identity(0)
+        self._check_open()
+        with self._maintenance_guard():
+            partial, _ = self._batch_aggregate_locked(queries, n_queries, spec)
+        return partial
+
+    def batch_aggregate_attributed(
+        self, queries: Sequence[Rectangle], spec: Aggregate
+    ) -> Tuple[np.ndarray, List[QueryStats]]:
+        """Finalised aggregate values plus one :class:`QueryStats` per query.
+
+        The attribution contract of :meth:`batch_range_query_attributed`,
+        extended to the aggregate counters: ``aggregates`` (1 per query)
+        and ``rows_matched`` (the query's own accumulator count) are
+        exact, the scan counters are split evenly over each shard's
+        dispatched queries.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return np.empty(0, dtype=np.float64), []
+        self._check_open()
+        with self._maintenance_guard():
+            partial, per_query = self._batch_aggregate_locked(
+                queries, n_queries, spec, attribute=True
+            )
+        return partial.finalize(spec), per_query
+
+    def _batch_aggregate_locked(
+        self,
+        queries: List[Rectangle],
+        n_queries: int,
+        spec: Aggregate,
+        attribute: bool = False,
+    ) -> Tuple[AggregatePartial, List[QueryStats]]:
+        partial = AggregatePartial.identity(n_queries)
+        bounds = batch_bounds(queries)
+        live = np.ones(n_queries, dtype=bool)
+        for lows, highs in bounds.values():
+            live &= lows <= highs
+        n_live = int(live.sum())
+        if n_live == 0:
+            with self._stats_lock:
+                self.stats.record_batch(0, aggregates=n_queries)
+            per_query = (
+                [QueryStats(aggregates=1) for _ in range(n_queries)]
+                if attribute
+                else []
+            )
+            return partial, per_query
+        translated_bounds, no_inlier = translate_bounds_batch(
+            bounds, n_queries, self._groups
+        )
+
+        # Identical shard visibility/pruning to the materialising path —
+        # the executors differ only in what crosses the gather boundary.
+        tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        pruned_per_query = np.zeros(n_queries, dtype=np.int64)
+        for shard_no, shard in enumerate(self._shards):
+            use_primary, use_outlier = plan_query_flags(
+                bounds,
+                translated_bounds,
+                no_inlier,
+                n_queries,
+                primary_box=shard.primary_box,
+                outlier_box=shard.outlier_box,
+            )
+            visible = use_primary | use_outlier
+            if shard.n_pending:
+                visible |= live & batch_overlaps_box(bounds, n_queries, shard.delta.box)
+            pruned_per_query += live & ~visible
+            slots = np.flatnonzero(visible)
+            if len(slots):
+                tasks.append((shard_no, slots, use_primary[slots], use_outlier[slots]))
+        shards_pruned = int(pruned_per_query.sum())
+
+        def run_shard(
+            task: Tuple[int, np.ndarray, np.ndarray, np.ndarray],
+        ) -> Tuple[AggregatePartial, np.ndarray, QueryStats]:
+            shard_no, slots, use_primary, use_outlier = task
+            shard = self._shards[shard_no]
+            sub_bounds = {
+                dim: (lows[slots], highs[slots])
+                for dim, (lows, highs) in bounds.items()
+            }
+            sub_translated = {
+                dim: (lows[slots], highs[slots])
+                for dim, (lows, highs) in translated_bounds.items()
+            }
+            with shard.write_lock:
+                before = _stats_snapshot(shard.stats)
+                sub_partial = shard.batch_scatter_aggregate(
+                    queries,
+                    slots,
+                    sub_bounds,
+                    sub_translated,
+                    use_primary,
+                    use_outlier,
+                    len(slots),
+                    spec,
+                )
+                delta = _stats_delta(before, shard.stats)
+            return sub_partial, slots, delta
+
+        if (
+            self._config.executor == "process"
+            and self._config.workers > 1
+            and len(tasks) > 1
+        ):
+            scattered = self._aggregate_processes(
+                queries, bounds, translated_bounds, tasks, spec
+            )
+        else:
+            scattered = self._map_shards(run_shard, tasks)
+
+        gathered = QueryStats()
+        for sub_partial, slots, delta in scattered:
+            gathered.merge(delta)
+            partial.merge_at(slots, sub_partial)
+        with self._stats_lock:
+            self.stats.record_batch(
+                n_live,
+                rows_examined=gathered.rows_examined,
+                rows_matched=int(partial.count.sum()),
+                cells_visited=gathered.cells_visited,
+                nodes_visited=gathered.nodes_visited,
+                shards_pruned=shards_pruned,
+                aggregates=n_queries,
+            )
+        per_query: List[QueryStats] = []
+        if attribute:
+            examined = np.zeros(n_queries, dtype=np.int64)
+            cells = np.zeros(n_queries, dtype=np.int64)
+            nodes = np.zeros(n_queries, dtype=np.int64)
+            for task, (_, _, delta) in zip(tasks, scattered):
+                slots = task[1]
+                examined[slots] += split_counter_evenly(delta.rows_examined, len(slots))
+                cells[slots] += split_counter_evenly(delta.cells_visited, len(slots))
+                nodes[slots] += split_counter_evenly(delta.nodes_visited, len(slots))
+            per_query = [
+                QueryStats(
+                    queries=int(live[i]),
+                    rows_examined=int(examined[i]),
+                    rows_matched=int(partial.count[i]),
+                    cells_visited=int(cells[i]),
+                    nodes_visited=int(nodes[i]),
+                    shards_pruned=int(pruned_per_query[i]),
+                    aggregates=1,
+                )
+                for i in range(n_queries)
+            ]
+        return partial, per_query
+
+    def _aggregate_processes(
+        self,
+        queries: List[Rectangle],
+        bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        translated_bounds: Dict[str, Tuple[np.ndarray, np.ndarray]],
+        tasks: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+        spec: Aggregate,
+    ) -> List[Tuple[AggregatePartial, np.ndarray, QueryStats]]:
+        """Run the surviving aggregate tasks on the process pool.
+
+        Payloads mirror :meth:`_scatter_processes`; results ship back as
+        :meth:`AggregatePartial.state` arrays — four floats per sub-query
+        regardless of how many rows the fold covered.
+        """
+        pools = self._ensure_process_pools()
+        futures = []
+        for shard_no, slots, use_primary, use_outlier in tasks:
+            path = self._ensure_spilled(shard_no)
+            payload = (
+                shard_no,
+                path,
+                [queries[slot] for slot in slots],
+                {
+                    dim: (lows[slots], highs[slots])
+                    for dim, (lows, highs) in bounds.items()
+                },
+                {
+                    dim: (lows[slots], highs[slots])
+                    for dim, (lows, highs) in translated_bounds.items()
+                },
+                use_primary,
+                use_outlier,
+                spec,
+            )
+            try:
+                futures.append(
+                    pools[shard_no % len(pools)].submit(_aggregate_worker, payload)
+                )
+            except RuntimeError as exc:
+                raise EngineClosedError(
+                    "engine worker pool was shut down while dispatching"
+                ) from exc
+        scattered: List[Tuple[AggregatePartial, np.ndarray, QueryStats]] = []
+        for task, future in zip(tasks, futures):
+            slots = task[1]
+            state, counters = future.result()
+            scattered.append(
+                (AggregatePartial.from_state(state), slots, _stats_from_counters(counters))
+            )
+        return scattered
+
+    def knn_partial(
+        self, point: Mapping[str, float], k: int, *, metric: str = "l2"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """k nearest global ids: every shard's candidates, one exact merge."""
+        self._check_open()
+        with self._maintenance_guard():
+            keys, ids, _ = self._knn_locked(dict(point), k, metric)
+        return keys, ids
+
+    def knn_attributed(
+        self, point: Mapping[str, float], k: int, *, metric: str = "l2"
+    ) -> Tuple[np.ndarray, QueryStats]:
+        """kNN result ids plus the query's own :class:`QueryStats`."""
+        self._check_open()
+        with self._maintenance_guard():
+            _, ids, record = self._knn_locked(dict(point), k, metric)
+        return ids, record
+
+    def _knn_locked(
+        self, point: Dict[str, float], k: int, metric: str
+    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        # kNN has no rectangle to prune shards with — a distance bound
+        # tight enough to skip a shard would need the very candidates the
+        # shard is asked for — so every shard runs its ring search and the
+        # gather keeps the k best (global-id tie-break; local id order
+        # equals global id order within a shard, so per-shard truncation
+        # never drops a tie winner).
+        gathered = QueryStats()
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        for shard_no, shard in enumerate(self._shards):
+            with shard.write_lock:
+                before = _stats_snapshot(shard.stats)
+                keys, local_ids = shard.knn_partial(point, k, metric=metric)
+                parts.append((keys, self._global_of[shard_no][local_ids]))
+                gathered.merge(_stats_delta(before, shard.stats))
+        keys, ids = merge_topk(parts, k)
+        record = QueryStats(
+            queries=1,
+            rows_examined=gathered.rows_examined,
+            rows_matched=len(ids),
+            cells_visited=gathered.cells_visited,
+            nodes_visited=gathered.nodes_visited,
+            knn_queries=1,
+            rings_expanded=gathered.rings_expanded,
+        )
+        with self._stats_lock:
+            self.stats.merge(record)
+        return keys, ids, record
+
+    def topk_partial(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """By-column top-k within a rectangle, with shard pruning."""
+        self._check_open()
+        with self._maintenance_guard():
+            keys, ids, _ = self._topk_locked(query, spec)
+        return keys, ids
+
+    def topk_attributed(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, QueryStats]:
+        """Top-k result ids plus the query's own :class:`QueryStats`."""
+        self._check_open()
+        with self._maintenance_guard():
+            _, ids, record = self._topk_locked(query, spec)
+        return ids, record
+
+    def _topk_locked(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, np.ndarray, QueryStats]:
+        empty = (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64))
+        if query.is_empty:
+            record = QueryStats(queries=1, knn_queries=1)
+            with self._stats_lock:
+                self.stats.merge(record)
+            return empty[0], empty[1], record
+        translated = translate_query(query, self._groups)
+        visits = self._scalar_visit_mask(query, translated)
+        gathered = QueryStats()
+        parts: List[Tuple[np.ndarray, np.ndarray]] = []
+        for shard_no, visible in enumerate(visits):
+            if not visible:
+                continue
+            shard = self._shards[shard_no]
+            with shard.write_lock:
+                before = _stats_snapshot(shard.stats)
+                keys, local_ids = shard.topk_partial(query, spec)
+                parts.append((keys, self._global_of[shard_no][local_ids]))
+                gathered.merge(_stats_delta(before, shard.stats))
+        keys, ids = merge_topk(parts, spec.k, largest=spec.largest)
+        record = QueryStats(
+            queries=1,
+            rows_examined=gathered.rows_examined,
+            rows_matched=len(ids),
+            cells_visited=gathered.cells_visited,
+            nodes_visited=gathered.nodes_visited,
+            shards_pruned=len(self._shards) - sum(visits),
+            knn_queries=1,
+        )
+        with self._stats_lock:
+            self.stats.merge(record)
+        return keys, ids, record
 
     # ------------------------------------------------------------------
     # Updates

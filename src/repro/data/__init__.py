@@ -9,6 +9,7 @@ query-workload generators that follow the paper's methodology (Section
 randomly drawn record.
 """
 
+from repro.data.executors import MATERIALIZE, Aggregate, MaterializeIds, TopK
 from repro.data.predicates import Interval, Rectangle
 from repro.data.table import Schema, Table
 from repro.data.synthetic import (
@@ -27,6 +28,10 @@ from repro.data.queries import (
 )
 
 __all__ = [
+    "MATERIALIZE",
+    "Aggregate",
+    "MaterializeIds",
+    "TopK",
     "Interval",
     "Rectangle",
     "Schema",

@@ -41,6 +41,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from repro.data.executors import (
+    MATERIALIZE,
+    Aggregate,
+    AggregatePartial,
+    Executor,
+    TopK,
+    point_distances,
+    select_topk,
+)
 from repro.data.predicates import Rectangle
 from repro.data.table import Table
 from repro.indexes.kernels import live_candidate_mask
@@ -82,6 +91,26 @@ class QueryStats:
       bounding-box pruning: the sharded engine increments it once per
       (query, shard) pair it never dispatched.  Unsharded indexes leave it
       at zero.
+
+    Per-op counters (the executor surface):
+
+    * ``aggregates`` counts logical :class:`~repro.data.executors.Aggregate`
+      queries answered — like ``queries``, once per logical query at every
+      facade that answered it, never once per sub-index or shard.
+    * ``knn_queries`` counts logical :class:`~repro.data.executors.TopK`
+      queries (both kNN point searches and by-column top-k).
+    * ``rings_expanded`` counts grid-directory ring expansions performed by
+      kNN searches (one per widening of the visited cell box beyond the
+      seed cells); non-ring fallbacks contribute zero.
+
+    Merge/split semantics of the per-op counters: :meth:`merge` sums all
+    three exactly like every other counter (disjoint sub-index stats stay
+    additive).  Per-query *attribution* of a batch (the serve
+    dispatcher) assigns ``aggregates``/``knn_queries`` exactly — 1 to
+    every query of that op, since they count logical queries — and
+    splits the fan-out-shaped ``rings_expanded`` with
+    :func:`~repro.core.results.split_counter_evenly`, the same
+    sum-preserving largest-remainder split used for ``rows_examined``.
     """
 
     queries: int = 0
@@ -90,6 +119,9 @@ class QueryStats:
     cells_visited: int = 0
     nodes_visited: int = 0
     shards_pruned: int = 0
+    aggregates: int = 0
+    knn_queries: int = 0
+    rings_expanded: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -99,6 +131,9 @@ class QueryStats:
         self.cells_visited = 0
         self.nodes_visited = 0
         self.shards_pruned = 0
+        self.aggregates = 0
+        self.knn_queries = 0
+        self.rings_expanded = 0
 
     def record(
         self,
@@ -108,6 +143,9 @@ class QueryStats:
         cells_visited: int = 0,
         nodes_visited: int = 0,
         shards_pruned: int = 0,
+        aggregates: int = 0,
+        knn_queries: int = 0,
+        rings_expanded: int = 0,
     ) -> None:
         """Accumulate the work of one query."""
         self.record_batch(
@@ -117,6 +155,9 @@ class QueryStats:
             cells_visited=cells_visited,
             nodes_visited=nodes_visited,
             shards_pruned=shards_pruned,
+            aggregates=aggregates,
+            knn_queries=knn_queries,
+            rings_expanded=rings_expanded,
         )
 
     def record_batch(
@@ -128,6 +169,9 @@ class QueryStats:
         cells_visited: int = 0,
         nodes_visited: int = 0,
         shards_pruned: int = 0,
+        aggregates: int = 0,
+        knn_queries: int = 0,
+        rings_expanded: int = 0,
     ) -> None:
         """Accumulate the aggregate work of ``n_queries`` logical queries.
 
@@ -141,6 +185,9 @@ class QueryStats:
         self.cells_visited += cells_visited
         self.nodes_visited += nodes_visited
         self.shards_pruned += shards_pruned
+        self.aggregates += aggregates
+        self.knn_queries += knn_queries
+        self.rings_expanded += rings_expanded
 
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Accumulate another stats object into this one; returns ``self``.
@@ -161,6 +208,9 @@ class QueryStats:
         self.cells_visited += other.cells_visited
         self.nodes_visited += other.nodes_visited
         self.shards_pruned += other.shards_pruned
+        self.aggregates += other.aggregates
+        self.knn_queries += other.knn_queries
+        self.rings_expanded += other.rings_expanded
         return self
 
     def snapshot(self) -> "QueryStats":
@@ -179,6 +229,9 @@ class QueryStats:
             cells_visited=self.cells_visited,
             nodes_visited=self.nodes_visited,
             shards_pruned=self.shards_pruned,
+            aggregates=self.aggregates,
+            knn_queries=self.knn_queries,
+            rings_expanded=self.rings_expanded,
         )
 
     def delta(self, since: "QueryStats") -> "QueryStats":
@@ -199,6 +252,9 @@ class QueryStats:
             cells_visited=self.cells_visited - since.cells_visited,
             nodes_visited=self.nodes_visited - since.nodes_visited,
             shards_pruned=self.shards_pruned - since.shards_pruned,
+            aggregates=self.aggregates - since.aggregates,
+            knn_queries=self.knn_queries - since.knn_queries,
+            rings_expanded=self.rings_expanded - since.rings_expanded,
         )
 
     @property
@@ -480,6 +536,119 @@ class MultidimensionalIndex(ABC):
         if not results or int(counts.sum()) == 0:
             return np.empty(0, dtype=np.int64), counts
         return np.concatenate(results), counts
+
+    # ------------------------------------------------------------------
+    # Executors (aggregate / top-k consumers of the match set)
+    # ------------------------------------------------------------------
+    def execute(self, query: Rectangle, executor: Executor = MATERIALIZE):
+        """Answer ``query`` through ``executor``.
+
+        The one dispatch point every caller-facing layer shares:
+        :class:`~repro.data.executors.MaterializeIds` returns the row-id
+        array (exactly :meth:`range_query`), ``Aggregate`` returns the
+        scalar, ``TopK`` returns the result row ids ordered by
+        ``(key, row_id)`` — kNN mode ignores the rectangle.
+        """
+        kind = getattr(executor, "kind", "materialize")
+        if kind == "aggregate":
+            return self.aggregate(query, executor)
+        if kind == "topk":
+            if executor.is_knn:
+                return self.knn(executor.point, executor.k, metric=executor.metric)
+            return self.topk(query, executor)
+        return self.range_query(query)
+
+    def aggregate(self, query: Rectangle, spec: Aggregate):
+        """Scalar aggregate of ``spec`` over the rows matching ``query``.
+
+        COUNT returns an ``int``; SUM/MIN/MAX/AVG return a ``float``
+        (NaN over an empty match set except SUM, which is 0.0).
+        """
+        result = self.batch_aggregate([query], spec)[0]
+        return int(result) if spec.op == "count" else float(result)
+
+    def batch_aggregate(self, queries: Sequence[Rectangle], spec: Aggregate) -> np.ndarray:
+        """Per-query aggregate results, positionally aligned with ``queries``."""
+        return self.batch_aggregate_partial(queries, spec).finalize(spec)
+
+    def batch_aggregate_partial(
+        self, queries: Sequence[Rectangle], spec: Aggregate
+    ) -> AggregatePartial:
+        """Fold every query's matching rows into per-query accumulators.
+
+        The mergeable form compound indexes and the sharded engine
+        consume: partials over disjoint row subsets merge component-wise
+        (see :class:`~repro.data.executors.AggregatePartial`).  The base
+        implementation folds column values at the matching *positions* —
+        the original row ids are never gathered, which is the executor
+        contract subclasses must preserve when they override this with a
+        pushdown (the grid folds candidate runs before the post-filter).
+        """
+        partial = AggregatePartial.identity(len(queries))
+        values = self._columns[spec.column] if spec.column is not None else None
+        for slot, query in enumerate(queries):
+            if query.is_empty or self.n_rows == 0:
+                self.stats.record()
+                continue
+            positions = self._range_query_positions(query)
+            if len(positions) == 0:
+                continue
+            qids = np.full(len(positions), slot, dtype=np.int64)
+            partial.fold_values(qids, None if values is None else values[positions])
+        self.stats.record_batch(0, aggregates=len(queries))
+        return partial
+
+    def knn(self, point: Mapping[str, float], k: int, *, metric: str = "l2") -> np.ndarray:
+        """Row ids of the ``k`` live rows nearest to ``point``.
+
+        Ordered by ``(distance, row_id)`` — ties always break toward the
+        smaller row id, so results are reproducible across shardings and
+        against the full-scan oracle.
+        """
+        _, ids = self.knn_partial(point, k, metric=metric)
+        return ids
+
+    def knn_partial(
+        self, point: Mapping[str, float], k: int, *, metric: str = "l2"
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Local kNN candidates as a mergeable ``(keys, ids)`` pair.
+
+        Keys are monotone distance keys (squared L2 / L∞), so per-subset
+        candidate sets merge exactly with
+        :func:`~repro.data.executors.merge_topk`.  The base implementation
+        scans every live row; grid subclasses override it with the
+        expanding-ring directory search.
+        """
+        if self.n_rows == 0:
+            self.stats.record(knn_queries=1)
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        keys = point_distances(self._columns, None, point, metric)
+        ids = self._row_ids
+        if self._tombstone is not None:
+            live = ~self._tombstone
+            keys = keys[live]
+            ids = ids[live]
+        self.stats.record(rows_examined=len(ids), knn_queries=1)
+        return select_topk(keys, ids, k)
+
+    def topk(self, query: Rectangle, spec: TopK) -> np.ndarray:
+        """Row ids of the k smallest/largest matching rows by ``spec.column``."""
+        _, ids = self.topk_partial(query, spec)
+        return ids
+
+    def topk_partial(
+        self, query: Rectangle, spec: TopK
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Local by-column top-k candidates as a mergeable ``(keys, ids)`` pair."""
+        if query.is_empty or self.n_rows == 0:
+            self.stats.record(knn_queries=1)
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        positions = self._range_query_positions(query)
+        self.stats.record_batch(0, knn_queries=1)
+        if len(positions) == 0:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        keys = self._columns[spec.column][positions].astype(np.float64, copy=False)
+        return select_topk(keys, self._row_ids[positions], spec.k, largest=spec.largest)
 
     @abstractmethod
     def _range_query_positions(self, query: Rectangle) -> np.ndarray:

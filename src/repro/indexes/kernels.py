@@ -49,6 +49,9 @@ __all__ = [
     "observed_axis_spans",
     "axis_filter_needed",
     "live_candidate_mask",
+    "prefix_sums",
+    "segment_sum",
+    "segment_reduce",
 ]
 
 #: Below this many candidate cells a single query takes the scalar per-cell
@@ -283,6 +286,64 @@ def gather_ranges(starts: np.ndarray, stops: np.ndarray) -> Tuple[np.ndarray, np
     offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
     indices = np.repeat(starts, lengths) + offsets
     return indices, lengths
+
+
+def prefix_sums(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums of a value array (length ``n + 1``).
+
+    The one-time cache behind the SUM pushdown: with ``p = prefix_sums(v)``
+    every contiguous run ``v[first:last]`` sums to ``p[last] - p[first]``
+    in O(1), so an aggregate over covered candidate runs never gathers the
+    values at all (see :func:`segment_sum`).  Computed in float64; run
+    sums recovered by differencing re-associate the addition, so they can
+    differ from a direct left-to-right sum in the last ulps — callers
+    compare SUM/AVG results with a float tolerance, never bit-for-bit.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty(len(values) + 1, dtype=np.float64)
+    out[0] = 0.0
+    np.cumsum(values, out=out[1:])
+    return out
+
+
+def segment_sum(
+    prefix: np.ndarray, starts: np.ndarray, stops: np.ndarray
+) -> np.ndarray:
+    """Per-run value sums of ``[start, stop)`` runs from a prefix-sum cache.
+
+    The run-level sum fold: one gather pair and one subtraction for *all*
+    runs, independent of run length.  Empty runs (``stop <= start``)
+    yield exactly 0.0.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    return prefix[np.maximum(stops, starts)] - prefix[starts]
+
+
+def segment_reduce(
+    values: np.ndarray, lengths: np.ndarray, op: str
+) -> np.ndarray:
+    """Per-run reduction over back-to-back runs of a gathered value array.
+
+    ``values`` concatenates the runs (run ``i`` occupies ``lengths[i]``
+    consecutive slots, exactly the layout :func:`gather_ranges`
+    produces); ``op`` is ``"sum"``, ``"min"`` or ``"max"``.  Empty runs
+    reduce to the identity (0.0 / ``+inf`` / ``-inf``), so callers can
+    fold the output straight into per-query accumulators.  One
+    ``reduceat`` over the non-empty runs instead of a Python loop.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n_runs = len(lengths)
+    identity = {"sum": 0.0, "min": np.inf, "max": -np.inf}[op]
+    out = np.full(n_runs, identity, dtype=np.float64)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    ends = np.cumsum(lengths)
+    run_starts = (ends - lengths)[nonempty]
+    ufunc = {"sum": np.add, "min": np.minimum, "max": np.maximum}[op]
+    out[nonempty] = ufunc.reduceat(np.asarray(values, dtype=np.float64), run_starts)
+    return out
 
 
 def axis_cell_ranges(

@@ -20,12 +20,13 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.data.executors import MATERIALIZE, Aggregate, Executor, TopK
 from repro.data.predicates import Rectangle
 from repro.serve.protocol import (
     ProtocolError,
     encode_frame,
-    query_to_wire,
     read_frame,
+    request_to_wire,
     split_response,
 )
 
@@ -73,9 +74,12 @@ _ERROR_TYPES = {
 
 @dataclass
 class ServeResult:
-    """One successful served query: ids plus optional serving metadata."""
+    """One successful served query: ids (or an aggregate's scalar ``value``
+    — ``None`` for MIN/MAX/AVG over an empty match set) plus optional
+    serving metadata."""
 
     row_ids: np.ndarray
+    value: Optional[float] = None
     stats: Optional[Dict[str, int]] = None
     server: Dict[str, Any] = field(default_factory=dict)
 
@@ -107,7 +111,9 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    async def submit(self, query: Rectangle) -> "asyncio.Future[ServeResult]":
+    async def submit(
+        self, query: Rectangle, executor: Executor = MATERIALIZE
+    ) -> "asyncio.Future[ServeResult]":
         """Send one query without waiting; the returned future resolves to
         its :class:`ServeResult` (or a typed :class:`ServerError`)."""
         if self._closed:
@@ -116,15 +122,34 @@ class ServeClient:
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        frame = dict(query_to_wire(query))
+        frame = dict(request_to_wire(query, executor))
         frame["id"] = request_id
         self._writer.write(encode_frame(frame))
         await self._writer.drain()
         return future
 
-    async def query(self, query: Rectangle) -> ServeResult:
-        """Submit one query and wait for its result."""
-        return await (await self.submit(query))
+    async def query(
+        self, query: Rectangle, executor: Executor = MATERIALIZE
+    ) -> ServeResult:
+        """Submit one query (under any executor) and wait for its result."""
+        return await (await self.submit(query, executor))
+
+    async def aggregate(self, query: Rectangle, spec: Aggregate) -> Optional[float]:
+        """COUNT/SUM/MIN/MAX/AVG over the rectangle; ``None`` when undefined."""
+        return (await self.query(query, spec)).value
+
+    async def knn(
+        self, point: Dict[str, float], k: int, *, metric: str = "l2"
+    ) -> np.ndarray:
+        """Row ids of the k nearest live rows around ``point``."""
+        result = await self.query(
+            Rectangle.unconstrained(), TopK(k, point=dict(point), metric=metric)
+        )
+        return result.row_ids
+
+    async def topk(self, query: Rectangle, spec: TopK) -> np.ndarray:
+        """Row ids of the k smallest/largest rows by a column in the rectangle."""
+        return (await self.query(query, spec)).row_ids
 
     # ------------------------------------------------------------------
     # Response plumbing
@@ -146,6 +171,7 @@ class ServeClient:
                             row_ids=np.asarray(
                                 body.get("row_ids", []), dtype=np.int64
                             ),
+                            value=body.get("value"),
                             stats=body.get("stats"),
                             server=body.get("server", {}),
                         )

@@ -48,6 +48,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional
 
+from repro.data.executors import MATERIALIZE, Executor, executor_key
+
 __all__ = [
     "FLUSH",
     "SCHEDULE",
@@ -126,12 +128,19 @@ class PendingQuery:
     coalescer loop-agnostic.  A future already cancelled or resolved at
     flush time (client disconnected, deadline enforced upstream) drops the
     entry from the batch before the engine sees it.
+
+    ``executor`` is the operator consumer the query runs under
+    (:data:`~repro.data.executors.MATERIALIZE` by default); queries only
+    share a micro-batch with compatible executors (equal
+    :func:`~repro.data.executors.executor_key`), because one dispatched
+    batch runs a single executor spec end to end.
     """
 
     query: Any
     future: Any
     request_id: Any = None
     offered_at: float = 0.0
+    executor: Executor = MATERIALIZE
     meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -255,22 +264,35 @@ class QueryCoalescer:
         return now >= self._deadline
 
     def take_batch(self, now: Optional[float] = None) -> List[PendingQuery]:
-        """Drain up to ``max_batch`` live entries for dispatch.
+        """Drain up to ``max_batch`` executor-compatible live entries.
 
         Abandoned entries (cancelled/resolved futures — disconnected
         clients) are dropped here, *before* the engine runs the batch.
-        If a backlog remains (more than one batch was waiting), the
+        The batch is the FIFO prefix of entries sharing the head's
+        :func:`~repro.data.executors.executor_key` — a dispatched batch
+        runs one executor spec end to end, so a stream mixing ops splits
+        at each op boundary (order is preserved; the next op group rides
+        the immediately re-armed deadline below).  If a backlog remains —
+        more than one batch was waiting, or a mixed stream split — the
         deadline stays armed at "now": the caller's flush loop keeps
         draining until the queue is empty, which is what bounds the queue
         during overload recovery.
         """
         now = self._clock() if now is None else now
         batch: List[PendingQuery] = []
+        batch_key = None
         while self._queue and len(batch) < self.config.max_batch:
-            entry = self._queue.popleft()
+            entry = self._queue[0]
             if entry.abandoned:
+                self._queue.popleft()
                 self.dropped_abandoned += 1
                 continue
+            key = executor_key(entry.executor)
+            if batch_key is None:
+                batch_key = key
+            elif key != batch_key:
+                break
+            self._queue.popleft()
             batch.append(entry)
         if self._queue:
             self._deadline = now

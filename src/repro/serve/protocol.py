@@ -10,10 +10,24 @@ parsing them.  Infinite rectangle bounds — JSON has no ``inf`` — travel as
 Requests
 --------
 
-::
+Every request carries an ``op`` selecting the executor the query runs
+under; ``range``/``point`` materialise row ids (the original protocol),
+``aggregate``/``topk``/``knn`` dispatch to the engine's operator
+executors::
 
     {"id": 7, "op": "range", "bounds": {"Distance": [500, 800], "AirTime": [60, null]}}
     {"id": 8, "op": "point", "point": {"Distance": 512.0, "AirTime": 64.0}}
+    {"id": 9, "op": "aggregate", "agg": "sum", "column": "AirTime",
+     "bounds": {"Distance": [500, 800]}}
+    {"id": 10, "op": "topk", "k": 5, "column": "AirTime", "largest": true,
+     "bounds": {"Distance": [500, 800]}}
+    {"id": 11, "op": "knn", "k": 8, "metric": "l2",
+     "point": {"Distance": 512.0, "AirTime": 64.0}}
+
+An ``op`` the server does not know — e.g. a newer client talking to an
+older server, or vice versa — is answered with a typed ``bad_request``
+response, never a dropped connection: unknown ops are a parse error of
+the request *body*, so framing stays trusted and the connection lives on.
 
 ``id`` is chosen by the client and echoed verbatim in the response, so
 clients may pipeline any number of requests per connection and match
@@ -27,14 +41,18 @@ Responses
 ::
 
     {"id": 7, "ok": true, "row_ids": [3, 19], "stats": {...}, "server": {...}}
+    {"id": 9, "ok": true, "value": 6021.5, "stats": {...}, "server": {...}}
     {"id": 7, "ok": false, "error": {"code": "overloaded", "message": "...",
                                      "retry_after_ms": 2}}
 
-``stats`` carries the per-query :class:`~repro.indexes.base.QueryStats`
-attribution (coalescing server only); ``server`` carries serving-side
-metadata (batch size the query rode in, queue wait).  Error codes are the
-:data:`ERROR_CODES` constants — ``overloaded`` is the typed fast-reject of
-admission control and carries ``retry_after_ms``.
+Materialising and top-k/kNN ops answer with ``row_ids``; aggregates
+answer with ``value`` (``null`` for MIN/MAX/AVG over an empty match set —
+JSON has no NaN).  ``stats`` carries the per-query
+:class:`~repro.indexes.base.QueryStats` attribution (coalescing server
+only); ``server`` carries serving-side metadata (batch size the query
+rode in, queue wait).  Error codes are the :data:`ERROR_CODES` constants
+— ``overloaded`` is the typed fast-reject of admission control and
+carries ``retry_after_ms``.
 """
 
 from __future__ import annotations
@@ -45,6 +63,14 @@ import math
 import struct
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from repro.data.executors import (
+    AGGREGATE_OPS,
+    MATERIALIZE,
+    METRIC_CHOICES,
+    Aggregate,
+    Executor,
+    TopK,
+)
 from repro.data.predicates import Interval, Rectangle
 
 __all__ = [
@@ -55,6 +81,8 @@ __all__ = [
     "read_frame",
     "query_to_wire",
     "query_from_wire",
+    "request_to_wire",
+    "request_from_wire",
     "ok_response",
     "error_response",
     "split_response",
@@ -133,26 +161,19 @@ def query_to_wire(query: Rectangle) -> Dict[str, Any]:
     }
 
 
-def query_from_wire(message: Mapping[str, Any]) -> Rectangle:
-    """Parse a request body into the :class:`Rectangle` the engine runs.
+def _point_from_wire(message: Mapping[str, Any]) -> Dict[str, float]:
+    point = message.get("point")
+    if not isinstance(point, dict) or not point:
+        raise ProtocolError("point query needs a non-empty 'point' object")
+    values: Dict[str, float] = {}
+    for name, value in point.items():
+        if value is None:
+            raise ProtocolError(f"point value for {name!r} must not be null")
+        values[str(name)] = _bound_from_wire(value, math.nan)
+    return values
 
-    Raises :class:`ProtocolError` on any malformed shape — unknown op,
-    non-list bounds, NaN values — so the server can answer a typed
-    ``bad_request`` instead of crashing a dispatch batch.
-    """
-    op = message.get("op")
-    if op == "point":
-        point = message.get("point")
-        if not isinstance(point, dict) or not point:
-            raise ProtocolError("point query needs a non-empty 'point' object")
-        values: Dict[str, float] = {}
-        for name, value in point.items():
-            if value is None:
-                raise ProtocolError(f"point value for {name!r} must not be null")
-            values[str(name)] = _bound_from_wire(value, math.nan)
-        return Rectangle.from_point(values)
-    if op != "range":
-        raise ProtocolError(f"unknown op {op!r}; expected 'range' or 'point'")
+
+def _bounds_from_wire(message: Mapping[str, Any]) -> Rectangle:
     bounds = message.get("bounds")
     if not isinstance(bounds, dict):
         raise ProtocolError("range query needs a 'bounds' object")
@@ -166,19 +187,132 @@ def query_from_wire(message: Mapping[str, Any]) -> Rectangle:
     return Rectangle(intervals)
 
 
+def _k_from_wire(message: Mapping[str, Any]) -> int:
+    k = message.get("k")
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise ProtocolError(f"'k' must be a positive integer, got {k!r}")
+    return k
+
+
+def query_from_wire(message: Mapping[str, Any]) -> Rectangle:
+    """Parse a materialising request body into its :class:`Rectangle`.
+
+    The pre-executor entry point, kept for old callers that only speak
+    ``range``/``point``; new code uses :func:`request_from_wire`, which
+    also yields the executor.  Raises :class:`ProtocolError` on any
+    malformed shape — unknown op, non-list bounds, NaN values — so the
+    server can answer a typed ``bad_request`` instead of crashing a
+    dispatch batch.
+    """
+    op = message.get("op")
+    if op == "point":
+        return Rectangle.from_point(_point_from_wire(message))
+    if op != "range":
+        raise ProtocolError(f"unknown op {op!r}; expected 'range' or 'point'")
+    return _bounds_from_wire(message)
+
+
+def request_from_wire(message: Mapping[str, Any]) -> Tuple[Rectangle, Executor]:
+    """Parse a request body into ``(query, executor)`` for dispatch.
+
+    ``range``/``point`` map to the materialising executor; ``aggregate``,
+    ``topk`` and ``knn`` map to the corresponding operator executor (a
+    kNN request's rectangle is unconstrained — the point lives in the
+    spec).  Any other ``op`` — including ones a future protocol revision
+    may add — raises :class:`ProtocolError`, which the server answers as
+    a typed ``bad_request``.
+    """
+    op = message.get("op")
+    if op in ("range", "point"):
+        return query_from_wire(message), MATERIALIZE
+    if op == "aggregate":
+        agg = message.get("agg")
+        if agg not in AGGREGATE_OPS:
+            raise ProtocolError(
+                f"'agg' must be one of {AGGREGATE_OPS}, got {agg!r}"
+            )
+        column = message.get("column")
+        if column is not None and not isinstance(column, str):
+            raise ProtocolError(f"'column' must be a string, got {column!r}")
+        try:
+            spec = Aggregate(str(agg), column)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+        return _bounds_from_wire(message), spec
+    if op == "topk":
+        column = message.get("column")
+        if not isinstance(column, str):
+            raise ProtocolError(f"topk needs a string 'column', got {column!r}")
+        largest = message.get("largest", False)
+        if not isinstance(largest, bool):
+            raise ProtocolError(f"'largest' must be a boolean, got {largest!r}")
+        spec = TopK(_k_from_wire(message), column=column, largest=largest)
+        return _bounds_from_wire(message), spec
+    if op == "knn":
+        metric = message.get("metric", "l2")
+        if metric not in METRIC_CHOICES:
+            raise ProtocolError(
+                f"'metric' must be one of {METRIC_CHOICES}, got {metric!r}"
+            )
+        spec = TopK(
+            _k_from_wire(message), point=_point_from_wire(message), metric=str(metric)
+        )
+        return Rectangle.unconstrained(), spec
+    raise ProtocolError(
+        f"unknown op {op!r}; expected one of "
+        "'range', 'point', 'aggregate', 'topk', 'knn'"
+    )
+
+
+def request_to_wire(query: Rectangle, executor: Executor = MATERIALIZE) -> Dict[str, Any]:
+    """Request body (without the id) running ``query`` under ``executor``."""
+    kind = getattr(executor, "kind", "materialize")
+    if kind == "aggregate":
+        body = dict(query_to_wire(query))
+        body["op"] = "aggregate"
+        body["agg"] = executor.op
+        if executor.column is not None:
+            body["column"] = executor.column
+        return body
+    if kind == "topk":
+        if executor.is_knn:
+            return {
+                "op": "knn",
+                "k": int(executor.k),
+                "metric": executor.metric,
+                "point": {
+                    name: float(value) for name, value in executor.point.items()
+                },
+            }
+        body = dict(query_to_wire(query))
+        body["op"] = "topk"
+        body["k"] = int(executor.k)
+        body["column"] = executor.column
+        body["largest"] = bool(executor.largest)
+        return body
+    return query_to_wire(query)
+
+
 def ok_response(
     request_id: Any,
-    row_ids,
+    row_ids=None,
     *,
+    value: Optional[float] = None,
     stats: Optional[Mapping[str, int]] = None,
     server: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Success response carrying the result ids plus optional metadata."""
-    payload: Dict[str, Any] = {
-        "id": request_id,
-        "ok": True,
-        "row_ids": [int(row_id) for row_id in row_ids],
-    }
+    """Success response carrying the result ids — or, for an aggregate
+    op, its scalar ``value`` — plus optional metadata.
+
+    A NaN aggregate (MIN/MAX/AVG over an empty match set) travels as
+    ``null``: JSON has no NaN, and Python's permissive encoder would emit
+    a literal ``NaN`` token other parsers reject.
+    """
+    payload: Dict[str, Any] = {"id": request_id, "ok": True}
+    if row_ids is not None:
+        payload["row_ids"] = [int(row_id) for row_id in row_ids]
+    else:
+        payload["value"] = None if value is None or math.isnan(value) else value
     if stats is not None:
         payload["stats"] = dict(stats)
     if server is not None:

@@ -48,8 +48,8 @@ from repro.serve.protocol import (
     encode_frame,
     error_response,
     ok_response,
-    query_from_wire,
     read_frame,
+    request_from_wire,
 )
 
 __all__ = [
@@ -76,6 +76,9 @@ def stats_to_wire(stats: Optional[QueryStats]) -> Optional[Dict[str, int]]:
         "cells_visited": stats.cells_visited,
         "nodes_visited": stats.nodes_visited,
         "shards_pruned": stats.shards_pruned,
+        "aggregates": stats.aggregates,
+        "knn_queries": stats.knn_queries,
+        "rings_expanded": stats.rings_expanded,
     }
 
 
@@ -220,13 +223,16 @@ class QueryServer:
                 outstanding.add(future)
                 future.add_done_callback(outstanding.discard)
                 try:
-                    query = query_from_wire(message)
+                    query, executor = request_from_wire(message)
                 except ProtocolError as exc:
                     self.bad_requests += 1
                     future.set_exception(ProtocolError(str(exc)))
                 else:
                     entry = PendingQuery(
-                        query=query, future=future, request_id=request_id
+                        query=query,
+                        future=future,
+                        request_id=request_id,
+                        executor=executor,
                     )
                     if self._stopping:
                         future.set_exception(EngineClosedError("server is stopping"))
@@ -261,10 +267,11 @@ class QueryServer:
                 return
             request_id, future = item
             try:
-                row_ids, stats, server_meta = await future
+                row_ids, value, stats, server_meta = await future
                 payload = ok_response(
                     request_id,
                     row_ids,
+                    value=value,
                     stats=stats_to_wire(stats),
                     server=server_meta,
                 )

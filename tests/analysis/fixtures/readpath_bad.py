@@ -25,6 +25,18 @@ def ids_only(out):
     return small
 
 
+def batch_aggregate(columns, qids):
+    # Aggregate-executor entry point: the fold must stay id-free, so a
+    # materialization anywhere on this path is a finding too.
+    partial = fold_runs(columns)
+    return partial
+
+
+def fold_runs(columns):
+    gathered = np.ascontiguousarray(columns["value"])  # EXPECT[materialize]
+    return gathered.tolist()  # EXPECT[materialize]
+
+
 def stopper(columns):
     # Configured stop function: materializes by design, never checked.
     return np.ascontiguousarray(columns["x"])

@@ -40,6 +40,7 @@ FIXTURE_CONFIG = AnalysisConfig().with_overrides(
     async_module_prefixes=("fixtures.serve_bad",),
     materialize_entry_points=(
         "fixtures.readpath_bad:batch_range_query",
+        "fixtures.readpath_bad:batch_aggregate",
         "fixtures.readpath_bad:gone",
     ),
     materialize_stop_functions=("fixtures.readpath_bad:stopper",),

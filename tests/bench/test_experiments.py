@@ -7,10 +7,12 @@ The full-scale regeneration lives in ``benchmarks/``.
 
 from __future__ import annotations
 
+import pytest
 
 from repro.bench.experiments import (
     EXPERIMENTS,
     ablations,
+    agg,
     appendix_g,
     crud,
     drift,
@@ -37,7 +39,7 @@ class TestRegistry:
             "table1", "fig4", "fig6", "fig7", "fig8",
             "theory", "appendix_g", "headline", "ablations", "updates",
             "read_path", "crud", "restart", "scale", "drift", "serve",
-            "layout",
+            "layout", "agg",
         }
 
 
@@ -255,6 +257,33 @@ class TestLayout:
             post["adaptive"]["rows_examined"] * 1.5
             <= post["static"]["rows_examined"]
         )
+
+
+class TestAgg:
+    def test_smoke_mode_structure_and_gates(self):
+        """The driver's internal gates (per-query pushdown/baseline
+        equality, exact kNN vs brute force, the >=5x examined-rows
+        advantage for COUNT/SUM/AVG) all hold at CI scale; the reported
+        rows are spot-checked for shape and the pushdown contrast."""
+        result = agg.run(smoke=True)
+        assert result.experiment == "agg"
+        assert {row["dataset"] for row in result.rows} == {"Airline", "OSM"}
+        workloads = {row["workload"] for row in result.rows}
+        assert {f"agg:{op}" for op in agg.AGG_OPS} <= workloads
+        assert any(w.startswith("knn:") for w in workloads)
+        for row in result.rows:
+            if row["workload"].split(":")[1] in agg.FOLD_ONLY_OPS:
+                assert (
+                    row["pushdown_rows_examined"] * agg.SMOKE_EXAMINED_FACTOR
+                    <= row["materialize_rows_examined"]
+                )
+
+    def test_smoke_gate_raises_on_regression(self, monkeypatch):
+        # Forcing the gate factor sky-high must trip the AssertionError —
+        # proving the CI step actually fails on a pushdown regression.
+        monkeypatch.setattr(agg, "SMOKE_EXAMINED_FACTOR", float("inf"))
+        with pytest.raises(AssertionError, match="examined-rows gate"):
+            agg.run(smoke=True)
 
 
 class TestReadPath:

@@ -128,6 +128,21 @@ class TestScaleBench:
         assert payload["rows"]
 
 
+class TestAggBench:
+    def test_alias_registered(self):
+        from repro.cli import COMMAND_ALIASES
+
+        assert COMMAND_ALIASES["agg-bench"] == "agg"
+
+    def test_options_parsed(self):
+        args = build_parser().parse_args(
+            ["agg-bench", "--smoke", "--rows", "8000", "--export", "agg.json"]
+        )
+        assert args.smoke is True
+        assert args.rows == 8_000
+        assert args.export == "agg.json"
+
+
 class TestLayoutBench:
     def test_alias_registered(self):
         from repro.cli import COMMAND_ALIASES
